@@ -1,0 +1,34 @@
+(* Fig 2-style smoke run: distinct index keys and index size versus corpus
+   size, per coding, at mss = 1..3.  Output is pasted into EXPERIMENTS.md. *)
+
+let schemes = Si_core.Coding.[ Filter; Interval; Root_split ]
+let sizes = [ 100; 1000 ]
+let msss = [ 1; 2; 3 ]
+
+let () =
+  let seed =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 2012
+  in
+  Printf.printf "seed=%d\n" seed;
+  Printf.printf "%-6s %-4s %-11s %10s %10s %12s\n" "n" "mss" "scheme" "keys"
+    "postings" "bytes";
+  List.iter
+    (fun n ->
+      let docs =
+        Array.of_list
+          (List.map Si_treebank.Annotated.of_tree
+             (Si_grammar.Generator.corpus ~seed ~n ()))
+      in
+      List.iter
+        (fun mss ->
+          List.iter
+            (fun scheme ->
+              let b = Si_core.Builder.build ~scheme ~mss docs in
+              let s = b.Si_core.Builder.stats in
+              Printf.printf "%-6d %-4d %-11s %10d %10d %12d\n" n mss
+                (Si_core.Coding.scheme_to_string scheme)
+                s.Si_core.Builder.keys s.Si_core.Builder.postings
+                s.Si_core.Builder.bytes)
+            schemes)
+        msss)
+    sizes

@@ -1,0 +1,138 @@
+(* si_tool — the subtree-index pipeline from the command line:
+   gen -> build -> query / stats. *)
+
+open Cmdliner
+
+let scheme_conv =
+  let parse s = Si_core.Coding.scheme_of_string s |> Result.map_error (fun e -> `Msg e) in
+  let print ppf s = Format.pp_print_string ppf (Si_core.Coding.scheme_to_string s) in
+  Arg.conv (parse, print)
+
+(* ---- gen --------------------------------------------------------------- *)
+
+let gen n seed output =
+  let trees = Si_grammar.Generator.corpus ~seed ~n () in
+  (match output with
+  | Some path -> Si_treebank.Penn.write_file path trees
+  | None ->
+      List.iter (fun t -> print_endline (Si_treebank.Tree.to_string t)) trees);
+  let (`Avg avg), (`Max mx), (`Nodes nodes) =
+    Si_grammar.Generator.branching_stats trees
+  in
+  Printf.eprintf "generated %d trees, %d nodes (avg branching %.2f, max %d)\n" n
+    nodes avg mx
+
+let gen_cmd =
+  let n =
+    Arg.(value & opt int 1000 & info [ "n"; "sentences" ] ~docv:"N" ~doc:"Number of parse trees.")
+  in
+  let seed =
+    Arg.(value & opt int 2012 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output corpus file (Penn format, one tree per line); stdout if omitted.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a seeded PCFG corpus of parse trees.")
+    Term.(const gen $ n $ seed $ output)
+
+(* ---- build ------------------------------------------------------------- *)
+
+let build corpus prefix scheme mss =
+  let trees = Si_treebank.Penn.read_file corpus in
+  let t0 = Unix.gettimeofday () in
+  let si = Si_core.Si.build ~scheme ~mss ~trees ~prefix () in
+  let dt = Unix.gettimeofday () -. t0 in
+  let s = Si_core.Si.stats si in
+  Printf.printf
+    "built %s index: mss=%d trees=%d nodes=%d keys=%d postings=%d idx_bytes=%d (%.2fs)\n"
+    (Si_core.Coding.scheme_to_string scheme)
+    mss s.Si_core.Builder.trees s.Si_core.Builder.nodes s.Si_core.Builder.keys
+    s.Si_core.Builder.postings s.Si_core.Builder.bytes dt
+
+let corpus_arg =
+  Arg.(required & opt (some file) None & info [ "corpus" ] ~docv:"FILE" ~doc:"Corpus file from $(b,gen).")
+
+let prefix_arg =
+  Arg.(value & opt string "ix" & info [ "prefix" ] ~docv:"PREFIX"
+         ~doc:"Index file prefix (writes/reads PREFIX.idx, .dat, .labels, .meta).")
+
+let build_cmd =
+  let scheme =
+    Arg.(value & opt scheme_conv Si_core.Coding.Root_split & info [ "scheme" ] ~docv:"SCHEME"
+           ~doc:"Posting coding: filter, interval or root-split.")
+  in
+  let mss =
+    Arg.(value & opt int 3 & info [ "mss" ] ~docv:"MSS" ~doc:"Maximum subtree size of index keys.")
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Build a subtree index over a corpus.")
+    Term.(const build $ corpus_arg $ prefix_arg $ scheme $ mss)
+
+(* ---- query ------------------------------------------------------------- *)
+
+let query prefix qstr sentences check_oracle =
+  let si = Si_core.Si.open_ prefix in
+  match Si_core.Si.query si qstr with
+  | Error e ->
+      Printf.eprintf "query syntax error: %s\n" e;
+      exit 2
+  | Ok matches ->
+      Printf.printf "%d matches\n" (List.length matches);
+      if sentences then
+        List.iter
+          (fun (tid, node) ->
+            let t = Si_core.Si.sentence si tid in
+            Printf.printf "%d:%d %s\n" tid node (Si_treebank.Tree.to_string t))
+          matches;
+      if check_oracle then begin
+        let q =
+          match Si_query.Parser.parse qstr with Ok q -> q | Error _ -> assert false
+        in
+        let want = Si_core.Si.oracle si q in
+        if matches = want then print_endline "oracle: OK"
+        else begin
+          Printf.eprintf "oracle MISMATCH: index %d matches, oracle %d\n"
+            (List.length matches) (List.length want);
+          exit 1
+        end
+      end
+
+let query_cmd =
+  let qstr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Query, e.g. 'S(NP(DT)(NN))(VP)'; use (//q) for descendant edges.")
+  in
+  let sentences =
+    Arg.(value & flag & info [ "sentences" ] ~doc:"Print each matched tree.")
+  in
+  let check_oracle =
+    Arg.(value & flag & info [ "check-oracle" ]
+           ~doc:"Also run the brute-force matcher and exit non-zero on mismatch.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate a query against a built index.")
+    Term.(const query $ prefix_arg $ qstr $ sentences $ check_oracle)
+
+(* ---- stats ------------------------------------------------------------- *)
+
+let stats prefix =
+  let si = Si_core.Si.open_ prefix in
+  let s = Si_core.Si.stats si in
+  Printf.printf "scheme=%s mss=%d trees=%d nodes=%d keys=%d postings=%d idx_bytes=%d\n"
+    (Si_core.Coding.scheme_to_string (Si_core.Si.scheme si))
+    (Si_core.Si.mss si) s.Si_core.Builder.trees s.Si_core.Builder.nodes
+    s.Si_core.Builder.keys s.Si_core.Builder.postings s.Si_core.Builder.bytes
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print statistics of a built index.")
+    Term.(const stats $ prefix_arg)
+
+let () =
+  let info =
+    Cmd.info "si_tool" ~version:"0.1.0"
+      ~doc:"Subtree index over syntactically annotated trees (PVLDB 2012)."
+  in
+  exit (Cmd.eval (Cmd.group info [ gen_cmd; build_cmd; query_cmd; stats_cmd ]))

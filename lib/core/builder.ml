@@ -1,0 +1,161 @@
+open Si_treebank
+open Si_subtree
+
+type stats = { trees : int; nodes : int; keys : int; postings : int; bytes : int }
+
+type t = {
+  scheme : Coding.scheme;
+  mss : int;
+  table : (string, Coding.posting) Hashtbl.t;
+  stats : stats;
+}
+
+(* accumulation state per key, in reverse order *)
+type acc =
+  | A_filter of int list
+  | A_interval of (int * Coding.interval array) list
+  | A_root of (int * Coding.interval) list
+
+let interval_of doc v =
+  {
+    Coding.pre = v;
+    post = doc.Annotated.post.(v);
+    level = doc.Annotated.level.(v);
+  }
+
+let build ~scheme ~mss docs =
+  if mss < 1 || mss > 255 then invalid_arg "Builder.build: mss out of range";
+  let table = Hashtbl.create 65536 in
+  let nodes = ref 0 in
+  Array.iteri
+    (fun tid doc ->
+      nodes := !nodes + Annotated.size doc;
+      Extract.fold_instances doc ~mss ~init:() ~f:(fun () ~key ~nodes:inst ->
+          let prev = Hashtbl.find_opt table key in
+          let next =
+            match scheme with
+            | Coding.Filter -> (
+                match prev with
+                | Some (A_filter (t :: _)) when t = tid -> prev
+                | Some (A_filter ts) -> Some (A_filter (tid :: ts))
+                | _ -> Some (A_filter [ tid ]))
+            | Coding.Root_split -> (
+                let root = inst.(0) in
+                let entry = (tid, interval_of doc root) in
+                match prev with
+                | Some (A_root (e :: _)) when e = entry -> prev
+                | Some (A_root es) -> Some (A_root (entry :: es))
+                | _ -> Some (A_root [ entry ]))
+            | Coding.Interval -> (
+                let ivs = Array.map (interval_of doc) inst in
+                match prev with
+                | Some (A_interval es) -> Some (A_interval ((tid, ivs) :: es))
+                | _ -> Some (A_interval [ (tid, ivs) ]))
+          in
+          match next with
+          | Some acc when next != prev -> Hashtbl.replace table key acc
+          | _ -> ()))
+    docs;
+  (* finalize: reverse the accumulated lists into sorted arrays *)
+  let final = Hashtbl.create (Hashtbl.length table) in
+  let postings = ref 0 in
+  let bytes = ref 0 in
+  Hashtbl.iter
+    (fun key acc ->
+      let posting =
+        match acc with
+        | A_filter ts -> Coding.Filter_p (Array.of_list (List.rev ts))
+        | A_interval es -> Coding.Interval_p (Array.of_list (List.rev es))
+        | A_root es -> Coding.Root_p (Array.of_list (List.rev es))
+      in
+      postings := !postings + Coding.entries posting;
+      let buf = Buffer.create 64 in
+      Coding.write buf posting;
+      bytes := !bytes + String.length key + Buffer.length buf + Varint.size (String.length key);
+      Hashtbl.replace final key posting)
+    table;
+  {
+    scheme;
+    mss;
+    table = final;
+    stats =
+      {
+        trees = Array.length docs;
+        nodes = !nodes;
+        keys = Hashtbl.length final;
+        postings = !postings;
+        bytes = !bytes;
+      };
+  }
+
+let find t key = Hashtbl.find_opt t.table key
+
+(* ---- flattened file --------------------------------------------------- *)
+
+let magic = "SIDX1\n"
+
+let save t path =
+  let buf = Buffer.create (1 lsl 20) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf
+    (match t.scheme with Coding.Filter -> 'F' | Coding.Interval -> 'I' | Coding.Root_split -> 'R');
+  Buffer.add_char buf (Char.chr t.mss);
+  Varint.write buf (Hashtbl.length t.table);
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] in
+  let keys = List.sort String.compare keys in
+  List.iter
+    (fun key ->
+      Varint.write buf (String.length key);
+      Buffer.add_string buf key;
+      Coding.write buf (Hashtbl.find t.table key))
+    keys;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+let load path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let mlen = String.length magic in
+  if String.length s < mlen + 2 || not (String.equal (String.sub s 0 mlen) magic) then
+    failwith (path ^ ": not an si index file");
+  let scheme =
+    match s.[mlen] with
+    | 'F' -> Coding.Filter
+    | 'I' -> Coding.Interval
+    | 'R' -> Coding.Root_split
+    | c -> failwith (Printf.sprintf "%s: bad scheme byte %C" path c)
+  in
+  let mss = Char.code s.[mlen + 1] in
+  let nkeys, off = Varint.read s (mlen + 2) in
+  let table = Hashtbl.create (2 * nkeys) in
+  let off = ref off in
+  let postings = ref 0 in
+  for _ = 1 to nkeys do
+    let klen, o = Varint.read s !off in
+    let key = String.sub s o klen in
+    let posting, o =
+      Coding.read scheme ~key_size:(Canonical.key_size key) s (o + klen)
+    in
+    postings := !postings + Coding.entries posting;
+    off := o;
+    Hashtbl.replace table key posting
+  done;
+  {
+    scheme;
+    mss;
+    table;
+    stats =
+      {
+        trees = 0;
+        nodes = 0;
+        keys = nkeys;
+        postings = !postings;
+        bytes = String.length s;
+      };
+  }

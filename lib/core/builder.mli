@@ -1,0 +1,40 @@
+(** In-memory index construction and the flattened [.idx] file.
+
+    [build] streams the corpus once: each tree's subtree instances (sizes
+    1..mss) are enumerated in canonical form and appended to their key's
+    posting under the chosen coding (filter postings dedup to unique tids,
+    root-split postings dedup to unique [(tid, root)]).  Because trees are
+    processed in tid order and instances in pre-order of their roots,
+    postings come out sorted without a sort pass.
+
+    This is the in-memory milestone of DESIGN.md §3's construction
+    pipeline; the external run sort + disk B+tree bulk load replace the
+    hashtable in a later storage PR without changing this interface. *)
+
+type stats = {
+  trees : int;
+  nodes : int;  (** total corpus nodes *)
+  keys : int;  (** distinct canonical keys *)
+  postings : int;  (** total posting entries *)
+  bytes : int;  (** flattened size of keys + postings *)
+}
+
+type t = {
+  scheme : Coding.scheme;
+  mss : int;
+  table : (string, Coding.posting) Hashtbl.t;  (** key bytes -> posting *)
+  stats : stats;
+}
+
+val build :
+  scheme:Coding.scheme -> mss:int -> Si_treebank.Annotated.t array -> t
+
+val find : t -> string -> Coding.posting option
+
+val save : t -> string -> unit
+(** [save t path] writes the flattened index ([.idx] layout: magic, scheme,
+    mss, key count, then sorted (key, posting) records). *)
+
+val load : string -> t
+(** Inverse of {!save} (the [trees]/[nodes] stats are not stored in the
+    [.idx] and read back as 0; [Si] restores them from the [.meta]). *)

@@ -1,0 +1,112 @@
+open Si_subtree
+
+type scheme = Filter | Interval | Root_split
+
+let scheme_to_string = function
+  | Filter -> "filter"
+  | Interval -> "interval"
+  | Root_split -> "root-split"
+
+let scheme_of_string = function
+  | "filter" -> Ok Filter
+  | "interval" -> Ok Interval
+  | "root-split" | "rs" -> Ok Root_split
+  | s -> Error (Printf.sprintf "unknown scheme %S (want filter|interval|root-split)" s)
+
+type interval = { pre : int; post : int; level : int }
+
+let pp_interval ppf i = Format.fprintf ppf "(%d,%d,%d)" i.pre i.post i.level
+
+type posting =
+  | Filter_p of int array
+  | Interval_p of (int * interval array) array
+  | Root_p of (int * interval) array
+
+let entries = function
+  | Filter_p a -> Array.length a
+  | Interval_p a -> Array.length a
+  | Root_p a -> Array.length a
+
+let write_interval buf i =
+  Varint.write buf i.pre;
+  Varint.write buf i.post;
+  Varint.write buf i.level
+
+let read_interval s off =
+  let pre, off = Varint.read s off in
+  let post, off = Varint.read s off in
+  let level, off = Varint.read s off in
+  ({ pre; post; level }, off)
+
+let write buf = function
+  | Filter_p tids ->
+      Varint.write buf (Array.length tids);
+      let prev = ref 0 in
+      Array.iter
+        (fun tid ->
+          Varint.write buf (tid - !prev);
+          prev := tid)
+        tids
+  | Interval_p a ->
+      Varint.write buf (Array.length a);
+      let prev = ref 0 in
+      Array.iter
+        (fun (tid, ivs) ->
+          Varint.write buf (tid - !prev);
+          prev := tid;
+          Array.iter (write_interval buf) ivs)
+        a
+  | Root_p a ->
+      Varint.write buf (Array.length a);
+      let prev = ref 0 in
+      Array.iter
+        (fun (tid, iv) ->
+          Varint.write buf (tid - !prev);
+          prev := tid;
+          write_interval buf iv)
+        a
+
+let read scheme ~key_size s off =
+  let count, off = Varint.read s off in
+  match scheme with
+  | Filter ->
+      let prev = ref 0 in
+      let off = ref off in
+      let tids =
+        Array.init count (fun _ ->
+            let d, o = Varint.read s !off in
+            off := o;
+            prev := !prev + d;
+            !prev)
+      in
+      (Filter_p tids, !off)
+  | Interval ->
+      let prev = ref 0 in
+      let off = ref off in
+      let a =
+        Array.init count (fun _ ->
+            let d, o = Varint.read s !off in
+            prev := !prev + d;
+            off := o;
+            let ivs =
+              Array.init key_size (fun _ ->
+                  let iv, o = read_interval s !off in
+                  off := o;
+                  iv)
+            in
+            (!prev, ivs))
+      in
+      (Interval_p a, !off)
+  | Root_split ->
+      let prev = ref 0 in
+      let off = ref off in
+      let a =
+        Array.init count (fun _ ->
+            let d, o = Varint.read s !off in
+            prev := !prev + d;
+            off := o;
+            let iv, o = read_interval s !off in
+            off := o;
+            (!prev, iv))
+      in
+      (Root_p a, !off)

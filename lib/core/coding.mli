@@ -1,0 +1,44 @@
+(** The three posting codings of the Subtree Index (paper §3.2).
+
+    For an index key (a unique subtree shape), a posting records where its
+    instances occur:
+
+    - {b filter-based} — sorted unique tree ids; querying must post-validate
+      candidate trees.
+    - {b subtree interval} — per instance, [(pre, post, level)] of *every*
+      key node in canonical order; exact matching via structural joins.
+    - {b root-split} — per instance, [(pre, post, level)] of the instance
+      *root* only, deduplicated per [(tid, root)]; exact matching via joins
+      on cover roots (the paper's contribution).
+
+    Postings are flattened with delta-varints on the tree id; the binary
+    layout is the start of the on-disk format the later storage PR bulk
+    loads into a B+tree. *)
+
+type scheme = Filter | Interval | Root_split
+
+val scheme_to_string : scheme -> string
+(** ["filter" | "interval" | "root-split"], as accepted by the CLI. *)
+
+val scheme_of_string : string -> (scheme, string) result
+
+type interval = { pre : int; post : int; level : int }
+
+val pp_interval : Format.formatter -> interval -> unit
+
+type posting =
+  | Filter_p of int array  (** sorted unique tids *)
+  | Interval_p of (int * interval array) array
+      (** (tid, intervals per canonical key position), sorted by tid *)
+  | Root_p of (int * interval) array
+      (** (tid, root interval), sorted by (tid, pre), unique *)
+
+val entries : posting -> int
+(** Number of posting entries. *)
+
+val write : Buffer.t -> posting -> unit
+
+val read : scheme -> key_size:int -> string -> int -> posting * int
+(** [read scheme ~key_size s off] parses one posting written by {!write}
+    ([key_size] nodes per interval-coded instance); returns the posting and
+    the next offset. *)

@@ -1,0 +1,197 @@
+open Si_query
+open Si_subtree
+
+type chunk = { root : int; nodes : int list; fragment : int Canonical.node }
+type t = { chunks : chunk array; chunk_of : int array }
+
+let joins t = Array.length t.chunks - 1
+
+(* child-axis children of [v] (the fragment graph: // edges removed) *)
+let ckids (ix : Ast.indexed) v =
+  List.filter (fun k -> ix.Ast.axis.(k) = Ast.Child) ix.Ast.children.(v)
+
+(* descendant-axis children of [v] (each starts its own component) *)
+let dkids (ix : Ast.indexed) v =
+  List.filter (fun k -> ix.Ast.axis.(k) = Ast.Descendant) ix.Ast.children.(v)
+
+(* subtree size within the component (counting child edges only) *)
+let comp_sizes (ix : Ast.indexed) =
+  let n = Ast.count ix in
+  let csize = Array.make n 1 in
+  for v = n - 1 downto 0 do
+    List.iter (fun k -> csize.(v) <- csize.(v) + csize.(k)) (ckids ix v)
+  done;
+  csize
+
+(* does the component subtree of [v] contain a node with a // out-edge? *)
+let blocked (ix : Ast.indexed) =
+  let n = Ast.count ix in
+  let b = Array.make n false in
+  for v = n - 1 downto 0 do
+    b.(v) <-
+      dkids ix v <> []
+      || List.exists (fun k -> b.(k)) (ckids ix v)
+  done;
+  b
+
+let fragment_of (ix : Ast.indexed) members root =
+  let mem = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace mem v ()) members;
+  let rec build v =
+    {
+      Canonical.label = ix.Ast.labels.(v);
+      payload = v;
+      kids =
+        List.filter_map
+          (fun k -> if Hashtbl.mem mem k then Some (build k) else None)
+          (ckids ix v);
+    }
+  in
+  build root
+
+let make_cover (ix : Ast.indexed) chunks_rev =
+  let n = Ast.count ix in
+  let chunks =
+    Array.of_list
+      (List.rev_map
+         (fun (root, members) ->
+           let nodes = List.sort compare members in
+           { root; nodes; fragment = fragment_of ix nodes root })
+         chunks_rev)
+  in
+  let chunk_of = Array.make n (-1) in
+  Array.iteri (fun i c -> List.iter (fun v -> chunk_of.(v) <- i) c.nodes) chunks;
+  { chunks; chunk_of }
+
+(* ---- optimalCover ------------------------------------------------------ *)
+
+let optimal_cover (ix : Ast.indexed) ~mss =
+  if mss < 1 then invalid_arg "Cover.optimal_cover: mss must be >= 1";
+  let csize = comp_sizes ix in
+  let chunks = ref [] in
+  (* queue of pending chunk roots, DFS via a stack kept in discovery order *)
+  let rec chunk_from r =
+    let members = ref [ r ] in
+    let cap = ref (mss - 1) in
+    let frontier = ref (ckids ix r) in
+    let leftovers = ref [] in
+    while !cap > 0 && !frontier <> [] do
+      let sorted =
+        List.sort (fun a b -> compare csize.(b) csize.(a)) !frontier
+      in
+      match List.find_opt (fun f -> csize.(f) <= !cap) sorted with
+      | Some f ->
+          (* first fit (decreasing): absorb the whole component subtree *)
+          let rec absorb v =
+            members := v :: !members;
+            List.iter absorb (ckids ix v)
+          in
+          absorb f;
+          cap := !cap - csize.(f);
+          frontier := List.filter (fun x -> x <> f) !frontier
+      | None ->
+          (* nothing fits whole: absorb the largest candidate alone and
+             expose its children *)
+          let f = List.hd sorted in
+          members := f :: !members;
+          decr cap;
+          frontier := ckids ix f @ List.filter (fun x -> x <> f) !frontier
+    done;
+    leftovers := !frontier;
+    chunks := (r, !members) :: !chunks;
+    (* descendant components below every member, then leftover cut children;
+       recurse in DFS order *)
+    let members_l = !members in
+    List.iter chunk_from !leftovers;
+    List.iter (fun v -> List.iter chunk_from (dkids ix v)) members_l
+  in
+  chunk_from 0;
+  make_cover ix !chunks
+
+(* ---- minRC ------------------------------------------------------------- *)
+
+let min_rc (ix : Ast.indexed) ~mss =
+  if mss < 1 then invalid_arg "Cover.min_rc: mss must be >= 1";
+  let csize = comp_sizes ix in
+  let blk = blocked ix in
+  let chunks = ref [] in
+  let rec chunk_from r =
+    let members = ref [ r ] in
+    let cap = ref (mss - 1) in
+    let candidates = List.sort (fun a b -> compare csize.(b) csize.(a)) (ckids ix r) in
+    let cuts = ref [] in
+    List.iter
+      (fun c ->
+        (* absorbable only whole and only if no member would carry a //
+           out-edge while not being the chunk root *)
+        if csize.(c) <= !cap && not blk.(c) then begin
+          let rec absorb v =
+            members := v :: !members;
+            List.iter absorb (ckids ix v)
+          in
+          absorb c;
+          cap := !cap - csize.(c)
+        end
+        else cuts := c :: !cuts)
+      candidates;
+    chunks := (r, !members) :: !chunks;
+    let members_l = !members in
+    List.iter chunk_from (List.rev !cuts);
+    List.iter (fun v -> List.iter chunk_from (dkids ix v)) members_l
+  in
+  chunk_from 0;
+  make_cover ix !chunks
+
+(* ---- inspection -------------------------------------------------------- *)
+
+let cut_edges (ix : Ast.indexed) t =
+  Array.to_list t.chunks
+  |> List.filteri (fun i _ -> i > 0)
+  |> List.map (fun c ->
+         let p = ix.Ast.parent.(c.root) in
+         (p, c.root, ix.Ast.axis.(c.root)))
+
+let validate (ix : Ast.indexed) ~mss ~root_split t =
+  let n = Ast.count ix in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let seen = Array.make n 0 in
+  Array.iter (fun c -> List.iter (fun v -> seen.(v) <- seen.(v) + 1) c.nodes) t.chunks;
+  if Array.exists (fun c -> c <> 1) seen then err "not an exact partition"
+  else if
+    Array.exists (fun c -> List.length c.nodes > mss || c.nodes = []) t.chunks
+  then err "chunk size out of bounds"
+  else
+    let bad =
+      Array.find_opt
+        (fun c ->
+          (* every non-root member's parent must be in the chunk, reached by
+             a child edge *)
+          List.exists
+            (fun v ->
+              v <> c.root
+              && (ix.Ast.axis.(v) <> Ast.Child
+                 || not (List.mem ix.Ast.parent.(v) c.nodes)))
+            c.nodes)
+        t.chunks
+    in
+    match bad with
+    | Some c -> err "chunk %d not child-connected (or spans a // edge)" c.root
+    | None ->
+        let order_ok =
+          (* DFS property: each chunk's parent endpoint lies in an earlier chunk *)
+          t.chunks.(0).root = 0
+          && Array.for_all
+               (fun c ->
+                 c.root = 0
+                 || t.chunk_of.(ix.Ast.parent.(c.root))
+                    < t.chunk_of.(c.root))
+               t.chunks
+        in
+        if not order_ok then err "chunks not in DFS order"
+        else if
+          root_split
+          && List.exists
+               (fun (p, _, _) -> t.chunks.(t.chunk_of.(p)).root <> p)
+               (cut_edges ix t)
+        then err "cut edge parent is not its chunk's root"
+        else Ok ()

@@ -1,0 +1,46 @@
+(** Query decomposition into covers (paper §4.1–4.2).
+
+    A cover partitions the query nodes into *chunks*: connected fragments
+    joined only by child edges, each of size at most [mss].  [//] edges are
+    forced cut points — index keys only materialise parent-child edges.
+    Chunks are emitted in DFS order, so every chunk's incoming cut edge
+    points into an earlier chunk.
+
+    - {!optimal_cover} (filter & subtree-interval codings) packs each
+      fragment greedily with first-fit-decreasing over child subtree sizes,
+      absorbing partial subtrees when a whole child does not fit — the FFD
+      bin-packing view under which the paper proves join-optimality for
+      [mss <= 6].
+    - {!min_rc} (root-split coding) additionally requires every cut edge's
+      parent endpoint to be its chunk's {e root} (Def. 8), because
+      root-split postings expose only instance-root intervals; it therefore
+      absorbs only whole child subtrees, and any node with a [//] out-edge
+      must become a chunk root. *)
+
+type chunk = {
+  root : int;  (** query node id; the chunk's join handle *)
+  nodes : int list;  (** member query node ids, sorted *)
+  fragment : int Si_subtree.Canonical.node;
+      (** the chunk as a label tree, payloads = query node ids *)
+}
+
+type t = {
+  chunks : chunk array;  (** DFS order; [chunks.(0)] holds query node 0 *)
+  chunk_of : int array;  (** query node id -> chunk index *)
+}
+
+val optimal_cover : Si_query.Ast.indexed -> mss:int -> t
+val min_rc : Si_query.Ast.indexed -> mss:int -> t
+
+val joins : t -> int
+(** Number of structural joins = number of cut edges = [chunks - 1]. *)
+
+val cut_edges : Si_query.Ast.indexed -> t -> (int * int * Si_query.Ast.axis) list
+(** [(parent_qnode, chunk_root_qnode, axis)] per non-first chunk, in chunk
+    order. *)
+
+val validate :
+  Si_query.Ast.indexed -> mss:int -> root_split:bool -> t -> (unit, string) result
+(** Checks cover validity: exact partition, connectivity by child edges,
+    size bound, [//] edges cut, DFS ordering, and — when [root_split] —
+    that every cut edge's parent endpoint is its chunk's root. *)

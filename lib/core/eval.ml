@@ -1,0 +1,172 @@
+open Si_subtree
+open Si_query
+
+let cover_for (index : Builder.t) ix =
+  match index.Builder.scheme with
+  | Coding.Root_split -> Cover.min_rc ix ~mss:index.Builder.mss
+  | Coding.Filter | Coding.Interval -> Cover.optimal_cover ix ~mss:index.Builder.mss
+
+(* same-label sibling pairs that live in different chunks: the injectivity
+   constraints extraction does not already guarantee (DESIGN.md §6b) *)
+let cross_chunk_pairs (ix : Ast.indexed) (cover : Cover.t) =
+  let pairs = ref [] in
+  Array.iter
+    (fun kids ->
+      let rec go = function
+        | [] -> ()
+        | x :: rest ->
+            List.iter
+              (fun y ->
+                if
+                  ix.Ast.labels.(x) = ix.Ast.labels.(y)
+                  && cover.Cover.chunk_of.(x) <> cover.Cover.chunk_of.(y)
+                then pairs := (x, y) :: !pairs)
+              rest;
+            go rest
+      in
+      go kids)
+    ix.Ast.children;
+  !pairs
+
+let encodings_opt ~label_id frag =
+  match Canonical.encodings ~label_id frag with
+  | exception Not_found -> None
+  | r -> Some r
+
+(* ---- filter-based ----------------------------------------------------- *)
+
+let intersect (a : int array) (b : int array) =
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < Array.length a && !j < Array.length b do
+    let x = a.(!i) and y = b.(!j) in
+    if x < y then incr i
+    else if y < x then incr j
+    else begin
+      out := x :: !out;
+      incr i;
+      incr j
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let run_filter ~(index : Builder.t) ~corpus ~label_id q (cover : Cover.t) =
+  let chunk_tids (c : Cover.chunk) =
+    match encodings_opt ~label_id c.Cover.fragment with
+    | None -> [||]
+    | Some (key, _) -> (
+        match Builder.find index key with
+        | Some (Coding.Filter_p tids) -> tids
+        | Some _ -> invalid_arg "Eval: filter index holds non-filter postings"
+        | None -> [||])
+  in
+  let candidates =
+    Array.fold_left
+      (fun acc c ->
+        match acc with
+        | Some tids when Array.length tids = 0 -> acc
+        | Some tids -> Some (intersect tids (chunk_tids c))
+        | None -> Some (chunk_tids c))
+      None cover.Cover.chunks
+    |> Option.value ~default:[||]
+  in
+  Array.to_list candidates
+  |> List.concat_map (fun tid ->
+         List.map (fun v -> (tid, v)) (Matcher.roots corpus.(tid) q))
+  |> List.sort compare
+
+(* ---- interval / root-split -------------------------------------------- *)
+
+let chunk_rel ~(index : Builder.t) ~label_id (c : Cover.chunk) =
+  match encodings_opt ~label_id c.Cover.fragment with
+  | None -> Join.empty
+  | Some (key, orders) -> (
+      match Builder.find index key with
+      | None -> Join.empty
+      | Some (Coding.Root_p entries) ->
+          {
+            Join.cols = [| c.Cover.root |];
+            rows = Array.map (fun (tid, iv) -> { Join.tid; ivs = [| iv |] }) entries;
+          }
+      | Some (Coding.Interval_p entries) ->
+          let cols = Array.of_list c.Cover.nodes in
+          (* per alignment, the canonical position of each column's qnode *)
+          let maps =
+            List.map
+              (fun order ->
+                Array.map
+                  (fun q ->
+                    let rec find k =
+                      if order.(k) = q then k else find (k + 1)
+                    in
+                    find 0)
+                  cols)
+              orders
+          in
+          let rows =
+            Array.to_list entries
+            |> List.concat_map (fun (tid, ivs) ->
+                   List.map
+                     (fun map ->
+                       { Join.tid; ivs = Array.map (fun k -> ivs.(k)) map })
+                     maps)
+          in
+          { Join.cols; rows = Array.of_list rows }
+      | Some (Coding.Filter_p _) ->
+          invalid_arg "Eval: joinable evaluator over a filter index")
+
+let run_joins ~(index : Builder.t) ~corpus ~label_id q (ix : Ast.indexed)
+    (cover : Cover.t) =
+  let rels = Array.map (chunk_rel ~index ~label_id) cover.Cover.chunks in
+  if Array.exists Join.is_empty rels then []
+  else begin
+    let acc = ref rels.(0) in
+    Array.iteri
+      (fun i (c : Cover.chunk) ->
+        if i > 0 then begin
+          let p = ix.Ast.parent.(c.Cover.root) in
+          let axis = ix.Ast.axis.(c.Cover.root) in
+          let ip = Join.col_index !acc p in
+          let ic = Join.col_index rels.(i) c.Cover.root in
+          acc :=
+            Join.merge_join !acc rels.(i) ~pred:(fun ra rb ->
+                Join.structural axis ra.Join.ivs.(ip) rb.Join.ivs.(ic))
+        end)
+      cover.Cover.chunks;
+    let col_opt q = match Join.col_index !acc q with c -> Some c | exception Not_found -> None in
+    let pairs = cross_chunk_pairs ix cover in
+    let checked =
+      Join.filter !acc (fun r ->
+          List.for_all
+            (fun (x, y) ->
+              match (col_opt x, col_opt y) with
+              | Some cx, Some cy ->
+                  r.Join.ivs.(cx).Coding.pre <> r.Join.ivs.(cy).Coding.pre
+              | _ -> true)
+            pairs)
+    in
+    let c0 = Join.col_index checked 0 in
+    let results =
+      Array.to_list checked.Join.rows
+      |> List.map (fun r -> (r.Join.tid, r.Join.ivs.(c0).Coding.pre))
+      |> List.sort_uniq compare
+    in
+    (* root-split corner (DESIGN.md §6b): an injectivity constraint touching
+       a non-exposed node cannot be a join predicate -> validate candidates *)
+    let exposed v = cover.Cover.chunks.(cover.Cover.chunk_of.(v)).Cover.root = v in
+    let needs_validation =
+      index.Builder.scheme = Coding.Root_split
+      && List.exists (fun (x, y) -> not (exposed x && exposed y)) pairs
+    in
+    if needs_validation then
+      List.filter (fun (tid, v) -> Matcher.matches_at corpus.(tid) q v) results
+    else results
+  end
+
+let run ~index ~corpus ?(label_id = Fun.id) q =
+  let ix = Ast.index q in
+  let cover = cover_for index ix in
+  match index.Builder.scheme with
+  | Coding.Filter -> run_filter ~index ~corpus ~label_id q cover
+  | Coding.Interval | Coding.Root_split ->
+      run_joins ~index ~corpus ~label_id q ix cover

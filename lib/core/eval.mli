@@ -1,0 +1,29 @@
+(** Per-coding query evaluators (paper §4.3).
+
+    Every evaluator returns the *match set*: the sorted, duplicate-free list
+    of [(tid, node)] pairs such that the query embeds into tree [tid] with
+    its root mapped to [node] — exactly {!Si_query.Matcher.corpus_roots}.
+
+    - {b interval}: optimalCover; each chunk posting row exposes all chunk
+      nodes (one row per instance x alignment); cut edges and same-label
+      sibling distinctness are join predicates.  No validation phase.
+    - {b root-split}: minRC; rows expose chunk roots only; joins on roots.
+      In the one corner the paper does not treat — a same-label sibling
+      group split across chunks with a member that is not a cover root —
+      candidates are validated with the oracle matcher (DESIGN.md §6b).
+    - {b filter}: optimalCover; chunk postings are tid sets; candidates =
+      their intersection, validated with the oracle matcher. *)
+
+val run :
+  index:Builder.t ->
+  corpus:Si_treebank.Annotated.t array ->
+  ?label_id:(Si_treebank.Label.t -> int) ->
+  Si_query.Ast.t ->
+  (int * int) list
+(** [label_id] maps process-global label ids into the index's stored id
+    space (raising [Not_found] for labels unknown to the index); defaults
+    to the identity, which is correct for an index built in this process. *)
+
+val cover_for : Builder.t -> Si_query.Ast.indexed -> Cover.t
+(** The cover [run] uses: {!Cover.min_rc} under root-split coding,
+    {!Cover.optimal_cover} otherwise. *)

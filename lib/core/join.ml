@@ -1,0 +1,53 @@
+type row = { tid : int; ivs : Coding.interval array }
+type rel = { cols : int array; rows : row array }
+
+let empty = { cols = [||]; rows = [||] }
+let is_empty r = Array.length r.rows = 0
+
+let col_index rel q =
+  let rec find i =
+    if i >= Array.length rel.cols then raise Not_found
+    else if rel.cols.(i) = q then i
+    else find (i + 1)
+  in
+  find 0
+
+let structural axis (p : Coding.interval) (c : Coding.interval) =
+  let contains = p.Coding.pre < c.Coding.pre && p.Coding.post > c.Coding.post in
+  match axis with
+  | Si_query.Ast.Child -> contains && c.Coding.level = p.Coding.level + 1
+  | Si_query.Ast.Descendant -> contains
+
+let merge_join a b ~pred =
+  let na = Array.length a.rows and nb = Array.length b.rows in
+  let out = ref [] in
+  let count = ref 0 in
+  let i = ref 0 and j = ref 0 in
+  while !i < na && !j < nb do
+    let ta = a.rows.(!i).tid and tb = b.rows.(!j).tid in
+    if ta < tb then incr i
+    else if tb < ta then incr j
+    else begin
+      let i2 = ref !i and j2 = ref !j in
+      while !i2 < na && a.rows.(!i2).tid = ta do
+        incr i2
+      done;
+      while !j2 < nb && b.rows.(!j2).tid = ta do
+        incr j2
+      done;
+      for x = !i to !i2 - 1 do
+        for y = !j to !j2 - 1 do
+          let ra = a.rows.(x) and rb = b.rows.(y) in
+          if pred ra rb then begin
+            out := { tid = ta; ivs = Array.append ra.ivs rb.ivs } :: !out;
+            incr count
+          end
+        done
+      done;
+      i := !i2;
+      j := !j2
+    end
+  done;
+  { cols = Array.append a.cols b.cols; rows = Array.of_list (List.rev !out) }
+
+let filter rel f = { rel with rows = Array.of_seq (Seq.filter f (Array.to_seq rel.rows)) }

@@ -1,0 +1,29 @@
+(** MPMGJN-style sort-merge structural joins (paper §4.3).
+
+    A relation carries, per row, a tree id and one [(pre, post, level)]
+    interval per exposed query node (its columns).  Both inputs are sorted
+    by tid; the join merges the two streams on tid and, within a tid block,
+    emits the cross pairs satisfying the structural predicate.  The
+    block-nested inner loop is the slice's simplification of MPMGJN's
+    skip-ahead — same output, and the interface the later stack-based
+    backends (StackTree / TwigStack, DESIGN.md §6) will implement. *)
+
+type row = { tid : int; ivs : Coding.interval array }
+type rel = { cols : int array; rows : row array }
+
+val empty : rel
+val is_empty : rel -> bool
+
+val col_index : rel -> int -> int
+(** Position of query node [q] in [rel.cols]; raises [Not_found]. *)
+
+val merge_join : rel -> rel -> pred:(row -> row -> bool) -> rel
+(** [merge_join a b ~pred] — columns are concatenated ([a.cols] then
+    [b.cols]), rows stay sorted by tid. *)
+
+val filter : rel -> (row -> bool) -> rel
+
+val structural : Si_query.Ast.axis -> Coding.interval -> Coding.interval -> bool
+(** [structural axis parent child] — the edge predicate: child =
+    containment with [level] difference 1; descendant = strict
+    containment. *)

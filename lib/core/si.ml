@@ -1,0 +1,87 @@
+open Si_treebank
+
+type t = {
+  index : Builder.t;
+  corpus : Annotated.t array;
+  label_id : Label.t -> int;
+      (* process-global label id -> the id space the index keys were
+         encoded in; raises Not_found for labels the index never saw *)
+}
+
+let scheme t = t.index.Builder.scheme
+let mss t = t.index.Builder.mss
+let stats t = t.index.Builder.stats
+let corpus t = t.corpus
+let sentence t tid = t.corpus.(tid).Annotated.tree
+
+let write_text path lines =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> List.iter (fun l -> output_string oc l; output_char oc '\n') lines)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let save t prefix trees =
+  Builder.save t.index (prefix ^ ".idx");
+  Penn.write_file (prefix ^ ".dat") trees;
+  write_text (prefix ^ ".labels") (Array.to_list (Label.all ()));
+  let s = t.index.Builder.stats in
+  write_text (prefix ^ ".meta")
+    [
+      "scheme=" ^ Coding.scheme_to_string t.index.Builder.scheme;
+      "mss=" ^ string_of_int t.index.Builder.mss;
+      "trees=" ^ string_of_int s.Builder.trees;
+      "nodes=" ^ string_of_int s.Builder.nodes;
+      "keys=" ^ string_of_int s.Builder.keys;
+      "postings=" ^ string_of_int s.Builder.postings;
+    ]
+
+let build ~scheme ~mss ~trees ?prefix () =
+  let corpus = Array.of_list (List.map Annotated.of_tree trees) in
+  let index = Builder.build ~scheme ~mss corpus in
+  let t = { index; corpus; label_id = Fun.id } in
+  Option.iter (fun p -> save t p trees) prefix;
+  t
+
+let open_ prefix =
+  let index = Builder.load (prefix ^ ".idx") in
+  let trees = Penn.read_file (prefix ^ ".dat") in
+  let corpus = Array.of_list (List.map Annotated.of_tree trees) in
+  let stored = Array.of_list (read_lines (prefix ^ ".labels")) in
+  let stored_id : (string, int) Hashtbl.t = Hashtbl.create (Array.length stored) in
+  Array.iteri (fun id name -> Hashtbl.replace stored_id name id) stored;
+  let label_id l =
+    match Hashtbl.find_opt stored_id (Label.name l) with
+    | Some id -> id
+    | None -> raise Not_found
+  in
+  let index =
+    (* restore the corpus stats the .idx does not carry *)
+    let nodes = Array.fold_left (fun acc d -> acc + Annotated.size d) 0 corpus in
+    {
+      index with
+      Builder.stats =
+        { index.Builder.stats with Builder.trees = Array.length corpus; nodes };
+    }
+  in
+  { index; corpus; label_id }
+
+let query_ast t q = Eval.run ~index:t.index ~corpus:t.corpus ~label_id:t.label_id q
+
+let query t s =
+  match Si_query.Parser.parse s with
+  | Ok q -> Ok (query_ast t q)
+  | Error e -> Error e
+
+let oracle t q = Si_query.Matcher.corpus_roots t.corpus q

@@ -1,0 +1,46 @@
+(** The Subtree Index facade: build / save / open / query.
+
+    On-disk layout under a [prefix] (see [_bench/README.md] for the naming
+    convention the bench harness uses):
+
+    - [prefix.idx] — flattened keys + postings ({!Builder.save});
+    - [prefix.dat] — the indexed corpus, Penn format, one tree per line
+      (tree id = line number); read back for filter-coding validation, the
+      root-split corner fallback and sentence output;
+    - [prefix.labels] — interned label names, one per id, in id order;
+    - [prefix.meta] — [key=value] text: scheme, mss, trees, nodes, keys,
+      postings.
+
+    A stored index is self-contained: a fresh process re-interns labels and
+    resolves its ids through the stored table, so queries return the same
+    match sets as in the building process. *)
+
+type t
+
+val build :
+  scheme:Coding.scheme ->
+  mss:int ->
+  trees:Si_treebank.Tree.t list ->
+  ?prefix:string ->
+  unit ->
+  t
+(** Build in memory; when [prefix] is given, also persist the four files. *)
+
+val open_ : string -> t
+(** Load an index persisted by {!build}. *)
+
+val query : t -> string -> ((int * int) list, string) result
+(** Parse and evaluate; [(tid, node)] match pairs, sorted.  [Error] on a
+    query syntax error. *)
+
+val query_ast : t -> Si_query.Ast.t -> (int * int) list
+
+val oracle : t -> Si_query.Ast.t -> (int * int) list
+(** The brute-force matcher over the stored corpus — the reference answer. *)
+
+val scheme : t -> Coding.scheme
+val mss : t -> int
+val stats : t -> Builder.stats
+val corpus : t -> Si_treebank.Annotated.t array
+val sentence : t -> int -> Si_treebank.Tree.t
+(** The indexed tree with id [tid]. *)

@@ -1,0 +1,25 @@
+open Si_treebank
+
+let sentence rng = Pcfg.expand Pcfg.default rng
+
+let corpus ?(seed = 2012) ~n () =
+  let rng = Prng.create seed in
+  List.init n (fun _ -> sentence rng)
+
+let branching_stats trees =
+  let internal = ref 0 and edges = ref 0 and maxb = ref 0 and nodes = ref 0 in
+  List.iter
+    (fun t ->
+      Tree.fold
+        (fun () (node : Tree.t) ->
+          incr nodes;
+          let b = List.length node.Tree.children in
+          if b > 0 then begin
+            incr internal;
+            edges := !edges + b;
+            if b > !maxb then maxb := b
+          end)
+        () t)
+    trees;
+  let avg = if !internal = 0 then 0.0 else float_of_int !edges /. float_of_int !internal in
+  (`Avg avg, `Max !maxb, `Nodes !nodes)

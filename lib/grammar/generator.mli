@@ -1,0 +1,13 @@
+(** Seeded corpus generation. *)
+
+val sentence : Prng.t -> Si_treebank.Tree.t
+(** One parse tree from {!Pcfg.default}. *)
+
+val corpus : ?seed:int -> n:int -> unit -> Si_treebank.Tree.t list
+(** [corpus ~seed ~n ()] — [n] parse trees, fully determined by [seed]
+    (default seed 2012, the paper's year). *)
+
+val branching_stats :
+  Si_treebank.Tree.t list -> [ `Avg of float ] * [ `Max of int ] * [ `Nodes of int ]
+(** Average and maximum branching factor over internal (non-leaf) nodes, and
+    the total node count — the corpus statistics the paper relies on. *)

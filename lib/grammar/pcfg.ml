@@ -1,0 +1,167 @@
+open Si_treebank
+
+module Zipf = struct
+  type t = { cum : float array }
+
+  let make ~n ~s =
+    if n <= 0 then invalid_arg "Zipf.make";
+    let cum = Array.make n 0.0 in
+    let total = ref 0.0 in
+    for k = 0 to n - 1 do
+      total := !total +. (1.0 /. Float.pow (float_of_int (k + 1)) s);
+      cum.(k) <- !total
+    done;
+    Array.iteri (fun i c -> cum.(i) <- c /. !total) cum;
+    { cum }
+
+  let sample t rng =
+    let u = Prng.float rng in
+    (* first index with cum >= u *)
+    let lo = ref 0 and hi = ref (Array.length t.cum - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cum.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+end
+
+type rule = { weight : float; rhs : string list }
+
+type t = {
+  start : string;
+  rules : (string, rule array) Hashtbl.t;  (* nonterminal -> productions *)
+  lexicon : (string, string array * Zipf.t) Hashtbl.t;  (* preterminal -> vocab *)
+  min_height : (string, int) Hashtbl.t;
+  max_depth : int;
+}
+
+let start t = t.start
+let nonterminals t = Hashtbl.fold (fun k _ acc -> k :: acc) t.rules [] |> List.sort compare
+let preterminals t = Hashtbl.fold (fun k _ acc -> k :: acc) t.lexicon [] |> List.sort compare
+
+(* ---- the default English-like grammar ---------------------------------- *)
+
+let productions =
+  [
+    ("S", [ (0.62, [ "NP"; "VP" ]); (0.15, [ "NP"; "VP"; "PP" ]);
+            (0.13, [ "NP"; "VP"; "ADVP" ]); (0.06, [ "SBAR"; "NP"; "VP" ]);
+            (0.04, [ "S"; "CC"; "S" ]) ]);
+    ("NP", [ (0.28, [ "DT"; "NN" ]); (0.16, [ "NN" ]); (0.14, [ "DT"; "JJ"; "NN" ]);
+             (0.10, [ "NP"; "PP" ]); (0.10, [ "NNP" ]); (0.08, [ "PRP" ]);
+             (0.07, [ "DT"; "NNS" ]); (0.07, [ "NNS" ]) ]);
+    ("VP", [ (0.27, [ "VBZ"; "NP" ]); (0.19, [ "VBD"; "NP" ]); (0.10, [ "VBZ" ]);
+             (0.08, [ "VBD" ]); (0.08, [ "MD"; "VB"; "NP" ]); (0.08, [ "VBZ"; "PP" ]);
+             (0.08, [ "VBD"; "SBAR" ]); (0.12, [ "VBZ"; "NP"; "PP" ]) ]);
+    ("PP", [ (1.0, [ "IN"; "NP" ]) ]);
+    ("SBAR", [ (0.6, [ "IN"; "S" ]); (0.4, [ "WHNP"; "S" ]) ]);
+    ("WHNP", [ (0.5, [ "WP" ]); (0.5, [ "WDT"; "NN" ]) ]);
+    ("ADVP", [ (1.0, [ "RB" ]) ]);
+  ]
+
+let vocab_sizes =
+  [
+    ("DT", 12); ("NN", 600); ("NNS", 300); ("NNP", 250); ("JJ", 300);
+    ("VBZ", 150); ("VBD", 150); ("VB", 120); ("MD", 8); ("IN", 40);
+    ("RB", 120); ("PRP", 10); ("WP", 4); ("WDT", 3); ("CC", 6);
+  ]
+
+let make_lexicon () =
+  let lexicon = Hashtbl.create 16 in
+  List.iter
+    (fun (pos, n) ->
+      let words =
+        Array.init n (fun i -> Printf.sprintf "%s%03d" (String.lowercase_ascii pos) i)
+      in
+      Hashtbl.add lexicon pos (words, Zipf.make ~n ~s:1.1))
+    vocab_sizes;
+  lexicon
+
+let compute_min_heights rules lexicon =
+  let mh = Hashtbl.create 16 in
+  Hashtbl.iter (fun pos _ -> Hashtbl.replace mh pos 2) lexicon;
+  (* preterminal -> word: height 2 *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun nt (prods : rule array) ->
+        let best =
+          Array.fold_left
+            (fun acc r ->
+              let h =
+                List.fold_left
+                  (fun m sym ->
+                    match Hashtbl.find_opt mh sym with
+                    | Some h -> max m h
+                    | None -> max_int)
+                  0 r.rhs
+              in
+              if h = max_int then acc else min acc (h + 1))
+            max_int prods
+        in
+        if best < max_int then
+          match Hashtbl.find_opt mh nt with
+          | Some old when old <= best -> ()
+          | _ ->
+              Hashtbl.replace mh nt best;
+              changed := true)
+      rules
+  done;
+  mh
+
+let default =
+  let rules = Hashtbl.create 16 in
+  List.iter
+    (fun (nt, prods) ->
+      Hashtbl.replace rules nt
+        (Array.of_list (List.map (fun (weight, rhs) -> { weight; rhs }) prods)))
+    productions;
+  let lexicon = make_lexicon () in
+  { start = "S"; rules; lexicon; min_height = compute_min_heights rules lexicon;
+    max_depth = 14 }
+
+(* ---- sampling ---------------------------------------------------------- *)
+
+let sample_rule rng (prods : rule array) =
+  let total = Array.fold_left (fun acc r -> acc +. r.weight) 0.0 prods in
+  let u = Prng.float rng *. total in
+  let acc = ref 0.0 in
+  let chosen = ref prods.(Array.length prods - 1) in
+  (try
+     Array.iter
+       (fun r ->
+         acc := !acc +. r.weight;
+         if u < !acc then begin
+           chosen := r;
+           raise Exit
+         end)
+       prods
+   with Exit -> ());
+  !chosen
+
+let min_rule t (prods : rule array) =
+  let height r =
+    List.fold_left
+      (fun m sym -> max m (try Hashtbl.find t.min_height sym with Not_found -> max_int))
+      0 r.rhs
+  in
+  Array.fold_left
+    (fun best r -> match best with
+      | Some b when height b <= height r -> best
+      | _ -> Some r)
+    None prods
+  |> Option.get
+
+let expand t rng =
+  let rec go sym depth =
+    match Hashtbl.find_opt t.rules sym with
+    | Some prods ->
+        let r = if depth >= t.max_depth then min_rule t prods else sample_rule rng prods in
+        Tree.make sym (List.map (fun s -> go s (depth + 1)) r.rhs)
+    | None -> (
+        match Hashtbl.find_opt t.lexicon sym with
+        | Some (words, zipf) ->
+            Tree.make sym [ Tree.leaf words.(Zipf.sample zipf rng) ]
+        | None -> invalid_arg ("Pcfg.expand: unknown symbol " ^ sym))
+  in
+  go t.start 0

@@ -1,0 +1,33 @@
+(** A Penn-treebank-style PCFG with a Zipfian lexicon.
+
+    Substitute for the AQUAINT corpus + Stanford-parser pipeline the paper
+    indexes (DESIGN.md §2): what the paper's results depend on are the
+    corpus' structural statistics — average internal branching around 1.5,
+    very few nodes with large branching factors, and a finite production set
+    so the number of unique subtrees grows sub-linearly with corpus size.
+    Those statistics are asserted by [test/test_grammar.ml]. *)
+
+module Zipf : sig
+  type t
+
+  val make : n:int -> s:float -> t
+  (** Zipfian distribution over ranks [0..n-1] with exponent [s]. *)
+
+  val sample : t -> Prng.t -> int
+end
+
+type t
+
+val default : t
+(** The English-like grammar used by every generator and benchmark. *)
+
+val start : t -> string
+(** Start symbol ([S]). *)
+
+val expand : t -> Prng.t -> Si_treebank.Tree.t
+(** Sample one parse tree from the start symbol.  Beyond an internal depth
+    bound the sampler forces minimum-height productions, so expansion always
+    terminates. *)
+
+val nonterminals : t -> string list
+val preterminals : t -> string list

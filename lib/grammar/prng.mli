@@ -1,0 +1,25 @@
+(** Deterministic splitmix64 PRNG.
+
+    Every corpus / query-set generator threads one of these, so a seed fully
+    determines the generated data across platforms and OCaml versions (the
+    stdlib [Random] gives no such guarantee across releases). *)
+
+type t
+
+val create : int -> t
+(** [create seed]. *)
+
+val split : t -> t
+(** An independent stream derived from (and advancing) [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

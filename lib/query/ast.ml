@@ -1,0 +1,67 @@
+open Si_treebank
+
+type axis = Child | Descendant
+type t = { label : Label.t; children : (axis * t) list }
+
+let make name children = { label = Label.intern name; children }
+
+let rec of_tree (t : Tree.t) =
+  { label = t.Tree.label; children = List.map (fun c -> (Child, of_tree c)) t.Tree.children }
+
+let rec size t = List.fold_left (fun acc (_, c) -> acc + size c) 1 t.children
+
+let rec to_string t =
+  let child (axis, c) =
+    Printf.sprintf "(%s%s)" (match axis with Child -> "" | Descendant -> "//") (to_string c)
+  in
+  Label.name t.label ^ String.concat "" (List.map child t.children)
+
+let rec equal a b =
+  a.label = b.label
+  && List.equal
+       (fun (ax1, c1) (ax2, c2) -> ax1 = ax2 && equal c1 c2)
+       a.children b.children
+
+type indexed = {
+  ast : t;
+  labels : Label.t array;
+  parent : int array;
+  axis : axis array;
+  children : int list array;
+  size_of : int array;
+}
+
+let count (ix : indexed) = Array.length ix.labels
+
+let index ast =
+  let n = size ast in
+  let labels = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let axis = Array.make n Child in
+  let children = Array.make n [] in
+  let size_of = Array.make n 0 in
+  let next = ref 0 in
+  let rec walk t ~parent_id ~ax =
+    let id = !next in
+    incr next;
+    labels.(id) <- t.label;
+    parent.(id) <- parent_id;
+    axis.(id) <- ax;
+    let kids =
+      List.map (fun (ax, c) -> walk c ~parent_id:id ~ax) t.children
+    in
+    children.(id) <- kids;
+    size_of.(id) <- List.fold_left (fun acc k -> acc + size_of.(k)) 1 kids;
+    id
+  in
+  let (_ : int) = walk ast ~parent_id:(-1) ~ax:Child in
+  { ast; labels; parent; axis; children; size_of }
+
+let node ix id =
+  let rec build id =
+    {
+      label = ix.labels.(id);
+      children = List.map (fun k -> (ix.axis.(k), build k)) ix.children.(id);
+    }
+  in
+  build id

@@ -1,0 +1,37 @@
+(** Query trees.
+
+    A query is an unordered labelled tree whose edges carry an axis: [/]
+    (child) or [//] (proper descendant).  Matching semantics (DESIGN.md
+    §6b): sibling query nodes must map to pairwise-distinct data nodes
+    (injective per sibling set), consistent with index extraction, which
+    always picks distinct children. *)
+
+type axis = Child | Descendant
+
+type t = { label : Si_treebank.Label.t; children : (axis * t) list }
+
+val make : string -> (axis * t) list -> t
+val of_tree : Si_treebank.Tree.t -> t
+(** All edges become [/] (child) edges. *)
+
+val size : t -> int
+val to_string : t -> string
+(** Query syntax: [label(child)...], [(//child)] for descendant edges; the
+    parser's inverse. *)
+
+val equal : t -> t -> bool
+
+(** Flattened form with pre-order node ids, used by cover decomposition. *)
+type indexed = private {
+  ast : t;
+  labels : Si_treebank.Label.t array;  (** label per node id *)
+  parent : int array;  (** parent id, [-1] at the root *)
+  axis : axis array;  (** axis of the edge from the parent; [Child] at root *)
+  children : int list array;
+  size_of : int array;  (** subtree size per node *)
+}
+
+val index : t -> indexed
+val count : indexed -> int
+val node : indexed -> int -> t
+(** The sub-query rooted at node [id]. *)

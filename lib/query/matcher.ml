@@ -1,0 +1,38 @@
+open Si_treebank
+
+module IntSet = Set.Make (Int)
+
+let rec matches_at doc (q : Ast.t) v =
+  doc.Annotated.label.(v) = q.Ast.label && place doc q.Ast.children IntSet.empty v
+
+and place doc children used v =
+  match children with
+  | [] -> true
+  | (axis, qc) :: rest ->
+      let candidates =
+        match axis with
+        | Ast.Child -> doc.Annotated.children.(v)
+        | Ast.Descendant -> Annotated.descendants doc v
+      in
+      List.exists
+        (fun d ->
+          (not (IntSet.mem d used))
+          && matches_at doc qc d
+          && place doc rest (IntSet.add d used) v)
+        candidates
+
+let roots doc q =
+  let n = Annotated.size doc in
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if matches_at doc q v then acc := v :: !acc
+  done;
+  !acc
+
+let corpus_roots docs q =
+  let acc = ref [] in
+  Array.iteri
+    (fun tid doc ->
+      List.iter (fun v -> acc := (tid, v) :: !acc) (roots doc q))
+    docs;
+  List.sort compare !acc

@@ -1,0 +1,16 @@
+(** Brute-force oracle matcher.
+
+    The reference semantics every index evaluator is differentially tested
+    against: unordered embeddings, [/] = child, [//] = proper descendant,
+    sibling query nodes bound to pairwise-distinct data nodes.  A match is
+    identified by the data node the query *root* maps to; [roots] returns
+    each such node once, however many embeddings extend it. *)
+
+val matches_at : Si_treebank.Annotated.t -> Ast.t -> int -> bool
+(** Does the query embed with its root mapped to data node [v]? *)
+
+val roots : Si_treebank.Annotated.t -> Ast.t -> int list
+(** All data nodes the query root can map to, in pre-order. *)
+
+val corpus_roots : Si_treebank.Annotated.t array -> Ast.t -> (int * int) list
+(** [(tid, node)] pairs over a corpus, sorted. *)

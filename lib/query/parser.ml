@@ -1,0 +1,62 @@
+exception Err of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Err s)) fmt
+
+let is_label_char = function
+  | '(' | ')' | '/' | ' ' | '\t' | '\n' | '\r' -> false
+  | _ -> true
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let label () =
+    skip_ws ();
+    let start = !pos in
+    while !pos < n && is_label_char s.[!pos] do
+      incr pos
+    done;
+    if !pos = start then
+      fail "expected a label at offset %d%s" start
+        (if start < n then Printf.sprintf " (found %C)" s.[start] else " (end of input)");
+    String.sub s start (!pos - start)
+  in
+  let rec query () =
+    let name = label () in
+    let children = ref [] in
+    skip_ws ();
+    while !pos < n && s.[!pos] = '(' do
+      incr pos;
+      skip_ws ();
+      let axis =
+        if !pos + 1 < n && s.[!pos] = '/' && s.[!pos + 1] = '/' then begin
+          pos := !pos + 2;
+          Ast.Descendant
+        end
+        else if !pos < n && s.[!pos] = '/' then fail "single '/' at offset %d (use '//')" !pos
+        else Ast.Child
+      in
+      let child = query () in
+      skip_ws ();
+      if !pos >= n || s.[!pos] <> ')' then fail "missing ')' at offset %d" !pos;
+      incr pos;
+      children := (axis, child) :: !children;
+      skip_ws ()
+    done;
+    Ast.make name (List.rev !children)
+  in
+  match
+    let q = query () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input at offset %d" !pos;
+    q
+  with
+  | q -> Ok q
+  | exception Err msg -> Error msg
+
+let parse_exn s =
+  match parse s with Ok q -> q | Error msg -> failwith ("Parser.parse: " ^ msg)

@@ -1,0 +1,15 @@
+(** Query parser.
+
+    Grammar:
+    {v
+      query    ::= label child*
+      child    ::= '(' '//'? query ')'
+      label    ::= one or more characters excluding '(' ')' '/' and whitespace
+    v}
+
+    Examples: [S(NP(DT)(NN))(VP)], [S(NP)(VP(//NP(NN)))].  Whitespace
+    between tokens is ignored.  [parse (Ast.to_string q) = Ok q]. *)
+
+val parse : string -> (Ast.t, string) result
+val parse_exn : string -> Ast.t
+(** Raises [Failure] with the error message. *)

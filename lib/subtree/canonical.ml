@@ -1,0 +1,126 @@
+open Si_treebank
+
+type 'a node = { label : Label.t; payload : 'a; kids : 'a node list }
+
+let rec of_tree (t : Tree.t) =
+  { label = t.Tree.label; payload = (); kids = List.map of_tree t.Tree.children }
+
+let rec size n = List.fold_left (fun acc k -> acc + size k) 1 n.kids
+
+let header buf label_id label sz =
+  Varint.write buf (label_id label);
+  if sz > 255 then invalid_arg "Canonical.encode: subtree larger than 255 nodes";
+  Buffer.add_char buf (Char.chr sz)
+
+let encode ?(label_id = Fun.id) n =
+  let rec enc n =
+    let kids = List.map enc n.kids in
+    let sorted =
+      List.stable_sort (fun (b1, _, _) (b2, _, _) -> String.compare b1 b2) kids
+    in
+    let sz = List.fold_left (fun acc (_, s, _) -> acc + s) 1 kids in
+    let buf = Buffer.create 16 in
+    header buf label_id n.label sz;
+    List.iter (fun (b, _, _) -> Buffer.add_string buf b) sorted;
+    let payloads = n.payload :: List.concat_map (fun (_, _, p) -> p) sorted in
+    (Buffer.contents buf, sz, payloads)
+  in
+  let b, _, p = enc n in
+  (b, Array.of_list p)
+
+(* ---- alignment enumeration -------------------------------------------- *)
+
+let max_orders = 256
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y != x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+(* cartesian concat: sequences = list of alternatives (each a payload list);
+   combine left-to-right, truncating at [max_orders] *)
+let cartesian (alternatives : 'a list list list) : 'a list list =
+  List.fold_left
+    (fun acc alts ->
+      take max_orders
+        (List.concat_map (fun prefix -> List.map (fun a -> prefix @ a) alts) acc))
+    [ [] ] alternatives
+
+let encodings ?(label_id = Fun.id) n =
+  (* returns, per node: encoded bytes, size, and all payload orders *)
+  let rec enc n =
+    let kids = List.map enc n.kids in
+    let sorted =
+      List.stable_sort (fun (b1, _, _) (b2, _, _) -> String.compare b1 b2) kids
+    in
+    let sz = List.fold_left (fun acc (_, s, _) -> acc + s) 1 kids in
+    let buf = Buffer.create 16 in
+    header buf label_id n.label sz;
+    List.iter (fun (b, _, _) -> Buffer.add_string buf b) sorted;
+    (* group consecutive equal-encoding children; permuting members of a
+       group leaves the key bytes unchanged but permutes payloads *)
+    let groups =
+      List.fold_left
+        (fun groups ((b, _, _) as child) ->
+          match groups with
+          | ((b', _, _) :: _ as g) :: rest when String.equal b b' ->
+              (child :: g) :: rest
+          | _ -> [ child ] :: groups)
+        [] sorted
+      |> List.rev_map List.rev
+    in
+    let group_orders =
+      List.map
+        (fun g ->
+          (* all payload orders of the group: permutations of members,
+             each member contributing each of its own orders *)
+          take max_orders
+            (List.concat_map
+               (fun perm -> cartesian (List.map (fun (_, _, orders) -> orders) perm))
+               (permutations g)))
+        groups
+    in
+    let orders =
+      take max_orders
+        (List.map (fun o -> n.payload :: o) (cartesian group_orders))
+    in
+    (Buffer.contents buf, sz, orders)
+  in
+  let b, _, orders = enc n in
+  let orders = List.sort_uniq compare (List.map Array.of_list orders) in
+  (* put the default (encode) order first *)
+  let default = snd (encode ~label_id n) in
+  let orders = default :: List.filter (fun o -> o <> default) orders in
+  (b, orders)
+
+let encode_tree ?label_id t = fst (encode ?label_id (of_tree t))
+
+let decode key =
+  let rec dec off =
+    let lab, off = Varint.read key off in
+    if off >= String.length key then invalid_arg "Canonical.decode: truncated";
+    let sz = Char.code key.[off] in
+    let off = ref (off + 1) in
+    let remaining = ref (sz - 1) in
+    let kids = ref [] in
+    while !remaining > 0 do
+      let t, next = dec !off in
+      kids := t :: !kids;
+      remaining := !remaining - Tree.size t;
+      off := next
+    done;
+    ({ Tree.label = lab; children = List.rev !kids }, !off)
+  in
+  let t, off = dec 0 in
+  if off <> String.length key then invalid_arg "Canonical.decode: trailing bytes";
+  t
+
+let key_size key =
+  let _, off = Varint.read key 0 in
+  Char.code key.[off]

@@ -1,0 +1,48 @@
+(** Canonical forms and the key codec for unordered subtrees.
+
+    An index key is the canonical byte string of an *unordered* labelled
+    tree: children are recursively sorted by their own encoded bytes, and
+    the canonical pre-order is flattened as, per node, [varint label-id]
+    followed by one byte holding the node's subtree size (sizes are bounded
+    by [mss] < 256) — the paper's [mss(log(mss+1) + log|Sigma|)]-bit
+    flattening.
+
+    The same codec serves both sides of the index: extraction canonicalises
+    data instances (payloads = data node ids), query covers canonicalise
+    query fragments (payloads = query node ids).  When a key is *symmetric*
+    — two sibling subtrees encode to the same bytes — a query fragment
+    admits several payload orders ("alignments") onto the key's positions;
+    {!encodings} enumerates them.  This is what the paper's [order] field
+    disambiguates. *)
+
+type 'a node = { label : Si_treebank.Label.t; payload : 'a; kids : 'a node list }
+
+val of_tree : Si_treebank.Tree.t -> unit node
+val size : 'a node -> int
+
+val encode :
+  ?label_id:(Si_treebank.Label.t -> int) -> 'a node -> string * 'a array
+(** [encode n] is [(key_bytes, payloads)] with payloads in canonical
+    pre-order (the root is always position 0).  [label_id] remaps label ids
+    into the id space the key is encoded in (defaults to the identity; used
+    to resolve the process-global table against a stored index's table).
+    Note the canonical *order* depends on the id space, so both sides of a
+    lookup must encode through the same mapping. *)
+
+val encodings :
+  ?label_id:(Si_treebank.Label.t -> int) -> 'a node -> string * 'a array list
+(** [(key_bytes, orders)] where [orders] enumerates every distinct payload
+    order induced by permuting equal-encoding sibling runs (the key's
+    automorphisms).  The first order equals [snd (encode n)].  The
+    enumeration is capped at 256 orders. *)
+
+val encode_tree :
+  ?label_id:(Si_treebank.Label.t -> int) -> Si_treebank.Tree.t -> string
+(** Canonical bytes of a plain tree. *)
+
+val decode : string -> Si_treebank.Tree.t
+(** Rebuild the canonical tree from key bytes (labels resolved through the
+    process-global table); inverse of {!encode_tree} up to child order. *)
+
+val key_size : string -> int
+(** Number of nodes in the key (the root's size byte). *)

@@ -1,0 +1,55 @@
+open Si_treebank
+
+(* Instances rooted at [v] with at most [budget] nodes (budget >= 1),
+   as canonical nodes with data node ids for payloads. *)
+let rec instances doc v budget =
+  if budget < 1 then []
+  else
+    let kid_choices = choose doc doc.Annotated.children.(v) (budget - 1) in
+    List.map
+      (fun kids -> { Canonical.label = doc.Annotated.label.(v); payload = v; kids })
+      kid_choices
+
+(* All ways to pick sub-instances below a (surface-ordered) child list with
+   total size <= budget; each child is either skipped or contributes one of
+   its own instances. *)
+and choose doc kids budget =
+  match kids with
+  | [] -> [ [] ]
+  | k :: rest ->
+      let without = choose doc rest budget in
+      let with_k =
+        if budget < 1 then []
+        else
+          List.concat_map
+            (fun sub ->
+              let s = Canonical.size sub in
+              List.map (fun tail -> sub :: tail) (choose doc rest (budget - s)))
+            (instances doc k budget)
+      in
+      without @ with_k
+
+let fold_instances doc ~mss ~init ~f =
+  if mss < 1 then invalid_arg "Extract.fold_instances: mss must be >= 1";
+  let n = Annotated.size doc in
+  let acc = ref init in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun inst ->
+        let key, nodes = Canonical.encode inst in
+        acc := f !acc ~key ~nodes)
+      (instances doc v mss)
+  done;
+  !acc
+
+let count_instances doc ~mss =
+  fold_instances doc ~mss ~init:0 ~f:(fun acc ~key:_ ~nodes:_ -> acc + 1)
+
+let unique_keys docs ~mss =
+  let seen = Hashtbl.create 4096 in
+  List.iter
+    (fun doc ->
+      fold_instances doc ~mss ~init:() ~f:(fun () ~key ~nodes:_ ->
+          if not (Hashtbl.mem seen key) then Hashtbl.add seen key ()))
+    docs;
+  Hashtbl.length seen

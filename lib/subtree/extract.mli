@@ -1,0 +1,23 @@
+(** Connected-subtree instance enumeration.
+
+    [fold_instances doc ~mss] enumerates every *instance* — every connected
+    subtree of [doc] with between 1 and [mss] nodes — exactly once: each
+    instance is generated at its unique root by choosing a subset of the
+    root's children and, recursively, a sub-instance below each chosen
+    child.  Instances are reported as their canonical key bytes plus their
+    data node ids in canonical pre-order ([nodes.(0)] is the instance
+    root). *)
+
+val fold_instances :
+  Si_treebank.Annotated.t ->
+  mss:int ->
+  init:'acc ->
+  f:('acc -> key:string -> nodes:int array -> 'acc) ->
+  'acc
+
+val count_instances : Si_treebank.Annotated.t -> mss:int -> int
+(** Number of instances ([fold_instances] with a counter). *)
+
+val unique_keys : Si_treebank.Annotated.t list -> mss:int -> int
+(** Number of distinct canonical keys across a corpus — the index key count
+    of Fig. 2. *)

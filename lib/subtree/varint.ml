@@ -1,0 +1,24 @@
+let write buf v =
+  if v < 0 then invalid_arg "Varint.write: negative";
+  let rec go v =
+    if v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let read s off =
+  let n = String.length s in
+  let rec go off shift acc =
+    if off >= n then invalid_arg "Varint.read: truncated";
+    let b = Char.code s.[off] in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then (acc, off + 1) else go (off + 1) (shift + 7) acc
+  in
+  go off 0 0
+
+let size v =
+  let rec go v acc = if v < 0x80 then acc else go (v lsr 7) (acc + 1) in
+  go (max v 0) 1

@@ -1,0 +1,14 @@
+(** LEB128 unsigned varints.
+
+    Used by the canonical key codec and the posting flattener.  Will move
+    into [lib/storage] when the disk pager lands (DESIGN.md §3). *)
+
+val write : Buffer.t -> int -> unit
+(** [write buf v] appends the varint for [v]; [v] must be non-negative. *)
+
+val read : string -> int -> int * int
+(** [read s off] is [(value, next_off)]. Raises [Invalid_argument] on
+    truncated input. *)
+
+val size : int -> int
+(** Encoded byte length of [v]. *)

@@ -1,0 +1,54 @@
+type t = {
+  tree : Tree.t;
+  label : int array;
+  parent : int array;
+  post : int array;
+  level : int array;
+  children : int list array;
+}
+
+let size t = Array.length t.label
+
+let of_tree tree =
+  let n = Tree.size tree in
+  let label = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let post = Array.make n 0 in
+  let level = Array.make n 0 in
+  let children = Array.make n [] in
+  let next_pre = ref 0 in
+  let next_post = ref 0 in
+  let rec walk (node : Tree.t) ~parent_id ~depth =
+    let id = !next_pre in
+    incr next_pre;
+    label.(id) <- node.Tree.label;
+    parent.(id) <- parent_id;
+    level.(id) <- depth;
+    let kids =
+      List.map (fun c -> walk c ~parent_id:id ~depth:(depth + 1)) node.Tree.children
+    in
+    children.(id) <- kids;
+    post.(id) <- !next_post;
+    incr next_post;
+    id
+  in
+  let (_ : int) = walk tree ~parent_id:(-1) ~depth:0 in
+  { tree; label; parent; post; level; children }
+
+let pre _t u = u
+let ancestor t u v = u < v && t.post.(u) > t.post.(v)
+let child t u v = t.parent.(v) = u
+
+let descendants t u =
+  (* nodes u+1 .. while still inside u's interval; pre-order ids are dense *)
+  let n = size t in
+  let rec collect v acc =
+    if v < n && t.post.(v) < t.post.(u) then collect (v + 1) (v :: acc) else List.rev acc
+  in
+  collect (u + 1) []
+
+let rec subtree_of t u =
+  {
+    Tree.label = t.label.(u);
+    children = List.map (subtree_of t) t.children.(u);
+  }

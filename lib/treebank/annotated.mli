@@ -1,0 +1,35 @@
+(** Flattened, interval-annotated trees.
+
+    An annotated tree is an arena of int arrays indexed by node id, where
+    the node id *is* the pre-order rank of the node (so [pre u = u]).  Each
+    node carries its post-order rank and level (root = 0); ancestry is the
+    classical interval test: [u] is a strict ancestor of [v] iff
+    [u < v && post u > post v].  This is the (pre, post, level) labelling
+    the paper's codings store in postings. *)
+
+type t = private {
+  tree : Tree.t;  (** the source tree *)
+  label : int array;  (** label id per node *)
+  parent : int array;  (** parent id, [-1] for the root *)
+  post : int array;  (** post-order rank *)
+  level : int array;  (** depth, root = 0 *)
+  children : int list array;  (** children ids in surface order *)
+}
+
+val of_tree : Tree.t -> t
+val size : t -> int
+
+val pre : t -> int -> int
+(** [pre doc u = u]; provided for symmetry with [post]/[level]. *)
+
+val ancestor : t -> int -> int -> bool
+(** [ancestor doc u v] — strict: [u] is a proper ancestor of [v]. *)
+
+val child : t -> int -> int -> bool
+(** [child doc u v] — [v] is a child of [u]. *)
+
+val descendants : t -> int -> int list
+(** Strict descendants of [u], in pre-order. *)
+
+val subtree_of : t -> int -> Tree.t
+(** Rebuild the [Tree.t] rooted at node [u]. *)

@@ -1,0 +1,60 @@
+type t = int
+
+let lock = Mutex.create ()
+let by_name : (string, int) Hashtbl.t = Hashtbl.create 1024
+let by_id : string array ref = ref (Array.make 64 "")
+let used = ref 0
+
+let push s =
+  let cap = Array.length !by_id in
+  if !used = cap then begin
+    let bigger = Array.make (2 * cap) "" in
+    Array.blit !by_id 0 bigger 0 cap;
+    by_id := bigger
+  end;
+  !by_id.(!used) <- s;
+  incr used
+
+let intern s =
+  Mutex.lock lock;
+  let id =
+    match Hashtbl.find_opt by_name s with
+    | Some id -> id
+    | None ->
+        let id = !used in
+        Hashtbl.add by_name s id;
+        push s;
+        id
+  in
+  Mutex.unlock lock;
+  id
+
+let find s =
+  Mutex.lock lock;
+  let r = Hashtbl.find_opt by_name s in
+  Mutex.unlock lock;
+  r
+
+let name id =
+  Mutex.lock lock;
+  if id < 0 || id >= !used then begin
+    Mutex.unlock lock;
+    invalid_arg (Printf.sprintf "Label.name: unknown id %d" id)
+  end
+  else begin
+    let s = !by_id.(id) in
+    Mutex.unlock lock;
+    s
+  end
+
+let count () =
+  Mutex.lock lock;
+  let n = !used in
+  Mutex.unlock lock;
+  n
+
+let all () =
+  Mutex.lock lock;
+  let a = Array.sub !by_id 0 !used in
+  Mutex.unlock lock;
+  a

@@ -1,0 +1,28 @@
+(** Interned node labels.
+
+    Labels (grammatical categories, POS tags and lexical tokens alike) are
+    interned into a process-global, thread-safe table; a label is just its
+    integer id.  Interning is append-only: ids are dense, start at 0 and
+    never change within a process.  Index files persist the id -> name
+    mapping ({!all}) so that a later process can resolve its own ids against
+    a stored index (see [Si_core.Si]). *)
+
+type t = int
+
+val intern : string -> t
+(** [intern name] returns the id of [name], allocating a fresh id on first
+    sight. Thread-safe. *)
+
+val find : string -> t option
+(** [find name] is the id of [name] if it has been interned, without
+    allocating. *)
+
+val name : t -> string
+(** [name id] is the string interned as [id]. Raises [Invalid_argument] on
+    an unknown id. *)
+
+val count : unit -> int
+(** Number of labels interned so far. *)
+
+val all : unit -> string array
+(** All interned labels, indexed by id (a snapshot). *)

@@ -1,0 +1,82 @@
+type token = Lparen | Rparen | Atom of string
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '(' ->
+        toks := Lparen :: !toks;
+        incr i
+    | ')' ->
+        toks := Rparen :: !toks;
+        incr i
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | _ ->
+        let start = !i in
+        while
+          !i < n
+          && match s.[!i] with '(' | ')' | ' ' | '\t' | '\n' | '\r' -> false | _ -> true
+        do
+          incr i
+        done;
+        toks := Atom (String.sub s start (!i - start)) :: !toks);
+  done;
+  List.rev !toks
+
+exception Parse_error of string
+
+let rec parse_tree = function
+  | Atom a :: rest -> (Tree.make a [], rest)
+  | Lparen :: Atom a :: rest ->
+      let children, rest = parse_children rest [] in
+      (Tree.make a children, rest)
+  | Lparen :: _ -> raise (Parse_error "expected label after '('")
+  | Rparen :: _ -> raise (Parse_error "unexpected ')'")
+  | [] -> raise (Parse_error "unexpected end of input")
+
+and parse_children toks acc =
+  match toks with
+  | Rparen :: rest -> (List.rev acc, rest)
+  | [] -> raise (Parse_error "missing ')'")
+  | _ ->
+      let t, rest = parse_tree toks in
+      parse_children rest (t :: acc)
+
+let parse s =
+  match
+    let rec loop toks acc =
+      match toks with
+      | [] -> List.rev acc
+      | _ ->
+          let t, rest = parse_tree toks in
+          loop rest (t :: acc)
+    in
+    loop (tokenize s) []
+  with
+  | trees -> Ok trees
+  | exception Parse_error msg -> Error msg
+
+let parse_exn s =
+  match parse s with Ok ts -> ts | Error msg -> failwith ("Penn.parse: " ^ msg)
+
+let parse_one_exn s =
+  match parse_exn s with
+  | [ t ] -> t
+  | ts -> failwith (Printf.sprintf "Penn.parse_one: got %d trees" (List.length ts))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      parse_exn (really_input_string ic len))
+
+let write_file path trees =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter (fun t -> output_string oc (Tree.to_string t); output_char oc '\n') trees)

@@ -1,0 +1,21 @@
+(** Penn-treebank bracketed I/O.
+
+    Grammar: [tree ::= atom | '(' atom tree* ')'] where an atom is any run
+    of characters excluding parentheses and whitespace.  [(NP (DT the))]
+    parses to an [NP] node with a [DT] child whose child is the leaf [the].
+    The writer is {!Tree.pp}; [parse (Tree.to_string t) = [t]]. *)
+
+val parse : string -> (Tree.t list, string) result
+(** Parse every tree in the input (trees are separated by whitespace). *)
+
+val parse_exn : string -> Tree.t list
+(** Like {!parse}; raises [Failure] with the error message. *)
+
+val parse_one_exn : string -> Tree.t
+(** Parse exactly one tree; raises [Failure] otherwise. *)
+
+val read_file : string -> Tree.t list
+(** Parse a corpus file (any whitespace between trees, e.g. one per line). *)
+
+val write_file : string -> Tree.t list -> unit
+(** Write one tree per line. *)

@@ -1,0 +1,31 @@
+type t = { label : Label.t; children : t list }
+
+let make name children = { label = Label.intern name; children }
+let leaf name = make name []
+let label_name t = Label.name t.label
+
+let rec size t = List.fold_left (fun acc c -> acc + size c) 1 t.children
+
+let rec depth t =
+  1 + List.fold_left (fun acc c -> max acc (depth c)) 0 t.children
+
+let rec equal a b =
+  a.label = b.label && List.equal equal a.children b.children
+
+let rec compare a b =
+  match Int.compare a.label b.label with
+  | 0 -> List.compare compare a.children b.children
+  | c -> c
+
+let rec fold f acc t = List.fold_left (fold f) (f acc t) t.children
+
+(* Single-line output: corpus files rely on one tree per line. *)
+let rec pp ppf t =
+  match t.children with
+  | [] -> Format.pp_print_string ppf (Label.name t.label)
+  | cs ->
+      Format.fprintf ppf "(%s" (Label.name t.label);
+      List.iter (fun c -> Format.fprintf ppf " %a" pp c) cs;
+      Format.fprintf ppf ")"
+
+let to_string t = Format.asprintf "%a" pp t

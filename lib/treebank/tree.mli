@@ -1,0 +1,30 @@
+(** Immutable constituency trees.
+
+    The construction- and query-side tree model: a node is an interned label
+    plus an ordered list of children.  Indexed corpora use the flattened
+    {!Annotated.t} arena instead. *)
+
+type t = { label : Label.t; children : t list }
+
+val make : string -> t list -> t
+(** [make name children] interns [name] and builds a node. *)
+
+val leaf : string -> t
+(** [leaf name] is [make name []]. *)
+
+val label_name : t -> string
+val size : t -> int
+(** Number of nodes. *)
+
+val depth : t -> int
+(** Length of the longest root-to-leaf path, in nodes (a leaf has depth 1). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over every node. *)
+
+val pp : Format.formatter -> t -> unit
+(** Penn bracketed form, e.g. [(S (NP (DT the)) (VP (VBZ runs)))]. *)
+
+val to_string : t -> string

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Acceptance flow of ISSUE 1: gen -> build --scheme root-split --mss 3 ->
+# query returns the oracle's match set, for all three codings.
+set -euo pipefail
+
+TOOL="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$TOOL" gen -n 1000 --seed 2012 -o "$DIR/corpus.penn" 2>/dev/null
+
+QUERIES=(
+  'S(NP(DT)(NN))(VP)'
+  'S(NP)(VP(//NP(NN)))'
+  'NP(NN)(NN)'
+  'S(//NP)(//NP)'
+  'VP(VBZ)(NP(DT)(NN))'
+)
+
+for scheme in filter interval root-split; do
+  "$TOOL" build --corpus "$DIR/corpus.penn" --prefix "$DIR/ix-$scheme" \
+    --scheme "$scheme" --mss 3 >/dev/null
+  for q in "${QUERIES[@]}"; do
+    out="$("$TOOL" query --prefix "$DIR/ix-$scheme" "$q" --check-oracle)"
+    if ! grep -q 'oracle: OK' <<<"$out"; then
+      echo "FAIL: scheme=$scheme query=$q" >&2
+      echo "$out" >&2
+      exit 1
+    fi
+  done
+done
+
+# the three codings also agree with each other on match counts
+for q in "${QUERIES[@]}"; do
+  counts=$(for scheme in filter interval root-split; do
+    "$TOOL" query --prefix "$DIR/ix-$scheme" "$q" | head -1
+  done | sort -u | wc -l)
+  if [ "$counts" != 1 ]; then
+    echo "FAIL: codings disagree on $q" >&2
+    exit 1
+  fi
+done
+
+echo "cli_test: OK"

@@ -1,0 +1,10 @@
+let () =
+  Alcotest.run "si"
+    [
+      ("treebank", Test_treebank.suite);
+      ("grammar", Test_grammar.suite);
+      ("subtree", Test_subtree.suite);
+      ("query", Test_query.suite);
+      ("cover", Test_cover.suite);
+      ("core", Test_core.suite);
+    ]

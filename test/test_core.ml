@@ -1,0 +1,238 @@
+open Si_treebank
+open Si_core
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let interval_gen =
+  QCheck.Gen.(
+    map3
+      (fun pre post level -> { Coding.pre; post; level })
+      (int_bound 10_000) (int_bound 10_000) (int_bound 30))
+
+let posting_gen =
+  let open QCheck.Gen in
+  let tids = map (fun l -> List.sort_uniq compare l) (list_size (1 -- 20) (int_bound 5000)) in
+  oneof
+    [
+      map (fun l -> Coding.Filter_p (Array.of_list l)) tids;
+      ( pair tids (1 -- 4) >>= fun (ts, k) ->
+        map
+          (fun ivss ->
+            Coding.Interval_p
+              (Array.of_list (List.combine ts (List.map Array.of_list ivss))))
+          (list_repeat (List.length ts) (list_repeat k interval_gen)) );
+      ( tids >>= fun ts ->
+        map
+          (fun ivs -> Coding.Root_p (Array.of_list (List.combine ts ivs)))
+          (list_repeat (List.length ts) interval_gen) );
+    ]
+
+let key_size_of = function
+  | Coding.Interval_p rows when Array.length rows > 0 ->
+      Array.length (snd rows.(0))
+  | _ -> 1
+
+let scheme_of = function
+  | Coding.Filter_p _ -> Coding.Filter
+  | Coding.Interval_p _ -> Coding.Interval
+  | Coding.Root_p _ -> Coding.Root_split
+
+let prop_posting_codec =
+  QCheck.Test.make ~name:"posting codec roundtrip" ~count:300
+    (QCheck.make posting_gen) (fun p ->
+      let buf = Buffer.create 64 in
+      Coding.write buf p;
+      let s = Buffer.contents buf in
+      let p', off = Coding.read (scheme_of p) ~key_size:(key_size_of p) s 0 in
+      p = p' && off = String.length s)
+
+let corpus n seed = Si_grammar.Generator.corpus ~seed ~n ()
+let docs trees = Array.of_list (List.map Annotated.of_tree trees)
+
+let test_builder_invariants () =
+  let d = docs (corpus 60 11) in
+  let nodes = Array.fold_left (fun a t -> a + Annotated.size t) 0 d in
+  List.iter
+    (fun scheme ->
+      let b = Builder.build ~scheme ~mss:2 d in
+      Alcotest.(check int) "trees" 60 b.Builder.stats.Builder.trees;
+      Alcotest.(check int) "nodes" nodes b.Builder.stats.Builder.nodes;
+      Alcotest.(check int) "keys = table size" (Hashtbl.length b.Builder.table)
+        b.Builder.stats.Builder.keys;
+      (* postings sorted and (where promised) unique *)
+      Hashtbl.iter
+        (fun key p ->
+          let sorted_unique l = List.sort_uniq compare l = l in
+          ignore key;
+          match p with
+          | Coding.Filter_p tids ->
+              Alcotest.(check bool) "filter sorted unique" true
+                (sorted_unique (Array.to_list tids))
+          | Coding.Root_p rows ->
+              Alcotest.(check bool) "root rows sorted unique" true
+                (sorted_unique
+                   (Array.to_list
+                      (Array.map (fun (t, iv) -> (t, iv.Coding.pre)) rows)))
+          | Coding.Interval_p rows ->
+              Alcotest.(check bool) "interval tids sorted" true
+                (let ts = Array.to_list (Array.map fst rows) in
+                 List.sort compare ts = ts))
+        b.Builder.table)
+    [ Coding.Filter; Coding.Interval; Coding.Root_split ]
+
+let test_mss1_codings_align () =
+  (* at mss=1 every instance root is the (single) key node, so interval and
+     root-split carry identical entry counts; filter collapses to tids *)
+  let d = docs (corpus 40 13) in
+  let stat scheme =
+    (Builder.build ~scheme ~mss:1 d).Builder.stats.Builder.postings
+  in
+  let nodes = Array.fold_left (fun a t -> a + Annotated.size t) 0 d in
+  Alcotest.(check int) "interval postings = corpus nodes" nodes
+    (stat Coding.Interval);
+  Alcotest.(check int) "root-split = interval at mss=1" (stat Coding.Interval)
+    (stat Coding.Root_split);
+  Alcotest.(check bool) "filter smaller" true (stat Coding.Filter < nodes)
+
+let test_keys_grow_with_mss () =
+  let d = docs (corpus 50 17) in
+  let keys mss =
+    (Builder.build ~scheme:Coding.Filter ~mss d).Builder.stats.Builder.keys
+  in
+  let k1 = keys 1 and k2 = keys 2 and k3 = keys 3 in
+  Alcotest.(check bool) "k1 < k2 < k3" true (k1 < k2 && k2 < k3)
+
+let test_builder_save_load () =
+  let d = docs (corpus 30 19) in
+  let path = Filename.temp_file "si_test" ".idx" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      List.iter
+        (fun scheme ->
+          let b = Builder.build ~scheme ~mss:3 d in
+          Builder.save b path;
+          let b' = Builder.load path in
+          Alcotest.(check bool) "scheme" true (b'.Builder.scheme = scheme);
+          Alcotest.(check int) "mss" 3 b'.Builder.mss;
+          Alcotest.(check int) "keys" b.Builder.stats.Builder.keys
+            b'.Builder.stats.Builder.keys;
+          Alcotest.(check int) "table size" (Hashtbl.length b.Builder.table)
+            (Hashtbl.length b'.Builder.table);
+          Hashtbl.iter
+            (fun key p ->
+              match Builder.find b' key with
+              | Some p' -> Alcotest.(check bool) "posting equal" true (p = p')
+              | None -> Alcotest.fail "key lost in save/load")
+            b.Builder.table)
+        [ Coding.Filter; Coding.Interval; Coding.Root_split ])
+
+(* ---- the differential heart: every coding's evaluator = the oracle ---- *)
+
+let queries =
+  List.map Si_query.Parser.parse_exn
+    [
+      "S(NP)(VP)";
+      "S(NP(DT)(NN))(VP)";
+      "NP(DT)(NN)";
+      "NP(NN)(NN)";
+      "S(//NN)";
+      "S(NP)(VP(//NP(NN)))";
+      "S(//NP)(//NP)";
+      "VP(VBZ)(NP(DT)(NN))";
+      "NP(NP(//NN))(PP)";
+      "S(//PP(IN)(NP))";
+    ]
+
+let check_differential ~seed ~n ~mss =
+  let d = docs (corpus n seed) in
+  let oracle = Hashtbl.create 16 in
+  List.iter
+    (fun q -> Hashtbl.replace oracle q (Si_query.Matcher.corpus_roots d q))
+    queries;
+  List.iter
+    (fun scheme ->
+      let index = Builder.build ~scheme ~mss d in
+      List.iter
+        (fun q ->
+          let got = Eval.run ~index ~corpus:d q in
+          let want = Hashtbl.find oracle q in
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "%s/%s mss=%d"
+               (Coding.scheme_to_string scheme)
+               (Si_query.Ast.to_string q) mss)
+            want got)
+        queries)
+    [ Coding.Filter; Coding.Interval; Coding.Root_split ]
+
+let test_differential_fixed () =
+  check_differential ~seed:42 ~n:120 ~mss:3;
+  check_differential ~seed:7 ~n:120 ~mss:2
+
+let prop_differential =
+  (* random corpora x random mss, same query battery *)
+  QCheck.Test.make ~name:"codings match oracle (random corpora)" ~count:8
+    QCheck.(pair (int_range 1 4) small_nat)
+    (fun (mss, seed) ->
+      check_differential ~seed:(seed + 1) ~n:60 ~mss;
+      true)
+
+let test_si_roundtrip () =
+  let trees = corpus 80 23 in
+  let dir = Filename.temp_file "si_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      List.iter
+        (fun scheme ->
+          let prefix =
+            Filename.concat dir ("ix-" ^ Coding.scheme_to_string scheme)
+          in
+          let si = Si.build ~scheme ~mss:3 ~trees ~prefix () in
+          let si' = Si.open_ prefix in
+          Alcotest.(check bool) "scheme" true (Si.scheme si' = scheme);
+          Alcotest.(check int) "mss" 3 (Si.mss si');
+          Alcotest.(check int) "trees stat" 80
+            (Si.stats si').Builder.trees;
+          List.iter
+            (fun q ->
+              Alcotest.(check (list (pair int int)))
+                ("reopened: " ^ Si_query.Ast.to_string q)
+                (Si.query_ast si q) (Si.query_ast si' q);
+              Alcotest.(check (list (pair int int)))
+                ("vs oracle: " ^ Si_query.Ast.to_string q)
+                (Si.oracle si' q) (Si.query_ast si' q))
+            queries;
+          Alcotest.(check bool) "sentence roundtrip" true
+            (Tree.equal (Si.sentence si 5) (Si.sentence si' 5)))
+        [ Coding.Filter; Coding.Interval; Coding.Root_split ])
+
+let test_unknown_label () =
+  let si = Si.build ~scheme:Coding.Root_split ~mss:2 ~trees:(corpus 20 29) () in
+  match Si.query si "ZZZ(QQQ)" with
+  | Ok [] -> ()
+  | Ok l -> Alcotest.failf "expected no matches, got %d" (List.length l)
+  | Error e -> Alcotest.failf "expected empty result, got error: %s" e
+
+let test_query_syntax_error () =
+  let si = Si.build ~scheme:Coding.Filter ~mss:2 ~trees:(corpus 5 31) () in
+  Alcotest.(check bool) "syntax error surfaces" true
+    (Result.is_error (Si.query si "S((NP)"))
+
+let suite =
+  [
+    qcheck prop_posting_codec;
+    Alcotest.test_case "builder invariants" `Quick test_builder_invariants;
+    Alcotest.test_case "mss=1 coding alignment" `Quick test_mss1_codings_align;
+    Alcotest.test_case "keys grow with mss" `Quick test_keys_grow_with_mss;
+    Alcotest.test_case "builder save/load" `Quick test_builder_save_load;
+    Alcotest.test_case "differential vs oracle (fixed)" `Slow test_differential_fixed;
+    qcheck prop_differential;
+    Alcotest.test_case "Si persistence roundtrip" `Slow test_si_roundtrip;
+    Alcotest.test_case "unknown label" `Quick test_unknown_label;
+    Alcotest.test_case "query syntax error" `Quick test_query_syntax_error;
+  ]

@@ -1,0 +1,121 @@
+open Si_query
+open Si_core
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* random queries: random label trees with random axes on the edges *)
+let query_gen =
+  let open QCheck.Gen in
+  let label = oneofl [ "S"; "NP"; "VP"; "PP"; "NN"; "DT" ] in
+  let axis = map (fun b -> if b then Ast.Descendant else Ast.Child) bool in
+  sized @@ fix (fun self n ->
+      if n <= 0 then map (fun l -> Ast.make l []) label
+      else
+        map2
+          (fun l kids -> Ast.make l kids)
+          label
+          (list_size (int_bound 3) (pair axis (self (n / 2)))))
+
+let arb_query = QCheck.make ~print:Ast.to_string query_gen
+
+let prop_cover name cover root_split =
+  QCheck.Test.make ~name ~count:300
+    (QCheck.pair arb_query (QCheck.int_range 1 5))
+    (fun (q, mss) ->
+      let iq = Ast.index q in
+      match Cover.validate iq ~mss ~root_split (cover iq ~mss) with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "%s: %s" (Ast.to_string q) e)
+
+let prop_optimal = prop_cover "optimal_cover validity" Cover.optimal_cover false
+let prop_minrc = prop_cover "min_rc validity (root-split)" Cover.min_rc true
+
+let prop_chunk_bounds =
+  QCheck.Test.make ~name:"chunk count bounds" ~count:300
+    (QCheck.pair arb_query (QCheck.int_range 1 5))
+    (fun (q, mss) ->
+      let iq = Ast.index q in
+      let n = Ast.count iq in
+      let lower = (n + mss - 1) / mss in
+      let c1 = Array.length (Cover.optimal_cover iq ~mss).Cover.chunks in
+      let c2 = Array.length (Cover.min_rc iq ~mss).Cover.chunks in
+      (* any valid cover partitions n nodes into chunks of <= mss *)
+      c1 >= lower && c1 <= n && c2 >= lower && c2 <= n)
+
+let test_mss1 () =
+  let iq = Ast.index (Parser.parse_exn "S(NP(DT)(NN))(VP)") in
+  let c = Cover.optimal_cover iq ~mss:1 in
+  Alcotest.(check int) "one chunk per node" 5 (Array.length c.Cover.chunks);
+  Alcotest.(check int) "joins" 4 (Cover.joins c);
+  let c = Cover.min_rc iq ~mss:1 in
+  Alcotest.(check int) "minrc too" 5 (Array.length c.Cover.chunks)
+
+let test_single_chunk () =
+  (* a 5-node child-only query fits in one chunk when mss >= 5 *)
+  let iq = Ast.index (Parser.parse_exn "S(NP(DT)(NN))(VP)") in
+  List.iter
+    (fun cover ->
+      let c = cover iq ~mss:5 in
+      Alcotest.(check int) "single chunk" 1 (Array.length c.Cover.chunks);
+      Alcotest.(check int) "no joins" 0 (Cover.joins c))
+    [ Cover.optimal_cover; Cover.min_rc ]
+
+let test_descendant_cut () =
+  (* the // edge must be a cut even when everything would fit in one chunk *)
+  let iq = Ast.index (Parser.parse_exn "S(NP)(//VP)") in
+  List.iter
+    (fun cover ->
+      let c = cover iq ~mss:5 in
+      Alcotest.(check int) "two chunks" 2 (Array.length c.Cover.chunks);
+      let cuts = Cover.cut_edges iq c in
+      Alcotest.(check bool) "cut is the // edge" true
+        (match cuts with [ (0, _, Ast.Descendant) ] -> true | _ -> false))
+    [ Cover.optimal_cover; Cover.min_rc ]
+
+let test_minrc_root_property () =
+  (* S(NP(DT)(NN))(VP) with mss=3: optimalCover can absorb a partial NP
+     subtree into the S chunk, minRC cannot *)
+  let iq = Ast.index (Parser.parse_exn "S(NP(DT)(NN))(VP)") in
+  let oc = Cover.optimal_cover iq ~mss:3 in
+  let rc = Cover.min_rc iq ~mss:3 in
+  Alcotest.(check (result unit string)) "oc valid" (Ok ())
+    (Cover.validate iq ~mss:3 ~root_split:false oc);
+  Alcotest.(check (result unit string)) "rc valid for root-split" (Ok ())
+    (Cover.validate iq ~mss:3 ~root_split:true rc);
+  (* every minRC cut edge's parent is its chunk's root *)
+  List.iter
+    (fun (p, _, _) ->
+      let ci = rc.Cover.chunk_of.(p) in
+      Alcotest.(check int) "cut parent is chunk root" rc.Cover.chunks.(ci).Cover.root p)
+    (Cover.cut_edges iq rc)
+
+let test_dfs_order () =
+  let iq = Ast.index (Parser.parse_exn "S(NP(DT)(NN))(VP(VBZ)(NP(NN)))") in
+  List.iter
+    (fun cover ->
+      List.iter
+        (fun mss ->
+          let c = cover iq ~mss in
+          Alcotest.(check int) "chunk 0 holds the query root" 0
+            c.Cover.chunks.(0).Cover.root;
+          (* each cut edge's parent lives in an earlier chunk *)
+          List.iteri
+            (fun i (p, r, _) ->
+              Alcotest.(check bool) "parent chunk earlier" true
+                (c.Cover.chunk_of.(p) < c.Cover.chunk_of.(r));
+              ignore i)
+            (Cover.cut_edges iq c))
+        [ 1; 2; 3; 4 ])
+    [ Cover.optimal_cover; Cover.min_rc ]
+
+let suite =
+  [
+    qcheck prop_optimal;
+    qcheck prop_minrc;
+    qcheck prop_chunk_bounds;
+    Alcotest.test_case "mss=1 singleton chunks" `Quick test_mss1;
+    Alcotest.test_case "single chunk when it fits" `Quick test_single_chunk;
+    Alcotest.test_case "descendant edges forced cut" `Quick test_descendant_cut;
+    Alcotest.test_case "minRC root property" `Quick test_minrc_root_property;
+    Alcotest.test_case "DFS chunk order" `Quick test_dfs_order;
+  ]

@@ -1,0 +1,72 @@
+open Si_grammar
+
+let test_prng () =
+  let rng = Prng.create 1 in
+  let a = Prng.bits64 rng and b = Prng.bits64 rng in
+  Alcotest.(check bool) "advances" true (a <> b);
+  let rng1 = Prng.create 42 and rng2 = Prng.create 42 in
+  Alcotest.(check bool) "deterministic" true
+    (List.init 100 (fun _ -> Prng.bits64 rng1)
+    = List.init 100 (fun _ -> Prng.bits64 rng2));
+  let rng = Prng.create 7 in
+  Alcotest.(check bool) "int bounds" true
+    (List.for_all (fun _ -> let x = Prng.int rng 10 in x >= 0 && x < 10)
+       (List.init 1000 Fun.id));
+  Alcotest.(check bool) "float bounds" true
+    (List.for_all (fun _ -> let x = Prng.float rng in x >= 0.0 && x < 1.0)
+       (List.init 1000 Fun.id))
+
+let test_zipf () =
+  let z = Pcfg.Zipf.make ~n:50 ~s:1.1 in
+  let rng = Prng.create 3 in
+  let counts = Array.make 50 0 in
+  for _ = 1 to 20_000 do
+    let k = Pcfg.Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "all in range" true (Array.for_all (fun c -> c >= 0) counts);
+  Alcotest.(check bool) "rank0 most frequent" true
+    (Array.for_all (fun c -> counts.(0) >= c) counts);
+  Alcotest.(check bool) "rank0 beats rank10 by a lot" true
+    (counts.(0) > 3 * counts.(10))
+
+let test_determinism () =
+  let a = Generator.corpus ~seed:99 ~n:50 () in
+  let b = Generator.corpus ~seed:99 ~n:50 () in
+  let c = Generator.corpus ~seed:100 ~n:50 () in
+  Alcotest.(check bool) "same seed same corpus" true
+    (List.equal Si_treebank.Tree.equal a b);
+  Alcotest.(check bool) "different seed differs" false
+    (List.equal Si_treebank.Tree.equal a c)
+
+(* the treebank statistics the paper's results rely on (DESIGN.md §2) *)
+let test_branching_stats () =
+  let trees = Generator.corpus ~seed:2012 ~n:2000 () in
+  let (`Avg avg), (`Max mx), (`Nodes nodes) = Generator.branching_stats trees in
+  Alcotest.(check bool) "avg internal branching ~1.5" true (avg > 1.2 && avg < 1.9);
+  Alcotest.(check bool) "no high-branching blowup" true (mx <= 10);
+  let per_tree = float_of_int nodes /. 2000.0 in
+  Alcotest.(check bool) "parse trees of plausible size" true
+    (per_tree > 10.0 && per_tree < 60.0)
+
+let test_finite_productions () =
+  (* unique subtree growth must be sublinear: a 10x bigger corpus has far
+     fewer than 10x the unique keys (Fig 2's premise) *)
+  let keys n =
+    let docs =
+      List.map Si_treebank.Annotated.of_tree (Generator.corpus ~seed:5 ~n ())
+    in
+    Si_subtree.Extract.unique_keys docs ~mss:2
+  in
+  let k100 = keys 100 and k1000 = keys 1000 in
+  Alcotest.(check bool) "keys grow" true (k1000 > k100);
+  Alcotest.(check bool) "sublinear growth" true (k1000 < 6 * k100)
+
+let suite =
+  [
+    Alcotest.test_case "prng" `Quick test_prng;
+    Alcotest.test_case "zipf" `Quick test_zipf;
+    Alcotest.test_case "corpus determinism" `Quick test_determinism;
+    Alcotest.test_case "branching statistics" `Quick test_branching_stats;
+    Alcotest.test_case "sublinear key growth" `Quick test_finite_productions;
+  ]

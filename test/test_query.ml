@@ -1,0 +1,100 @@
+open Si_treebank
+open Si_query
+
+let test_parser_roundtrip () =
+  let cases =
+    [
+      "S";
+      "S(NP)(VP)";
+      "S(NP(DT)(NN))(VP)";
+      "S(NP)(VP(//NP(NN)))";
+      "S(//NP)(//NP)";
+      "VP(VBZ)(NP(DT)(NN))";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let q = Parser.parse_exn s in
+      Alcotest.(check string) s s (Ast.to_string q);
+      Alcotest.(check bool) "reparse" true
+        (Ast.equal q (Parser.parse_exn (Ast.to_string q))))
+    cases
+
+let test_parser_whitespace () =
+  let a = Parser.parse_exn "  S ( NP ( DT ) ) ( // VP ) " in
+  let b = Parser.parse_exn "S(NP(DT))(//VP)" in
+  Alcotest.(check bool) "whitespace ignored" true (Ast.equal a b)
+
+let test_parser_errors () =
+  let bad s = Result.is_error (Parser.parse s) in
+  Alcotest.(check bool) "empty" true (bad "");
+  Alcotest.(check bool) "unbalanced" true (bad "S(NP");
+  Alcotest.(check bool) "trailing" true (bad "S(NP))");
+  Alcotest.(check bool) "single slash" true (bad "S(/NP)");
+  Alcotest.(check bool) "empty child" true (bad "S()");
+  Alcotest.(check bool) "no label" true (bad "(NP)")
+
+let test_indexed () =
+  let q = Parser.parse_exn "S(NP(DT)(NN))(//VP)" in
+  let iq = Ast.index q in
+  Alcotest.(check int) "count" 5 (Ast.count iq);
+  Alcotest.(check int) "root parent" (-1) iq.Ast.parent.(0);
+  Alcotest.(check bool) "vp axis" true (iq.Ast.axis.(4) = Ast.Descendant);
+  Alcotest.(check bool) "np axis" true (iq.Ast.axis.(1) = Ast.Child);
+  Alcotest.(check int) "np size" 3 iq.Ast.size_of.(1);
+  Alcotest.(check bool) "node 1 is NP(DT)(NN)" true
+    (Ast.equal (Ast.node iq 1) (Parser.parse_exn "NP(DT)(NN)"))
+
+let doc s = Annotated.of_tree (Penn.parse_one_exn s)
+
+let test_matcher_basic () =
+  (* pre-order: 0=S 1=NP 2=DT 3=the 4=NN 5=dog 6=VP 7=VBZ 8=barks *)
+  let d = doc "(S (NP (DT the) (NN dog)) (VP (VBZ barks)))" in
+  let roots s = Matcher.roots d (Parser.parse_exn s) in
+  Alcotest.(check (list int)) "exact" [ 0 ] (roots "S(NP(DT)(NN))(VP)");
+  Alcotest.(check (list int)) "leaf label" [ 4 ] (roots "NN");
+  Alcotest.(check (list int)) "missing" [] (roots "S(PP)");
+  Alcotest.(check (list int)) "child not desc" [] (roots "S(DT)");
+  Alcotest.(check (list int)) "descendant" [ 0 ] (roots "S(//DT)");
+  Alcotest.(check (list int)) "deep descendant" [ 0 ] (roots "S(//barks)");
+  Alcotest.(check (list int)) "proper descendant" [] (roots "S(//S)")
+
+let test_matcher_injective () =
+  let d = doc "(NP (NN a) (NN b))" in
+  let n s = List.length (Matcher.roots d (Parser.parse_exn s)) in
+  Alcotest.(check int) "two NN siblings need two NN nodes" 1 (n "NP(NN)(NN)");
+  Alcotest.(check int) "three NN siblings impossible" 0 (n "NP(NN)(NN)(NN)");
+  let single = doc "(NP (NN a))" in
+  Alcotest.(check int) "single NN can't serve both" 0
+    (List.length (Matcher.roots single (Parser.parse_exn "NP(NN)(NN)")));
+  (* injectivity is per sibling set: the same data node may serve two
+     query nodes that are not siblings *)
+  let chain = doc "(S (NP (NP (NN x))))" in
+  Alcotest.(check int) "nested reuse ok" 1
+    (List.length (Matcher.roots chain (Parser.parse_exn "S(//NP(NN))")))
+
+let test_matcher_unordered () =
+  let d = doc "(S (VP v) (NP n))" in
+  Alcotest.(check int) "order-insensitive" 1
+    (List.length (Matcher.roots d (Parser.parse_exn "S(NP)(VP)")))
+
+let test_corpus_roots () =
+  let docs =
+    Array.of_list
+      [ doc "(S (NP n) (VP v))"; doc "(X x)"; doc "(S (NP n) (VP v))" ]
+  in
+  let q = Parser.parse_exn "S(NP)(VP)" in
+  Alcotest.(check (list (pair int int))) "tids and nodes" [ (0, 0); (2, 0) ]
+    (Matcher.corpus_roots docs q)
+
+let suite =
+  [
+    Alcotest.test_case "parser roundtrip" `Quick test_parser_roundtrip;
+    Alcotest.test_case "parser whitespace" `Quick test_parser_whitespace;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "indexed form" `Quick test_indexed;
+    Alcotest.test_case "matcher basics" `Quick test_matcher_basic;
+    Alcotest.test_case "matcher injectivity" `Quick test_matcher_injective;
+    Alcotest.test_case "matcher unordered" `Quick test_matcher_unordered;
+    Alcotest.test_case "corpus roots" `Quick test_corpus_roots;
+  ]

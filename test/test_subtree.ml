@@ -1,0 +1,125 @@
+open Si_treebank
+open Si_subtree
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let prop_varint =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:500
+    QCheck.(oneof [ int_bound 127; int_bound 100_000; int_bound max_int ])
+    (fun v ->
+      let buf = Buffer.create 8 in
+      Varint.write buf v;
+      let s = Buffer.contents buf in
+      let v', off = Varint.read s 0 in
+      v = v' && off = String.length s && Varint.size v = String.length s)
+
+(* shuffle children recursively with a seeded rng *)
+let rec shuffle rng (t : Tree.t) =
+  let kids = List.map (shuffle rng) t.Tree.children in
+  let arr = Array.of_list kids in
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = Si_grammar.Prng.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  { t with Tree.children = Array.to_list arr }
+
+let prop_canonical_invariant =
+  QCheck.Test.make ~name:"canonical key invariant under child order" ~count:200
+    (QCheck.pair Test_treebank.arb_tree QCheck.small_int) (fun (t, seed) ->
+      QCheck.assume (Si_treebank.Tree.size t <= 255);
+      let rng = Si_grammar.Prng.create seed in
+      String.equal (Canonical.encode_tree t) (Canonical.encode_tree (shuffle rng t)))
+
+let prop_decode =
+  QCheck.Test.make ~name:"decode inverts encode (canonical form)" ~count:200
+    Test_treebank.arb_tree (fun t ->
+      QCheck.assume (Tree.size t <= 255);
+      let key = Canonical.encode_tree t in
+      let d = Canonical.decode key in
+      String.equal key (Canonical.encode_tree d)
+      && Canonical.key_size key = Tree.size t
+      && Tree.size d = Tree.size t)
+
+(* canonical node with pre-order payloads, for alignment tests *)
+let with_preorder (t : Tree.t) =
+  let next = ref 0 in
+  let rec go (t : Tree.t) =
+    let id = !next in
+    incr next;
+    { Canonical.label = t.Tree.label; payload = id; kids = List.map go t.Tree.children }
+  in
+  go t
+
+let test_payload_order () =
+  let t = Penn.parse_one_exn "(S (NP (DT d)) (VP v))" in
+  let key, payloads = Canonical.encode (with_preorder t) in
+  Alcotest.(check int) "root first" 0 payloads.(0);
+  Alcotest.(check int) "all nodes" (Tree.size t) (Array.length payloads);
+  Alcotest.(check bool) "payloads are a permutation" true
+    (List.sort compare (Array.to_list payloads) = List.init (Tree.size t) Fun.id);
+  Alcotest.(check int) "key size" (Tree.size t) (Canonical.key_size key)
+
+let test_alignments () =
+  let orders s = snd (Canonical.encodings (with_preorder (Penn.parse_one_exn s))) in
+  Alcotest.(check int) "asymmetric: unique alignment" 1
+    (List.length (orders "(S (NP n) (VP v))"));
+  Alcotest.(check int) "two symmetric leaves" 2 (List.length (orders "(NP NN NN)"));
+  Alcotest.(check int) "three symmetric leaves" 6 (List.length (orders "(NP NN NN NN)"));
+  (* |Aut| = 2 (swap the NPs) x 2 x 2 (swap NNs inside each) *)
+  Alcotest.(check int) "nested symmetry" 8
+    (List.length (orders "(S (NP NN NN) (NP NN NN))"));
+  (* first order is the default encode order *)
+  let t = with_preorder (Penn.parse_one_exn "(NP NN NN)") in
+  let _, os = Canonical.encodings t in
+  Alcotest.(check bool) "default first" true (List.hd os = snd (Canonical.encode t))
+
+let test_extract_counts () =
+  (* 9-node tree probed by hand: size<=1 -> 9 (nodes), <=2 -> +8 (edges) *)
+  let d = Annotated.of_tree (Penn.parse_one_exn "(S (NP (DT the) (NN dog)) (VP (VBZ barks)))") in
+  Alcotest.(check int) "mss=1" 9 (Extract.count_instances d ~mss:1);
+  Alcotest.(check int) "mss=2" 17 (Extract.count_instances d ~mss:2);
+  (* chain a-b-c: subtrees {a},{b},{c},{ab},{bc},{abc} *)
+  let chain = Annotated.of_tree (Penn.parse_one_exn "(a (b c))") in
+  Alcotest.(check int) "chain mss=3" 6 (Extract.count_instances chain ~mss:3);
+  (* star with 3 leaves, mss=4: 4 singletons + 3 pairs + 3 triples + 1 quad *)
+  let star = Annotated.of_tree (Penn.parse_one_exn "(r x y z)") in
+  Alcotest.(check int) "star mss=4" 11 (Extract.count_instances star ~mss:4)
+
+let prop_extract =
+  QCheck.Test.make ~name:"extraction wellformedness" ~count:100 Test_treebank.arb_tree
+    (fun t ->
+      let d = Annotated.of_tree t in
+      let mss = 3 in
+      let seen = Hashtbl.create 64 in
+      Extract.fold_instances d ~mss ~init:true ~f:(fun ok ~key ~nodes ->
+          let sz = Canonical.key_size key in
+          let distinct =
+            List.length (List.sort_uniq compare (Array.to_list nodes))
+            = Array.length nodes
+          in
+          (* instances are enumerated exactly once *)
+          let id = (key, Array.to_list nodes |> List.sort compare) in
+          let fresh = not (Hashtbl.mem seen id) in
+          Hashtbl.replace seen id ();
+          ok && fresh && distinct
+          && sz = Array.length nodes
+          && sz >= 1 && sz <= mss
+          (* the key's label multiset matches the data nodes' labels *)
+          && List.sort compare
+               (Tree.fold (fun acc n -> n.Tree.label :: acc) [] (Canonical.decode key))
+             = List.sort compare
+                 (Array.to_list (Array.map (fun v -> d.Annotated.label.(v)) nodes))))
+
+let suite =
+  [
+    qcheck prop_varint;
+    qcheck prop_canonical_invariant;
+    qcheck prop_decode;
+    Alcotest.test_case "payload order" `Quick test_payload_order;
+    Alcotest.test_case "alignments" `Quick test_alignments;
+    Alcotest.test_case "extraction counts" `Quick test_extract_counts;
+    qcheck prop_extract;
+  ]

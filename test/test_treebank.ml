@@ -1,0 +1,109 @@
+open Si_treebank
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* random label trees over a tiny alphabet *)
+let tree_gen =
+  let open QCheck.Gen in
+  let label = oneofl [ "A"; "B"; "C"; "D" ] in
+  sized @@ fix (fun self n ->
+      if n <= 0 then map Tree.leaf label
+      else
+        map2
+          (fun l kids -> Tree.make l kids)
+          label
+          (list_size (int_bound 3) (self (n / 2))))
+
+let arb_tree = QCheck.make ~print:Tree.to_string tree_gen
+
+let test_label_roundtrip () =
+  let a = Label.intern "NP" in
+  Alcotest.(check string) "name" "NP" (Label.name a);
+  Alcotest.(check int) "stable" a (Label.intern "NP");
+  Alcotest.(check bool) "find" true (Label.find "NP" = Some a)
+
+let test_label_dense () =
+  let x = Label.intern "test_label_dense_x" in
+  let y = Label.intern "test_label_dense_y" in
+  Alcotest.(check int) "dense" (x + 1) y;
+  Alcotest.(check bool) "count" true (Label.count () > y)
+
+let test_penn_parse () =
+  let t = Penn.parse_one_exn "(S (NP (DT the) (NN dog)) (VP (VBZ barks)))" in
+  Alcotest.(check string) "root" "S" (Tree.label_name t);
+  Alcotest.(check int) "size" 9 (Tree.size t);
+  Alcotest.(check int) "depth" 4 (Tree.depth t)
+
+let test_penn_roundtrip () =
+  let s = "(S (NP (DT the) (NN dog)) (VP (VBZ barks)))" in
+  let t = Penn.parse_one_exn s in
+  Alcotest.(check string) "print" s (Tree.to_string t);
+  Alcotest.(check bool) "reparse" true (Tree.equal t (Penn.parse_one_exn (Tree.to_string t)))
+
+let test_penn_errors () =
+  let bad s =
+    match Penn.parse s with Ok [] | Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "missing rparen" true (bad "(S (NP");
+  Alcotest.(check bool) "stray rparen" true (bad ")");
+  Alcotest.(check bool) "no label" true (bad "(()");
+  Alcotest.(check bool) "empty is zero trees" true (Penn.parse "" = Ok [])
+
+let test_penn_file () =
+  let trees = [ Penn.parse_one_exn "(A (B b) (C c))"; Tree.leaf "lone"; Penn.parse_one_exn "(X (Y y))" ] in
+  let path = Filename.temp_file "si_test" ".penn" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Penn.write_file path trees;
+      let back = Penn.read_file path in
+      Alcotest.(check bool) "roundtrip" true (List.equal Tree.equal trees back))
+
+let prop_penn_roundtrip =
+  QCheck.Test.make ~name:"penn roundtrip (random trees)" ~count:200 arb_tree (fun t ->
+      Tree.equal t (Penn.parse_one_exn (Tree.to_string t)))
+
+let test_annotated_intervals () =
+  let t = Penn.parse_one_exn "(S (NP (DT the) (NN dog)) (VP (VBZ barks)))" in
+  let d = Annotated.of_tree t in
+  Alcotest.(check int) "size" 9 (Annotated.size d);
+  (* pre-order: 0=S 1=NP 2=DT 3=the 4=NN 5=dog 6=VP 7=VBZ 8=barks *)
+  Alcotest.(check int) "root level" 0 d.Annotated.level.(0);
+  Alcotest.(check int) "leaf level" 3 d.Annotated.level.(3);
+  Alcotest.(check int) "root post" 8 d.Annotated.post.(0);
+  Alcotest.(check bool) "S anc dog" true (Annotated.ancestor d 0 5);
+  Alcotest.(check bool) "NP not anc VP" false (Annotated.ancestor d 1 6);
+  Alcotest.(check bool) "not self-anc" false (Annotated.ancestor d 0 0);
+  Alcotest.(check bool) "S child NP" true (Annotated.child d 0 1);
+  Alcotest.(check bool) "S not child DT" false (Annotated.child d 0 2);
+  Alcotest.(check (list int)) "descendants NP" [ 2; 3; 4; 5 ] (Annotated.descendants d 1)
+
+let prop_annotated =
+  QCheck.Test.make ~name:"annotated invariants (random trees)" ~count:200 arb_tree
+    (fun t ->
+      let d = Annotated.of_tree t in
+      let n = Annotated.size d in
+      (* subtree_of root rebuilds the tree *)
+      Tree.equal t (Annotated.subtree_of d 0)
+      && n = Tree.size t
+      (* parent/level/interval consistency at every node *)
+      && Array.for_all Fun.id
+           (Array.init n (fun v ->
+                let p = d.Annotated.parent.(v) in
+                if p = -1 then v = 0
+                else
+                  Annotated.child d p v && Annotated.ancestor d p v
+                  && d.Annotated.level.(v) = d.Annotated.level.(p) + 1)))
+
+let suite =
+  [
+    Alcotest.test_case "label roundtrip" `Quick test_label_roundtrip;
+    Alcotest.test_case "label ids dense" `Quick test_label_dense;
+    Alcotest.test_case "penn parse" `Quick test_penn_parse;
+    Alcotest.test_case "penn roundtrip" `Quick test_penn_roundtrip;
+    Alcotest.test_case "penn errors" `Quick test_penn_errors;
+    Alcotest.test_case "penn file io" `Quick test_penn_file;
+    qcheck prop_penn_roundtrip;
+    Alcotest.test_case "annotated intervals" `Quick test_annotated_intervals;
+    qcheck prop_annotated;
+  ]
