@@ -1,0 +1,285 @@
+(* The performance instrument for the subtree index: a bechamel harness
+   that measures, on a seeded PCFG corpus,
+
+   - build throughput (trees/s) per coding at 1 / 2 / 4 domains,
+   - on-disk index bytes, SIDX2 vs the SIDX1 baseline,
+   - index load (open) time, lazy SIDX2 vs eager SIDX1,
+   - per-coding query latency quantiles (bechamel samples),
+
+   and writes the lot as JSON (default: BENCH_SI.json in the cwd) so every
+   future PR has a trajectory to compare against. *)
+
+open Bechamel
+
+let schemes = Si_core.Coding.[ Filter; Interval; Root_split ]
+let domain_counts = [ 1; 2; 4 ]
+
+let bench_queries =
+  [ "S(NP)(VP)"; "S(NP(DT)(NN))(VP)"; "NP(DT)(NN)"; "S(//NN)"; "S(//PP(IN)(NP))" ]
+
+(* ---- tiny JSON writer (no json dep in the container) ------------------- *)
+
+module J = struct
+  type t =
+    | Obj of (string * t) list
+    | Arr of t list
+    | Str of string
+    | Int of int
+    | Float of float
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 32 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec emit buf indent = function
+    | Str s -> Buffer.add_string buf (Printf.sprintf "\"%s\"" (escape s))
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+        else Buffer.add_string buf "null"
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr xs ->
+        let pad = String.make (indent + 2) ' ' in
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf pad;
+            emit buf (indent + 2) x)
+          xs;
+        Buffer.add_string buf (Printf.sprintf "\n%s]" (String.make indent ' '))
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj kvs ->
+        let pad = String.make (indent + 2) ' ' in
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (Printf.sprintf "%s\"%s\": " pad (escape k));
+            emit buf (indent + 2) v)
+          kvs;
+        Buffer.add_string buf (Printf.sprintf "\n%s}" (String.make indent ' '))
+
+  let to_string t =
+    let buf = Buffer.create 4096 in
+    emit buf 0 t;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+end
+
+(* ---- measurement helpers ----------------------------------------------- *)
+
+let time_best ~repeat f =
+  (* wall-clock best-of-n for coarse one-shot operations (build, load) *)
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to repeat do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+
+let latency_quantiles ~quota ~name f =
+  (* bechamel sampling: per-sample latency = monotonic-clock ns / runs *)
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second quota) ~kde:None
+      ~stabilize:false ()
+  in
+  let test = Test.make ~name (Staged.stage f) in
+  let elt = List.hd (Test.elements test) in
+  let res = Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt in
+  let samples =
+    Array.map
+      (fun m ->
+        Measurement_raw.get ~label:"monotonic-clock" m /. Measurement_raw.run m)
+      res.Benchmark.lr
+  in
+  Array.sort compare samples;
+  ( Array.length samples,
+    quantile samples 0.5,
+    quantile samples 0.9,
+    quantile samples 0.99 )
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let commit_hash () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "unknown" in
+    (match Unix.close_process_in ic with Unix.WEXITED 0 -> line | _ -> "unknown")
+  with _ -> "unknown"
+
+(* ---- main --------------------------------------------------------------- *)
+
+let () =
+  let n = ref 2000 in
+  let seed = ref 2012 in
+  let mss = ref 3 in
+  let out = ref "BENCH_SI.json" in
+  let quota = ref 0.5 in
+  let speclist =
+    [
+      ("--n", Arg.Set_int n, "corpus size in trees (default 2000)");
+      ("--seed", Arg.Set_int seed, "PRNG seed (default 2012)");
+      ("--mss", Arg.Set_int mss, "maximum subtree size (default 3)");
+      ("--out", Arg.Set_string out, "output JSON path (default BENCH_SI.json)");
+      ("--quota", Arg.Set_float quota, "bechamel per-test time quota, s (default 0.5)");
+    ]
+  in
+  Arg.parse speclist (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench_main [--n N] [--seed S] [--mss M] [--out FILE] [--quota SEC]";
+  let n = !n and seed = !seed and mss = !mss and quota = !quota in
+
+  Printf.eprintf "generating corpus: n=%d seed=%d mss=%d\n%!" n seed mss;
+  let trees = Si_grammar.Generator.corpus ~seed ~n () in
+  let docs = Array.of_list (List.map Si_treebank.Annotated.of_tree trees) in
+  let nodes = Array.fold_left (fun a d -> a + Si_treebank.Annotated.size d) 0 docs in
+
+  let tmp = Filename.temp_file "si_bench" "" in
+  Sys.remove tmp;
+  Unix.mkdir tmp 0o755;
+  let cleanup () =
+    Array.iter (fun f -> Sys.remove (Filename.concat tmp f)) (Sys.readdir tmp);
+    Unix.rmdir tmp
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+
+  (* build throughput per scheme x domains *)
+  let build_entries = ref [] in
+  let built = Hashtbl.create 4 in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun domains ->
+          let b, dt =
+            time_best ~repeat:3 (fun () ->
+                Si_core.Builder.build ~domains ~scheme ~mss docs)
+          in
+          if domains = 1 then Hashtbl.replace built scheme b;
+          Printf.eprintf "build %-10s domains=%d: %.3fs (%.0f trees/s)\n%!"
+            (Si_core.Coding.scheme_to_string scheme)
+            domains dt
+            (float_of_int n /. dt);
+          build_entries :=
+            J.Obj
+              [
+                ("scheme", J.Str (Si_core.Coding.scheme_to_string scheme));
+                ("domains", J.Int domains);
+                ("seconds", J.Float dt);
+                ("trees_per_sec", J.Float (float_of_int n /. dt));
+              ]
+            :: !build_entries)
+        domain_counts)
+    schemes;
+
+  (* index size: SIDX2 vs SIDX1 baseline; load time: lazy vs eager *)
+  let index_entries = ref [] in
+  let load_entries = ref [] in
+  List.iter
+    (fun scheme ->
+      let b = Hashtbl.find built scheme in
+      let name = Si_core.Coding.scheme_to_string scheme in
+      let p2 = Filename.concat tmp (name ^ ".idx") in
+      let p1 = Filename.concat tmp (name ^ ".v1.idx") in
+      Si_core.Builder.save b p2;
+      Si_core.Builder.save_v1 b p1;
+      let s = b.Si_core.Builder.stats in
+      index_entries :=
+        J.Obj
+          [
+            ("scheme", J.Str name);
+            ("keys", J.Int s.Si_core.Builder.keys);
+            ("postings", J.Int s.Si_core.Builder.postings);
+            ("bytes_sidx2", J.Int (file_size p2));
+            ("bytes_sidx1", J.Int (file_size p1));
+          ]
+        :: !index_entries;
+      let _, t2 = time_best ~repeat:5 (fun () -> Si_core.Builder.load p2) in
+      let _, t1 = time_best ~repeat:5 (fun () -> Si_core.Builder.load p1) in
+      Printf.eprintf
+        "size %-10s: sidx2=%d sidx1=%d bytes; load lazy=%.4fs eager=%.4fs\n%!"
+        name (file_size p2) (file_size p1) t2 t1;
+      load_entries :=
+        J.Obj
+          [
+            ("scheme", J.Str name);
+            ("sidx2_lazy_seconds", J.Float t2);
+            ("sidx1_eager_seconds", J.Float t1);
+          ]
+        :: !load_entries)
+    schemes;
+
+  (* query latency quantiles per scheme, over a freshly loaded lazy index *)
+  let query_entries = ref [] in
+  List.iter
+    (fun scheme ->
+      let name = Si_core.Coding.scheme_to_string scheme in
+      let index = Si_core.Builder.load (Filename.concat tmp (name ^ ".idx")) in
+      List.iter
+        (fun qstr ->
+          let q = Si_query.Parser.parse_exn qstr in
+          let matches = Si_core.Eval.run ~index ~corpus:docs q in
+          let samples, p50, p90, p99 =
+            latency_quantiles ~quota ~name:(name ^ "/" ^ qstr) (fun () ->
+                Si_core.Eval.run ~index ~corpus:docs q)
+          in
+          Printf.eprintf
+            "query %-10s %-22s: %d matches, p50=%.1fus p99=%.1fus (%d samples)\n%!"
+            name qstr (List.length matches) (p50 /. 1e3) (p99 /. 1e3) samples;
+          query_entries :=
+            J.Obj
+              [
+                ("scheme", J.Str name);
+                ("query", J.Str qstr);
+                ("matches", J.Int (List.length matches));
+                ("samples", J.Int samples);
+                ("p50_ns", J.Float p50);
+                ("p90_ns", J.Float p90);
+                ("p99_ns", J.Float p99);
+              ]
+            :: !query_entries)
+        bench_queries)
+    schemes;
+
+  let json =
+    J.Obj
+      [
+        ( "meta",
+          J.Obj
+            [
+              ("seed", J.Int seed);
+              ("n_trees", J.Int n);
+              ("n_nodes", J.Int nodes);
+              ("mss", J.Int mss);
+              ("commit", J.Str (commit_hash ()));
+              ("ocaml", J.Str Sys.ocaml_version);
+              ("cores", J.Int (Domain.recommended_domain_count ()));
+            ] );
+        ("build", J.Arr (List.rev !build_entries));
+        ("index", J.Arr (List.rev !index_entries));
+        ("load", J.Arr (List.rev !load_entries));
+        ("query", J.Arr (List.rev !query_entries));
+      ]
+  in
+  let oc = open_out !out in
+  output_string oc (J.to_string json);
+  close_out oc;
+  Printf.eprintf "wrote %s\n%!" !out

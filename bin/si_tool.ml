@@ -39,17 +39,21 @@ let gen_cmd =
 
 (* ---- build ------------------------------------------------------------- *)
 
-let build corpus prefix scheme mss =
+let build corpus prefix scheme mss domains =
+  if domains < 1 then begin
+    Printf.eprintf "si_tool: --domains must be >= 1 (got %d)\n" domains;
+    exit 2
+  end;
   let trees = Si_treebank.Penn.read_file corpus in
   let t0 = Unix.gettimeofday () in
-  let si = Si_core.Si.build ~scheme ~mss ~trees ~prefix () in
+  let si = Si_core.Si.build ~domains ~scheme ~mss ~trees ~prefix () in
   let dt = Unix.gettimeofday () -. t0 in
   let s = Si_core.Si.stats si in
   Printf.printf
-    "built %s index: mss=%d trees=%d nodes=%d keys=%d postings=%d idx_bytes=%d (%.2fs)\n"
+    "built %s index: mss=%d domains=%d trees=%d nodes=%d keys=%d postings=%d idx_bytes=%d (%.2fs)\n"
     (Si_core.Coding.scheme_to_string scheme)
-    mss s.Si_core.Builder.trees s.Si_core.Builder.nodes s.Si_core.Builder.keys
-    s.Si_core.Builder.postings s.Si_core.Builder.bytes dt
+    mss domains s.Si_core.Builder.trees s.Si_core.Builder.nodes
+    s.Si_core.Builder.keys s.Si_core.Builder.postings s.Si_core.Builder.bytes dt
 
 let corpus_arg =
   Arg.(required & opt (some file) None & info [ "corpus" ] ~docv:"FILE" ~doc:"Corpus file from $(b,gen).")
@@ -66,9 +70,14 @@ let build_cmd =
   let mss =
     Arg.(value & opt int 3 & info [ "mss" ] ~docv:"MSS" ~doc:"Maximum subtree size of index keys.")
   in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Shard construction across N OCaml domains (output is \
+                 identical to a sequential build).")
+  in
   Cmd.v
     (Cmd.info "build" ~doc:"Build a subtree index over a corpus.")
-    Term.(const build $ corpus_arg $ prefix_arg $ scheme $ mss)
+    Term.(const build $ corpus_arg $ prefix_arg $ scheme $ mss $ domains)
 
 (* ---- query ------------------------------------------------------------- *)
 
@@ -123,7 +132,19 @@ let stats prefix =
   Printf.printf "scheme=%s mss=%d trees=%d nodes=%d keys=%d postings=%d idx_bytes=%d\n"
     (Si_core.Coding.scheme_to_string (Si_core.Si.scheme si))
     (Si_core.Si.mss si) s.Si_core.Builder.trees s.Si_core.Builder.nodes
-    s.Si_core.Builder.keys s.Si_core.Builder.postings s.Si_core.Builder.bytes
+    s.Si_core.Builder.keys s.Si_core.Builder.postings s.Si_core.Builder.bytes;
+  (* posting-length histogram: keys per power-of-two entry-count bucket,
+     computed from slot metadata without decoding any posting *)
+  print_endline "posting-length histogram (entries <= bucket : keys):";
+  let hist = Si_core.Builder.length_histogram (Si_core.Si.index si) in
+  let width =
+    List.fold_left (fun w (_, c) -> max w c) 1 hist |> float_of_int
+  in
+  List.iter
+    (fun (bucket, count) ->
+      let bar = int_of_float (50.0 *. float_of_int count /. width) in
+      Printf.printf "  <=%-8d %8d %s\n" bucket count (String.make bar '#'))
+    hist
 
 let stats_cmd =
   Cmd.v

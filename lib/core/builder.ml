@@ -3,18 +3,34 @@ open Si_subtree
 
 type stats = { trees : int; nodes : int; keys : int; postings : int; bytes : int }
 
+(* A slot holds the SIDX2 packed bytes of one posting — a slice of [src] —
+   and memoizes its decoded form on first access.  [src] is either a
+   per-posting string (after build) or the whole index file (after load),
+   so loading shares one backing buffer across every slot. *)
+type slot = {
+  src : string;
+  off : int;
+  len : int;
+  entries : int;
+  mutable decoded : Coding.posting option;
+}
+
 type t = {
   scheme : Coding.scheme;
   mss : int;
-  table : (string, Coding.posting) Hashtbl.t;
+  table : (string, slot) Hashtbl.t;
   stats : stats;
 }
+
+(* ---- shard stage ------------------------------------------------------- *)
 
 (* accumulation state per key, in reverse order *)
 type acc =
   | A_filter of int list
   | A_interval of (int * Coding.interval array) list
   | A_root of (int * Coding.interval) list
+
+type shard = { table : (string, acc) Hashtbl.t; nodes : int }
 
 let interval_of doc v =
   {
@@ -23,128 +39,279 @@ let interval_of doc v =
     level = doc.Annotated.level.(v);
   }
 
-let build ~scheme ~mss docs =
-  if mss < 1 || mss > 255 then invalid_arg "Builder.build: mss out of range";
+(* Accumulate postings for docs.(lo .. hi-1); tids are global, so a shard
+   over a contiguous tid range accumulates exactly the subsequence of the
+   sequential accumulation falling in that range.  The per-key dedups
+   (filter: same tid; root-split: same (tid, root)) never straddle a shard
+   boundary because both compare on the tid. *)
+let build_shard ~scheme ~mss docs lo hi =
   let table = Hashtbl.create 65536 in
   let nodes = ref 0 in
-  Array.iteri
-    (fun tid doc ->
-      nodes := !nodes + Annotated.size doc;
-      Extract.fold_instances doc ~mss ~init:() ~f:(fun () ~key ~nodes:inst ->
-          let prev = Hashtbl.find_opt table key in
-          let next =
-            match scheme with
-            | Coding.Filter -> (
-                match prev with
-                | Some (A_filter (t :: _)) when t = tid -> prev
-                | Some (A_filter ts) -> Some (A_filter (tid :: ts))
-                | _ -> Some (A_filter [ tid ]))
-            | Coding.Root_split -> (
-                let root = inst.(0) in
-                let entry = (tid, interval_of doc root) in
-                match prev with
-                | Some (A_root (e :: _)) when e = entry -> prev
-                | Some (A_root es) -> Some (A_root (entry :: es))
-                | _ -> Some (A_root [ entry ]))
-            | Coding.Interval -> (
-                let ivs = Array.map (interval_of doc) inst in
-                match prev with
-                | Some (A_interval es) -> Some (A_interval ((tid, ivs) :: es))
-                | _ -> Some (A_interval [ (tid, ivs) ]))
-          in
-          match next with
-          | Some acc when next != prev -> Hashtbl.replace table key acc
-          | _ -> ()))
-    docs;
-  (* finalize: reverse the accumulated lists into sorted arrays *)
-  let final = Hashtbl.create (Hashtbl.length table) in
+  for tid = lo to hi - 1 do
+    let doc = docs.(tid) in
+    nodes := !nodes + Annotated.size doc;
+    Extract.fold_instances doc ~mss ~init:() ~f:(fun () ~key ~nodes:inst ->
+        let prev = Hashtbl.find_opt table key in
+        let next =
+          match scheme with
+          | Coding.Filter -> (
+              match prev with
+              | Some (A_filter (t :: _)) when t = tid -> prev
+              | Some (A_filter ts) -> Some (A_filter (tid :: ts))
+              | _ -> Some (A_filter [ tid ]))
+          | Coding.Root_split -> (
+              let root = inst.(0) in
+              let entry = (tid, interval_of doc root) in
+              match prev with
+              | Some (A_root (e :: _)) when e = entry -> prev
+              | Some (A_root es) -> Some (A_root (entry :: es))
+              | _ -> Some (A_root [ entry ]))
+          | Coding.Interval -> (
+              let ivs = Array.map (interval_of doc) inst in
+              match prev with
+              | Some (A_interval es) -> Some (A_interval ((tid, ivs) :: es))
+              | _ -> Some (A_interval [ (tid, ivs) ]))
+        in
+        match next with
+        | Some acc when next != prev -> Hashtbl.replace table key acc
+        | _ -> ())
+  done;
+  { table; nodes = !nodes }
+
+(* ---- merge stage ------------------------------------------------------- *)
+
+(* Concatenate per-key accumulations in shard (= tid) order.  Lists are in
+   reverse order, so later shards prepend: fold shards left to right,
+   appending the earlier accumulation *behind* the later one.  The result
+   is indistinguishable from a single-shard accumulation. *)
+let merge_shards shards =
+  match shards with
+  | [] -> { table = Hashtbl.create 16; nodes = 0 }
+  | first :: rest ->
+      List.iter
+        (fun shard ->
+          Hashtbl.iter
+            (fun key acc ->
+              match Hashtbl.find_opt first.table key with
+              | None -> Hashtbl.replace first.table key acc
+              | Some prev ->
+                  let merged =
+                    match (prev, acc) with
+                    | A_filter a, A_filter b -> A_filter (b @ a)
+                    | A_interval a, A_interval b -> A_interval (b @ a)
+                    | A_root a, A_root b -> A_root (b @ a)
+                    | _ -> assert false
+                  in
+                  Hashtbl.replace first.table key merged)
+            shard.table)
+        rest;
+      {
+        table = first.table;
+        nodes = List.fold_left (fun a s -> a + s.nodes) 0 shards;
+      }
+
+(* ---- finalize stage ---------------------------------------------------- *)
+
+let posting_of_acc = function
+  | A_filter ts -> Coding.Filter_p (Array.of_list (List.rev ts))
+  | A_interval es -> Coding.Interval_p (Array.of_list (List.rev es))
+  | A_root es -> Coding.Root_p (Array.of_list (List.rev es))
+
+let slot_of_posting p =
+  let buf = Buffer.create 64 in
+  Coding.pack buf p;
+  let src = Buffer.contents buf in
+  { src; off = 0; len = String.length src; entries = Coding.entries p; decoded = Some p }
+
+let finalize ~scheme ~mss ~trees merged =
+  let final = Hashtbl.create (Hashtbl.length merged.table) in
   let postings = ref 0 in
   let bytes = ref 0 in
   Hashtbl.iter
     (fun key acc ->
-      let posting =
-        match acc with
-        | A_filter ts -> Coding.Filter_p (Array.of_list (List.rev ts))
-        | A_interval es -> Coding.Interval_p (Array.of_list (List.rev es))
-        | A_root es -> Coding.Root_p (Array.of_list (List.rev es))
-      in
-      postings := !postings + Coding.entries posting;
-      let buf = Buffer.create 64 in
-      Coding.write buf posting;
-      bytes := !bytes + String.length key + Buffer.length buf + Varint.size (String.length key);
-      Hashtbl.replace final key posting)
-    table;
+      let p = posting_of_acc acc in
+      let slot = slot_of_posting p in
+      postings := !postings + slot.entries;
+      bytes :=
+        !bytes + Varint.size (String.length key) + String.length key
+        + Varint.size slot.len + slot.len;
+      Hashtbl.replace final key slot)
+    merged.table;
   {
     scheme;
     mss;
     table = final;
     stats =
       {
-        trees = Array.length docs;
-        nodes = !nodes;
+        trees;
+        nodes = merged.nodes;
         keys = Hashtbl.length final;
         postings = !postings;
         bytes = !bytes;
       };
   }
 
-let find t key = Hashtbl.find_opt t.table key
+let build ?(domains = 1) ~scheme ~mss docs =
+  if mss < 1 || mss > 255 then invalid_arg "Builder.build: mss out of range";
+  if domains < 1 then invalid_arg "Builder.build: domains must be >= 1";
+  let n = Array.length docs in
+  let domains = min domains (max n 1) in
+  let merged =
+    if domains = 1 then build_shard ~scheme ~mss docs 0 n
+    else begin
+      (* contiguous tid ranges, one per domain *)
+      let bounds = Array.init (domains + 1) (fun i -> i * n / domains) in
+      let spawned =
+        Array.init (domains - 1) (fun i ->
+            let lo = bounds.(i + 1) and hi = bounds.(i + 2) in
+            Domain.spawn (fun () -> build_shard ~scheme ~mss docs lo hi))
+      in
+      let first = build_shard ~scheme ~mss docs bounds.(0) bounds.(1) in
+      let rest = Array.to_list (Array.map Domain.join spawned) in
+      merge_shards (first :: rest)
+    end
+  in
+  finalize ~scheme ~mss ~trees:n merged
 
-(* ---- flattened file --------------------------------------------------- *)
+(* ---- access ------------------------------------------------------------ *)
 
-let magic = "SIDX1\n"
+let find (t : t) key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some slot -> (
+      match slot.decoded with
+      | Some p -> Some p
+      | None ->
+          let p, _ =
+            Coding.unpack t.scheme ~key_size:(Canonical.key_size key) slot.src
+              slot.off
+          in
+          slot.decoded <- Some p;
+          Some p)
 
-let save t path =
-  let buf = Buffer.create (1 lsl 20) in
-  Buffer.add_string buf magic;
-  Buffer.add_char buf
-    (match t.scheme with Coding.Filter -> 'F' | Coding.Interval -> 'I' | Coding.Root_split -> 'R');
-  Buffer.add_char buf (Char.chr t.mss);
-  Varint.write buf (Hashtbl.length t.table);
+let posting_entries (t : t) key =
+  Option.map (fun (s : slot) -> s.entries) (Hashtbl.find_opt t.table key)
+
+let n_keys (t : t) = Hashtbl.length t.table
+
+let iter (t : t) f =
   let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] in
-  let keys = List.sort String.compare keys in
-  List.iter
-    (fun key ->
-      Varint.write buf (String.length key);
-      Buffer.add_string buf key;
-      Coding.write buf (Hashtbl.find t.table key))
-    keys;
+  List.iter (fun k -> f k (Option.get (find t k))) (List.sort String.compare keys)
+
+let length_histogram (t : t) =
+  (* power-of-two buckets: count of keys whose posting has <= 2^i entries *)
+  let buckets = Array.make 31 0 in
+  Hashtbl.iter
+    (fun _ (slot : slot) ->
+      let rec bucket i = if slot.entries <= 1 lsl i then i else bucket (i + 1) in
+      let b = bucket 0 in
+      buckets.(b) <- buckets.(b) + 1)
+    t.table;
+  let last = ref 0 in
+  Array.iteri (fun i c -> if c > 0 then last := i) buckets;
+  Array.to_list (Array.init (!last + 1) (fun i -> (1 lsl i, buckets.(i))))
+
+(* ---- flattened file ---------------------------------------------------- *)
+
+let magic = "SIDX2\n"
+let magic_v1 = "SIDX1\n"
+
+let scheme_byte = function
+  | Coding.Filter -> 'F'
+  | Coding.Interval -> 'I'
+  | Coding.Root_split -> 'R'
+
+let scheme_of_byte path = function
+  | 'F' -> Coding.Filter
+  | 'I' -> Coding.Interval
+  | 'R' -> Coding.Root_split
+  | c -> failwith (Printf.sprintf "%s: bad scheme byte %C" path c)
+
+let sorted_keys (t : t) =
+  List.sort String.compare (Hashtbl.fold (fun k _ a -> k :: a) t.table [])
+
+let common_prefix a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+  go 0
+
+(* Streams records straight to the channel through a small per-record
+   scratch buffer — peak extra memory is one record, not the whole index. *)
+let save (t : t) path =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> Buffer.output_buffer oc buf)
+    (fun () ->
+      output_string oc magic;
+      output_char oc (scheme_byte t.scheme);
+      output_char oc (Char.chr t.mss);
+      let scratch = Buffer.create 256 in
+      Varint.write scratch (Hashtbl.length t.table);
+      Buffer.output_buffer oc scratch;
+      let prev = ref "" in
+      List.iter
+        (fun key ->
+          Buffer.clear scratch;
+          let slot = Hashtbl.find t.table key in
+          (* front-coded key: shared prefix with the previous sorted key *)
+          let lcp = common_prefix !prev key in
+          Varint.write scratch lcp;
+          Varint.write scratch (String.length key - lcp);
+          Buffer.add_substring scratch key lcp (String.length key - lcp);
+          Varint.write scratch slot.len;
+          Buffer.output_buffer oc scratch;
+          output_substring oc slot.src slot.off slot.len;
+          prev := key)
+        (sorted_keys t))
 
-let load path =
+let save_v1 (t : t) path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic_v1;
+      output_char oc (scheme_byte t.scheme);
+      output_char oc (Char.chr t.mss);
+      let scratch = Buffer.create 256 in
+      Varint.write scratch (Hashtbl.length t.table);
+      Buffer.output_buffer oc scratch;
+      List.iter
+        (fun key ->
+          Buffer.clear scratch;
+          Varint.write scratch (String.length key);
+          Buffer.add_string scratch key;
+          Coding.write scratch (Option.get (find t key));
+          Buffer.output_buffer oc scratch)
+        (sorted_keys t))
+
+let read_file path =
   let ic = open_in_bin path in
-  let s =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* SIDX2 load: one pass over the records building key -> (offset, length)
+   slots over the raw file bytes; postings decode on first [find]. *)
+let load_v2 path s =
   let mlen = String.length magic in
-  if String.length s < mlen + 2 || not (String.equal (String.sub s 0 mlen) magic) then
-    failwith (path ^ ": not an si index file");
-  let scheme =
-    match s.[mlen] with
-    | 'F' -> Coding.Filter
-    | 'I' -> Coding.Interval
-    | 'R' -> Coding.Root_split
-    | c -> failwith (Printf.sprintf "%s: bad scheme byte %C" path c)
-  in
+  let scheme = scheme_of_byte path s.[mlen] in
   let mss = Char.code s.[mlen + 1] in
   let nkeys, off = Varint.read s (mlen + 2) in
   let table = Hashtbl.create (2 * nkeys) in
-  let off = ref off in
   let postings = ref 0 in
+  let off = ref off in
+  let prev = ref "" in
   for _ = 1 to nkeys do
-    let klen, o = Varint.read s !off in
-    let key = String.sub s o klen in
-    let posting, o =
-      Coding.read scheme ~key_size:(Canonical.key_size key) s (o + klen)
-    in
-    postings := !postings + Coding.entries posting;
-    off := o;
-    Hashtbl.replace table key posting
+    let lcp, o = Varint.read s !off in
+    let slen, o = Varint.read s o in
+    let key = String.sub !prev 0 lcp ^ String.sub s o slen in
+    let o = o + slen in
+    let plen, o = Varint.read s o in
+    let entries = Coding.packed_entries s o in
+    postings := !postings + entries;
+    Hashtbl.replace table key { src = s; off = o; len = plen; entries; decoded = None };
+    off := o + plen;
+    prev := key
   done;
   {
     scheme;
@@ -159,3 +326,40 @@ let load path =
         bytes = String.length s;
       };
   }
+
+(* SIDX1 load: the legacy format stores postings eagerly; decode each and
+   re-pack so the in-memory representation is uniformly SIDX2. *)
+let load_v1 path s =
+  let mlen = String.length magic_v1 in
+  let scheme = scheme_of_byte path s.[mlen] in
+  let mss = Char.code s.[mlen + 1] in
+  let nkeys, off = Varint.read s (mlen + 2) in
+  let table = Hashtbl.create (2 * nkeys) in
+  let off = ref off in
+  let postings = ref 0 in
+  let bytes = ref 0 in
+  for _ = 1 to nkeys do
+    let klen, o = Varint.read s !off in
+    let key = String.sub s o klen in
+    let posting, o = Coding.read scheme ~key_size:(Canonical.key_size key) s (o + klen) in
+    off := o;
+    let slot = slot_of_posting posting in
+    postings := !postings + slot.entries;
+    bytes :=
+      !bytes + Varint.size klen + klen + Varint.size slot.len + slot.len;
+    Hashtbl.replace table key slot
+  done;
+  {
+    scheme;
+    mss;
+    table;
+    stats = { trees = 0; nodes = 0; keys = nkeys; postings = !postings; bytes = !bytes };
+  }
+
+let load path =
+  let s = read_file path in
+  let mlen = String.length magic in
+  if String.length s < mlen + 2 then failwith (path ^ ": not an si index file")
+  else if String.equal (String.sub s 0 mlen) magic then load_v2 path s
+  else if String.equal (String.sub s 0 mlen) magic_v1 then load_v1 path s
+  else failwith (path ^ ": not an si index file (bad magic; want SIDX1 or SIDX2)")

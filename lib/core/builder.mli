@@ -1,40 +1,87 @@
-(** In-memory index construction and the flattened [.idx] file.
+(** Index construction (shard / merge / finalize) and the flattened [.idx]
+    file (SIDX2).
 
-    [build] streams the corpus once: each tree's subtree instances (sizes
-    1..mss) are enumerated in canonical form and appended to their key's
-    posting under the chosen coding (filter postings dedup to unique tids,
-    root-split postings dedup to unique [(tid, root)]).  Because trees are
-    processed in tid order and instances in pre-order of their roots,
-    postings come out sorted without a sort pass.
+    {b Construction} streams the corpus once per shard: each tree's subtree
+    instances (sizes 1..mss) are enumerated in canonical form and appended
+    to their key's accumulation under the chosen coding (filter postings
+    dedup to unique tids, root-split postings dedup to unique
+    [(tid, root)]).  Because trees are processed in tid order and instances
+    in pre-order of their roots, postings come out sorted without a sort
+    pass.  With [~domains:n > 1] the corpus is split into [n] contiguous
+    tid ranges built concurrently on OCaml 5 domains; the per-domain key
+    tables are then merged in shard order, which reproduces the sequential
+    accumulation exactly — the parallel build is byte-identical to the
+    sequential one (the differential tests assert this on saved files).
 
-    This is the in-memory milestone of DESIGN.md §3's construction
-    pipeline; the external run sort + disk B+tree bulk load replace the
-    hashtable in a later storage PR without changing this interface. *)
+    {b Representation}: every posting is held as its SIDX2 packed bytes
+    ({!Coding.pack}); the same bytes are written to disk, so [save] streams
+    slices and [load] only builds a key → offset table over the raw file
+    (O(keys) startup), decoding a posting on first {!find} and memoizing
+    the result.  Legacy SIDX1 files are still readable (decoded eagerly and
+    re-packed). *)
 
 type stats = {
   trees : int;
   nodes : int;  (** total corpus nodes *)
   keys : int;  (** distinct canonical keys *)
   postings : int;  (** total posting entries *)
-  bytes : int;  (** flattened size of keys + postings *)
+  bytes : int;  (** flattened size of keys + packed postings *)
+}
+
+type slot = {
+  src : string;  (** backing buffer holding the packed posting bytes *)
+  off : int;
+  len : int;
+  entries : int;  (** posting entry count (readable without decoding) *)
+  mutable decoded : Coding.posting option;  (** memoized decode *)
 }
 
 type t = {
   scheme : Coding.scheme;
   mss : int;
-  table : (string, Coding.posting) Hashtbl.t;  (** key bytes -> posting *)
+  table : (string, slot) Hashtbl.t;  (** key bytes -> packed posting *)
   stats : stats;
 }
 
 val build :
-  scheme:Coding.scheme -> mss:int -> Si_treebank.Annotated.t array -> t
+  ?domains:int ->
+  scheme:Coding.scheme ->
+  mss:int ->
+  Si_treebank.Annotated.t array ->
+  t
+(** [build ?domains ~scheme ~mss docs] — [domains] defaults to 1
+    (sequential); higher values shard the corpus across that many OCaml
+    domains.  The result is independent of [domains]. *)
 
 val find : t -> string -> Coding.posting option
+(** Decode-on-first-use: unpacks the slot's bytes once and memoizes. *)
+
+val posting_entries : t -> string -> int option
+(** Entry count of a key's posting without decoding it. *)
+
+val n_keys : t -> int
+
+val iter : t -> (string -> Coding.posting -> unit) -> unit
+(** Iterate (key, decoded posting) in sorted key order — decodes every
+    posting; for tests and tools, not hot paths. *)
+
+val length_histogram : t -> (int * int) list
+(** [(bucket, count)] pairs, bucket = power-of-two upper bound on posting
+    entries: count of keys with [entries <= bucket] (and > previous
+    bucket).  Computed from slot metadata, no decoding. *)
 
 val save : t -> string -> unit
-(** [save t path] writes the flattened index ([.idx] layout: magic, scheme,
-    mss, key count, then sorted (key, posting) records). *)
+(** [save t path] streams the SIDX2 index: magic, scheme, mss, key count,
+    then sorted records of front-coded key ([varint lcp], [varint slen],
+    suffix) + [varint plen] + packed posting.  Peak extra memory is one
+    record, not the index. *)
+
+val save_v1 : t -> string -> unit
+(** Legacy SIDX1 writer (eager postings, no front coding) — kept for the
+    size baseline in the bench harness and the migration test. *)
 
 val load : string -> t
-(** Inverse of {!save} (the [trees]/[nodes] stats are not stored in the
-    [.idx] and read back as 0; [Si] restores them from the [.meta]). *)
+(** Inverse of {!save}: reads the file once, builds the key → offset table,
+    defers posting decode to {!find}.  Also accepts SIDX1 files (eager).
+    The [trees]/[nodes] stats are not stored and read back as 0; [Si]
+    restores them from the [.meta]. *)

@@ -66,6 +66,144 @@ let write buf = function
           write_interval buf iv)
         a
 
+(* ---- SIDX2 packed codec ----------------------------------------------- *)
+
+(* The v2 packing exploits two corpus invariants the v1 codec ignores:
+   - post = pre + size - 1 - level for every node, so each interval stores
+     the (small) subtree size instead of the (corpus-wide) postorder rank;
+   - every non-root node of an instance is a strict descendant of the
+     instance root, so its pre/level pack as offsets from the root's.
+   Entry tids stay delta-coded; within a tid run the root pre is also
+   delta-coded against the previous entry (roots arrive in pre-order). *)
+
+let pack_size buf iv =
+  (* size - 1 = post + level - pre; >= 0 by the pre/post/level identity *)
+  Varint.write buf (iv.post + iv.level - iv.pre)
+
+let pack buf = function
+  | Filter_p tids ->
+      Varint.write buf (Array.length tids);
+      let prev = ref 0 in
+      Array.iter
+        (fun tid ->
+          Varint.write buf (tid - !prev);
+          prev := tid)
+        tids
+  | Root_p a ->
+      Varint.write buf (Array.length a);
+      let prev_tid = ref (-1) in
+      let prev_pre = ref 0 in
+      Array.iter
+        (fun (tid, iv) ->
+          let dtid = tid - max !prev_tid 0 in
+          Varint.write buf (if !prev_tid < 0 then tid else dtid);
+          (* same tid: roots are sorted by pre, delta >= 0; new tid: absolute *)
+          let base = if !prev_tid = tid then !prev_pre else 0 in
+          Varint.write buf (iv.pre - base);
+          pack_size buf iv;
+          Varint.write buf iv.level;
+          prev_tid := tid;
+          prev_pre := iv.pre)
+        a
+  | Interval_p a ->
+      Varint.write buf (Array.length a);
+      let prev_tid = ref (-1) in
+      let prev_pre = ref 0 in
+      Array.iter
+        (fun (tid, ivs) ->
+          let dtid = tid - max !prev_tid 0 in
+          Varint.write buf (if !prev_tid < 0 then tid else dtid);
+          let root = ivs.(0) in
+          let base = if !prev_tid = tid then !prev_pre else 0 in
+          Varint.write buf (root.pre - base);
+          pack_size buf root;
+          Varint.write buf root.level;
+          Array.iteri
+            (fun k iv ->
+              if k > 0 then begin
+                (* strict descendant of the root: both offsets >= 1 *)
+                Varint.write buf (iv.pre - root.pre);
+                pack_size buf iv;
+                Varint.write buf (iv.level - root.level)
+              end)
+            ivs;
+          prev_tid := tid;
+          prev_pre := root.pre)
+        a
+
+let unpack scheme ~key_size s off =
+  let count, off = Varint.read s off in
+  match scheme with
+  | Filter ->
+      let prev = ref 0 in
+      let off = ref off in
+      let tids =
+        Array.init count (fun _ ->
+            let d, o = Varint.read s !off in
+            off := o;
+            prev := !prev + d;
+            !prev)
+      in
+      (Filter_p tids, !off)
+  | Root_split ->
+      let prev_tid = ref 0 in
+      let prev_pre = ref 0 in
+      let off = ref off in
+      let a =
+        Array.init count (fun i ->
+            let dtid, o = Varint.read s !off in
+            let tid = if i = 0 then dtid else !prev_tid + dtid in
+            let base = if i > 0 && dtid = 0 then !prev_pre else 0 in
+            let dpre, o = Varint.read s o in
+            let pre = base + dpre in
+            let s1, o = Varint.read s o in
+            let level, o = Varint.read s o in
+            off := o;
+            prev_tid := tid;
+            prev_pre := pre;
+            (tid, { pre; post = pre + s1 - level; level }))
+      in
+      (Root_p a, !off)
+  | Interval ->
+      let prev_tid = ref 0 in
+      let prev_pre = ref 0 in
+      let off = ref off in
+      let a =
+        Array.init count (fun i ->
+            let dtid, o = Varint.read s !off in
+            let tid = if i = 0 then dtid else !prev_tid + dtid in
+            let base = if i > 0 && dtid = 0 then !prev_pre else 0 in
+            let dpre, o = Varint.read s o in
+            let root_pre = base + dpre in
+            let s1, o = Varint.read s o in
+            let root_level, o = Varint.read s o in
+            let root =
+              { pre = root_pre; post = root_pre + s1 - root_level; level = root_level }
+            in
+            off := o;
+            let ivs =
+              Array.init key_size (fun k ->
+                  if k = 0 then root
+                  else begin
+                    let dpre, o = Varint.read s !off in
+                    let pre = root_pre + dpre in
+                    let s1, o = Varint.read s o in
+                    let dlevel, o = Varint.read s o in
+                    let level = root_level + dlevel in
+                    off := o;
+                    { pre; post = pre + s1 - level; level }
+                  end)
+            in
+            prev_tid := tid;
+            prev_pre := root_pre;
+            (tid, ivs))
+      in
+      (Interval_p a, !off)
+
+let packed_entries s off = fst (Varint.read s off)
+
+(* ---- SIDX1 legacy codec ------------------------------------------------ *)
+
 let read scheme ~key_size s off =
   let count, off = Varint.read s off in
   match scheme with

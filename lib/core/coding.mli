@@ -37,8 +37,25 @@ val entries : posting -> int
 (** Number of posting entries. *)
 
 val write : Buffer.t -> posting -> unit
+(** Legacy SIDX1 flattening: delta-varint tids, raw [(pre, post, level)]
+    varints per interval. *)
 
 val read : scheme -> key_size:int -> string -> int -> posting * int
 (** [read scheme ~key_size s off] parses one posting written by {!write}
     ([key_size] nodes per interval-coded instance); returns the posting and
     the next offset. *)
+
+val pack : Buffer.t -> posting -> unit
+(** SIDX2 packing — the representation both held in memory and written to
+    disk.  Tids are delta-coded; each interval stores [(pre, size-1, level)]
+    using the identity [post = pre + size - 1 - level], so sizes (small)
+    replace postorder ranks (corpus-wide); non-root instance nodes pack
+    [pre]/[level] as offsets from the instance root, and within a tid run
+    the root [pre] is delta-coded against the previous entry. *)
+
+val unpack : scheme -> key_size:int -> string -> int -> posting * int
+(** Inverse of {!pack}; same contract as {!read}. *)
+
+val packed_entries : string -> int -> int
+(** [packed_entries s off] is the entry count of the packed posting at
+    [off] — the leading varint, without decoding the posting. *)

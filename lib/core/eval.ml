@@ -6,6 +6,11 @@ let cover_for (index : Builder.t) ix =
   | Coding.Root_split -> Cover.min_rc ix ~mss:index.Builder.mss
   | Coding.Filter | Coding.Interval -> Cover.optimal_cover ix ~mss:index.Builder.mss
 
+(* monomorphic comparator for (tid, node) results: polymorphic compare on
+   the hot result path allocates and defeats flambda *)
+let cmp_pair (a1, a2) (b1, b2) =
+  if a1 <> b1 then Int.compare a1 b1 else Int.compare (a2 : int) b2
+
 (* same-label sibling pairs that live in different chunks: the injectivity
    constraints extraction does not already guarantee (DESIGN.md §6b) *)
 let cross_chunk_pairs (ix : Ast.indexed) (cover : Cover.t) =
@@ -35,20 +40,77 @@ let encodings_opt ~label_id frag =
 
 (* ---- filter-based ----------------------------------------------------- *)
 
-let intersect (a : int array) (b : int array) =
-  let out = ref [] in
+(* growable int buffer for intersection outputs *)
+module Ibuf = struct
+  type t = { mutable arr : int array; mutable len : int }
+
+  let create n = { arr = Array.make (max n 16) 0; len = 0 }
+
+  let push b x =
+    if b.len = Array.length b.arr then begin
+      let bigger = Array.make (2 * b.len) 0 in
+      Array.blit b.arr 0 bigger 0 b.len;
+      b.arr <- bigger
+    end;
+    b.arr.(b.len) <- x;
+    b.len <- b.len + 1
+
+  let contents b = Array.sub b.arr 0 b.len
+end
+
+let lower_bound a lo hi x =
+  (* least i in [lo, hi) with a.(i) >= x; hi if none *)
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if a.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* when one side is much longer, walk the short side and gallop
+   (exponential probe + binary search) through the long side *)
+let gallop_skew = 16
+
+let intersect_gallop (small : int array) (big : int array) out =
+  let nb = Array.length big in
+  let j = ref 0 in
+  Array.iter
+    (fun x ->
+      if !j < nb then begin
+        let bound = ref 1 in
+        while !j + !bound < nb && big.(!j + !bound) < x do
+          bound := !bound lsl 1
+        done;
+        let k = lower_bound big !j (min nb (!j + !bound + 1)) x in
+        j := k;
+        if k < nb && big.(k) = x then begin
+          Ibuf.push out x;
+          incr j
+        end
+      end)
+    small
+
+let intersect_merge (a : int array) (b : int array) out =
+  let na = Array.length a and nb = Array.length b in
   let i = ref 0 and j = ref 0 in
-  while !i < Array.length a && !j < Array.length b do
+  while !i < na && !j < nb do
     let x = a.(!i) and y = b.(!j) in
     if x < y then incr i
     else if y < x then incr j
     else begin
-      out := x :: !out;
+      Ibuf.push out x;
       incr i;
       incr j
     end
-  done;
-  Array.of_list (List.rev !out)
+  done
+
+let intersect (a : int array) (b : int array) =
+  let a, b = if Array.length a <= Array.length b then (a, b) else (b, a) in
+  let out = Ibuf.create (Array.length a) in
+  if Array.length b >= gallop_skew * max 1 (Array.length a) then
+    intersect_gallop a b out
+  else intersect_merge a b out;
+  Ibuf.contents out
 
 let run_filter ~(index : Builder.t) ~corpus ~label_id q (cover : Cover.t) =
   let chunk_tids (c : Cover.chunk) =
@@ -60,20 +122,24 @@ let run_filter ~(index : Builder.t) ~corpus ~label_id q (cover : Cover.t) =
         | Some _ -> invalid_arg "Eval: filter index holds non-filter postings"
         | None -> [||])
   in
+  let lists = Array.map chunk_tids cover.Cover.chunks in
+  (* intersect cheapest-first: ascending posting length keeps every
+     intermediate result no larger than the smallest input *)
+  Array.sort (fun a b -> Int.compare (Array.length a) (Array.length b)) lists;
   let candidates =
-    Array.fold_left
-      (fun acc c ->
-        match acc with
-        | Some tids when Array.length tids = 0 -> acc
-        | Some tids -> Some (intersect tids (chunk_tids c))
-        | None -> Some (chunk_tids c))
-      None cover.Cover.chunks
-    |> Option.value ~default:[||]
+    if Array.length lists = 0 then [||]
+    else begin
+      let acc = ref lists.(0) in
+      for i = 1 to Array.length lists - 1 do
+        if Array.length !acc > 0 then acc := intersect !acc lists.(i)
+      done;
+      !acc
+    end
   in
   Array.to_list candidates
   |> List.concat_map (fun tid ->
          List.map (fun v -> (tid, v)) (Matcher.roots corpus.(tid) q))
-  |> List.sort compare
+  |> List.sort cmp_pair
 
 (* ---- interval / root-split -------------------------------------------- *)
 
@@ -115,24 +181,73 @@ let chunk_rel ~(index : Builder.t) ~label_id (c : Cover.chunk) =
       | Some (Coding.Filter_p _) ->
           invalid_arg "Eval: joinable evaluator over a filter index")
 
+(* Join order: the chunks form a tree (one cut edge per non-first chunk).
+   Start from the smallest relation and repeatedly merge in the smallest
+   relation adjacent to the joined set — the driving relation bounds every
+   intermediate result, and connectivity guarantees exactly one cut edge
+   links the new chunk to the joined set (the join predicate). *)
 let run_joins ~(index : Builder.t) ~corpus ~label_id q (ix : Ast.indexed)
     (cover : Cover.t) =
+  let nchunks = Array.length cover.Cover.chunks in
   let rels = Array.map (chunk_rel ~index ~label_id) cover.Cover.chunks in
   if Array.exists Join.is_empty rels then []
   else begin
-    let acc = ref rels.(0) in
-    Array.iteri
-      (fun i (c : Cover.chunk) ->
-        if i > 0 then begin
-          let p = ix.Ast.parent.(c.Cover.root) in
-          let axis = ix.Ast.axis.(c.Cover.root) in
-          let ip = Join.col_index !acc p in
-          let ic = Join.col_index rels.(i) c.Cover.root in
-          acc :=
-            Join.merge_join !acc rels.(i) ~pred:(fun ra rb ->
-                Join.structural axis ra.Join.ivs.(ip) rb.Join.ivs.(ic))
-        end)
-      cover.Cover.chunks;
+    let edge c =
+      (* chunk c's own cut edge, c >= 1: (parent qnode, axis) *)
+      let r = cover.Cover.chunks.(c).Cover.root in
+      (ix.Ast.parent.(r), ix.Ast.axis.(r))
+    in
+    let parent_chunk c = cover.Cover.chunk_of.(fst (edge c)) in
+    let adj = Array.make nchunks [] in
+    for c = 1 to nchunks - 1 do
+      let p = parent_chunk c in
+      adj.(p) <- c :: adj.(p);
+      adj.(c) <- p :: adj.(c)
+    done;
+    let rows c = Array.length rels.(c).Join.rows in
+    let included = Array.make nchunks false in
+    let start = ref 0 in
+    for c = 1 to nchunks - 1 do
+      if rows c < rows !start then start := c
+    done;
+    included.(!start) <- true;
+    let acc = ref rels.(!start) in
+    for _ = 2 to nchunks do
+      let best = ref (-1) in
+      for c = 0 to nchunks - 1 do
+        if
+          (not included.(c))
+          && List.exists (fun n -> included.(n)) adj.(c)
+          && (!best < 0 || rows c < rows !best)
+        then best := c
+      done;
+      let c = !best in
+      (* the unique cut edge between c and the joined set *)
+      let pq, axis, child_root =
+        if c > 0 && included.(parent_chunk c) then
+          let pq, axis = edge c in
+          (pq, axis, cover.Cover.chunks.(c).Cover.root)
+        else begin
+          let k =
+            List.find (fun k -> k > 0 && included.(k) && parent_chunk k = c) adj.(c)
+          in
+          let pq, axis = edge k in
+          (pq, axis, cover.Cover.chunks.(k).Cover.root)
+        end
+      in
+      let a = !acc and b = rels.(c) in
+      let pred =
+        match Join.col_index a pq with
+        | ip ->
+            let ic = Join.col_index b child_root in
+            fun ra rb -> Join.structural axis ra.Join.ivs.(ip) rb.Join.ivs.(ic)
+        | exception Not_found ->
+            let ip = Join.col_index b pq and ic = Join.col_index a child_root in
+            fun ra rb -> Join.structural axis rb.Join.ivs.(ip) ra.Join.ivs.(ic)
+      in
+      acc := Join.merge_join a b ~pred;
+      included.(c) <- true
+    done;
     let col_opt q = match Join.col_index !acc q with c -> Some c | exception Not_found -> None in
     let pairs = cross_chunk_pairs ix cover in
     let checked =
@@ -149,7 +264,7 @@ let run_joins ~(index : Builder.t) ~corpus ~label_id q (ix : Ast.indexed)
     let results =
       Array.to_list checked.Join.rows
       |> List.map (fun r -> (r.Join.tid, r.Join.ivs.(c0).Coding.pre))
-      |> List.sort_uniq compare
+      |> List.sort_uniq cmp_pair
     in
     (* root-split corner (DESIGN.md §6b): an injectivity constraint touching
        a non-exposed node cannot be a join predicate -> validate candidates *)

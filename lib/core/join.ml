@@ -18,10 +18,38 @@ let structural axis (p : Coding.interval) (c : Coding.interval) =
   | Si_query.Ast.Child -> contains && c.Coding.level = p.Coding.level + 1
   | Si_query.Ast.Descendant -> contains
 
+(* growable row buffer: doubling array, no per-row list cell / final rev *)
+module Rows = struct
+  type t = { mutable arr : row array; mutable len : int }
+
+  let dummy = { tid = -1; ivs = [||] }
+  let create n = { arr = Array.make (max n 16) dummy; len = 0 }
+
+  let push b r =
+    if b.len = Array.length b.arr then begin
+      let bigger = Array.make (2 * b.len) dummy in
+      Array.blit b.arr 0 bigger 0 b.len;
+      b.arr <- bigger
+    end;
+    b.arr.(b.len) <- r;
+    b.len <- b.len + 1
+
+  let contents b = Array.sub b.arr 0 b.len
+end
+
+let concat_ivs (a : Coding.interval array) b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 then Array.copy b
+  else begin
+    let out = Array.make (na + nb) a.(0) in
+    Array.blit a 0 out 0 na;
+    Array.blit b 0 out na nb;
+    out
+  end
+
 let merge_join a b ~pred =
   let na = Array.length a.rows and nb = Array.length b.rows in
-  let out = ref [] in
-  let count = ref 0 in
+  let out = Rows.create (max na nb) in
   let i = ref 0 and j = ref 0 in
   while !i < na && !j < nb do
     let ta = a.rows.(!i).tid and tb = b.rows.(!j).tid in
@@ -38,16 +66,17 @@ let merge_join a b ~pred =
       for x = !i to !i2 - 1 do
         for y = !j to !j2 - 1 do
           let ra = a.rows.(x) and rb = b.rows.(y) in
-          if pred ra rb then begin
-            out := { tid = ta; ivs = Array.append ra.ivs rb.ivs } :: !out;
-            incr count
-          end
+          if pred ra rb then
+            Rows.push out { tid = ta; ivs = concat_ivs ra.ivs rb.ivs }
         done
       done;
       i := !i2;
       j := !j2
     end
   done;
-  { cols = Array.append a.cols b.cols; rows = Array.of_list (List.rev !out) }
+  { cols = Array.append a.cols b.cols; rows = Rows.contents out }
 
-let filter rel f = { rel with rows = Array.of_seq (Seq.filter f (Array.to_seq rel.rows)) }
+let filter rel f =
+  let out = Rows.create (Array.length rel.rows) in
+  Array.iter (fun r -> if f r then Rows.push out r) rel.rows;
+  { rel with rows = Rows.contents out }

@@ -8,6 +8,7 @@ type t = {
          encoded in; raises Not_found for labels the index never saw *)
 }
 
+let index t = t.index
 let scheme t = t.index.Builder.scheme
 let mss t = t.index.Builder.mss
 let stats t = t.index.Builder.stats
@@ -47,9 +48,9 @@ let save t prefix trees =
       "postings=" ^ string_of_int s.Builder.postings;
     ]
 
-let build ~scheme ~mss ~trees ?prefix () =
+let build ?(domains = 1) ~scheme ~mss ~trees ?prefix () =
   let corpus = Array.of_list (List.map Annotated.of_tree trees) in
-  let index = Builder.build ~scheme ~mss corpus in
+  let index = Builder.build ~domains ~scheme ~mss corpus in
   let t = { index; corpus; label_id = Fun.id } in
   Option.iter (fun p -> save t p trees) prefix;
   t

@@ -18,13 +18,19 @@
 type t
 
 val build :
+  ?domains:int ->
   scheme:Coding.scheme ->
   mss:int ->
   trees:Si_treebank.Tree.t list ->
   ?prefix:string ->
   unit ->
   t
-(** Build in memory; when [prefix] is given, also persist the four files. *)
+(** Build in memory; when [prefix] is given, also persist the four files.
+    [domains] (default 1) shards construction across that many OCaml
+    domains; the result and persisted bytes are identical regardless. *)
+
+val index : t -> Builder.t
+(** The underlying key table — for tools and benchmarks. *)
 
 val open_ : string -> t
 (** Load an index persisted by {!build}. *)

@@ -49,6 +49,30 @@ let prop_posting_codec =
 let corpus n seed = Si_grammar.Generator.corpus ~seed ~n ()
 let docs trees = Array.of_list (List.map Annotated.of_tree trees)
 
+(* SIDX2 packing relies on corpus invariants (post = pre + size - 1 - level,
+   instance nodes descend from the instance root), so its roundtrip is
+   checked on postings from real builds rather than free-form generators. *)
+let prop_pack_roundtrip =
+  QCheck.Test.make ~name:"SIDX2 pack/unpack roundtrip (built postings)"
+    ~count:12
+    QCheck.(pair (int_range 1 3) small_nat)
+    (fun (mss, seed) ->
+      List.iter
+        (fun scheme ->
+          let b = Builder.build ~scheme ~mss (docs (corpus 30 (seed + 3))) in
+          Builder.iter b (fun key p ->
+              let buf = Buffer.create 64 in
+              Coding.pack buf p;
+              let s = Buffer.contents buf in
+              let p', off =
+                Coding.unpack scheme ~key_size:(Si_subtree.Canonical.key_size key) s 0
+              in
+              if p <> p' || off <> String.length s then
+                QCheck.Test.fail_reportf "pack/unpack mismatch (%s, mss=%d)"
+                  (Coding.scheme_to_string scheme) mss))
+        [ Coding.Filter; Coding.Interval; Coding.Root_split ];
+      true)
+
 let test_builder_invariants () =
   let d = docs (corpus 60 11) in
   let nodes = Array.fold_left (fun a t -> a + Annotated.size t) 0 d in
@@ -57,11 +81,10 @@ let test_builder_invariants () =
       let b = Builder.build ~scheme ~mss:2 d in
       Alcotest.(check int) "trees" 60 b.Builder.stats.Builder.trees;
       Alcotest.(check int) "nodes" nodes b.Builder.stats.Builder.nodes;
-      Alcotest.(check int) "keys = table size" (Hashtbl.length b.Builder.table)
+      Alcotest.(check int) "keys = table size" (Builder.n_keys b)
         b.Builder.stats.Builder.keys;
       (* postings sorted and (where promised) unique *)
-      Hashtbl.iter
-        (fun key p ->
+      Builder.iter b (fun key p ->
           let sorted_unique l = List.sort_uniq compare l = l in
           ignore key;
           match p with
@@ -76,8 +99,7 @@ let test_builder_invariants () =
           | Coding.Interval_p rows ->
               Alcotest.(check bool) "interval tids sorted" true
                 (let ts = Array.to_list (Array.map fst rows) in
-                 List.sort compare ts = ts))
-        b.Builder.table)
+                 List.sort compare ts = ts)))
     [ Coding.Filter; Coding.Interval; Coding.Root_split ]
 
 let test_mss1_codings_align () =
@@ -117,14 +139,13 @@ let test_builder_save_load () =
           Alcotest.(check int) "mss" 3 b'.Builder.mss;
           Alcotest.(check int) "keys" b.Builder.stats.Builder.keys
             b'.Builder.stats.Builder.keys;
-          Alcotest.(check int) "table size" (Hashtbl.length b.Builder.table)
-            (Hashtbl.length b'.Builder.table);
-          Hashtbl.iter
-            (fun key p ->
+          Alcotest.(check int) "postings stat survives lazy load"
+            b.Builder.stats.Builder.postings b'.Builder.stats.Builder.postings;
+          Alcotest.(check int) "table size" (Builder.n_keys b) (Builder.n_keys b');
+          Builder.iter b (fun key p ->
               match Builder.find b' key with
               | Some p' -> Alcotest.(check bool) "posting equal" true (p = p')
-              | None -> Alcotest.fail "key lost in save/load")
-            b.Builder.table)
+              | None -> Alcotest.fail "key lost in save/load"))
         [ Coding.Filter; Coding.Interval; Coding.Root_split ])
 
 (* ---- the differential heart: every coding's evaluator = the oracle ---- *)
@@ -177,6 +198,108 @@ let prop_differential =
       check_differential ~seed:(seed + 1) ~n:60 ~mss;
       true)
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_temp f =
+  let path = Filename.temp_file "si_test" ".idx" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+(* parallel build differential: the saved index must be byte-identical *)
+let prop_parallel_byte_identical =
+  QCheck.Test.make ~name:"parallel build (2/4 domains) byte-identical to sequential"
+    ~count:6
+    QCheck.(pair (int_range 1 3) small_nat)
+    (fun (mss, seed) ->
+      List.iter
+        (fun scheme ->
+          let d = docs (corpus 50 (seed + 101)) in
+          let reference =
+            with_temp (fun p ->
+                Builder.save (Builder.build ~domains:1 ~scheme ~mss d) p;
+                read_file p)
+          in
+          List.iter
+            (fun domains ->
+              let bytes =
+                with_temp (fun p ->
+                    Builder.save (Builder.build ~domains ~scheme ~mss d) p;
+                    read_file p)
+              in
+              if not (String.equal reference bytes) then
+                QCheck.Test.fail_reportf
+                  "%d-domain build differs from sequential (%s, mss=%d, seed=%d)"
+                  domains (Coding.scheme_to_string scheme) mss seed)
+            [ 2; 4 ])
+        [ Coding.Filter; Coding.Interval; Coding.Root_split ];
+      true)
+
+(* SIDX2 differential: a saved-and-lazily-reloaded index answers every
+   query exactly like in-memory evaluation and the brute-force oracle *)
+let prop_sidx2_differential =
+  QCheck.Test.make ~name:"SIDX2 lazy reload matches eval and oracle" ~count:5
+    QCheck.(pair (int_range 1 4) small_nat)
+    (fun (mss, seed) ->
+      let d = docs (corpus 60 (seed + 211)) in
+      List.iter
+        (fun scheme ->
+          let b = Builder.build ~scheme ~mss d in
+          let b' = with_temp (fun p -> Builder.save b p; Builder.load p) in
+          List.iter
+            (fun q ->
+              let mem = Eval.run ~index:b ~corpus:d q in
+              let lazy_ = Eval.run ~index:b' ~corpus:d q in
+              let want = Si_query.Matcher.corpus_roots d q in
+              if mem <> lazy_ || lazy_ <> want then
+                QCheck.Test.fail_reportf "SIDX2 mismatch on %s (%s, mss=%d)"
+                  (Si_query.Ast.to_string q)
+                  (Coding.scheme_to_string scheme)
+                  mss)
+            queries)
+        [ Coding.Filter; Coding.Interval; Coding.Root_split ];
+      true)
+
+let test_sidx1_compat () =
+  (* a legacy SIDX1 file loads into the same index as the SIDX2 file *)
+  let d = docs (corpus 40 37) in
+  List.iter
+    (fun scheme ->
+      let b = Builder.build ~scheme ~mss:3 d in
+      let via_v1 = with_temp (fun p -> Builder.save_v1 b p; Builder.load p) in
+      Alcotest.(check int) "keys" (Builder.n_keys b) (Builder.n_keys via_v1);
+      Builder.iter b (fun key p ->
+          match Builder.find via_v1 key with
+          | Some p' -> Alcotest.(check bool) "posting equal" true (p = p')
+          | None -> Alcotest.fail "key lost in SIDX1 roundtrip"))
+    [ Coding.Filter; Coding.Interval; Coding.Root_split ]
+
+let test_sidx2_smaller_than_sidx1 () =
+  let d = docs (corpus 200 41) in
+  List.iter
+    (fun scheme ->
+      let b = Builder.build ~scheme ~mss:3 d in
+      let size save = with_temp (fun p -> save b p; (Unix.stat p).Unix.st_size) in
+      let v2 = size Builder.save and v1 = size Builder.save_v1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "SIDX2 (%d) < SIDX1 (%d) for %s" v2 v1
+           (Coding.scheme_to_string scheme))
+        true (v2 < v1))
+    [ Coding.Filter; Coding.Interval; Coding.Root_split ]
+
+let test_bad_magic () =
+  with_temp (fun p ->
+      let oc = open_out_bin p in
+      output_string oc "NOTIDX\njunk";
+      close_out oc;
+      match Builder.load p with
+      | exception Failure msg ->
+          Alcotest.(check bool) "mentions magic" true
+            (String.length msg > 0)
+      | _ -> Alcotest.fail "bad magic accepted")
+
 let test_si_roundtrip () =
   let trees = corpus 80 23 in
   let dir = Filename.temp_file "si_test" "" in
@@ -226,10 +349,16 @@ let test_query_syntax_error () =
 let suite =
   [
     qcheck prop_posting_codec;
+    qcheck prop_pack_roundtrip;
     Alcotest.test_case "builder invariants" `Quick test_builder_invariants;
     Alcotest.test_case "mss=1 coding alignment" `Quick test_mss1_codings_align;
     Alcotest.test_case "keys grow with mss" `Quick test_keys_grow_with_mss;
     Alcotest.test_case "builder save/load" `Quick test_builder_save_load;
+    qcheck prop_parallel_byte_identical;
+    qcheck prop_sidx2_differential;
+    Alcotest.test_case "SIDX1 compat load" `Quick test_sidx1_compat;
+    Alcotest.test_case "SIDX2 smaller than SIDX1" `Quick test_sidx2_smaller_than_sidx1;
+    Alcotest.test_case "bad magic rejected" `Quick test_bad_magic;
     Alcotest.test_case "differential vs oracle (fixed)" `Slow test_differential_fixed;
     qcheck prop_differential;
     Alcotest.test_case "Si persistence roundtrip" `Slow test_si_roundtrip;
