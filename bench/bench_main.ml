@@ -120,6 +120,16 @@ let latency_quantiles ~quota ~name f =
 
 let file_size path = (Unix.stat path).Unix.st_size
 
+(* benches run on files they just wrote; any Si_error here is a harness bug *)
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> failwith (Si_core.Si_error.to_string e)
+
+let median l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  if Array.length a = 0 then Float.nan else a.(Array.length a / 2)
+
 let commit_hash () =
   try
     let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
@@ -165,6 +175,10 @@ let () =
   (* build throughput per scheme x domains *)
   let build_entries = ref [] in
   let built = Hashtbl.create 4 in
+  (* per-scheme headline numbers for the stable "summary" object *)
+  let build1_s = Hashtbl.create 4 in
+  let idx_bytes = Hashtbl.create 4 in
+  let query_p50s = Hashtbl.create 4 in
   List.iter
     (fun scheme ->
       List.iter
@@ -173,7 +187,10 @@ let () =
             time_best ~repeat:3 (fun () ->
                 Si_core.Builder.build ~domains ~scheme ~mss docs)
           in
-          if domains = 1 then Hashtbl.replace built scheme b;
+          if domains = 1 then begin
+            Hashtbl.replace built scheme b;
+            Hashtbl.replace build1_s scheme dt
+          end;
           Printf.eprintf "build %-10s domains=%d: %.3fs (%.0f trees/s)\n%!"
             (Si_core.Coding.scheme_to_string scheme)
             domains dt
@@ -199,8 +216,9 @@ let () =
       let name = Si_core.Coding.scheme_to_string scheme in
       let p2 = Filename.concat tmp (name ^ ".idx") in
       let p1 = Filename.concat tmp (name ^ ".v1.idx") in
-      Si_core.Builder.save b p2;
-      Si_core.Builder.save_v1 b p1;
+      ok_exn (Si_core.Builder.save b p2);
+      ok_exn (Si_core.Builder.save_v1 b p1);
+      Hashtbl.replace idx_bytes scheme (file_size p2);
       let s = b.Si_core.Builder.stats in
       index_entries :=
         J.Obj
@@ -212,8 +230,8 @@ let () =
             ("bytes_sidx1", J.Int (file_size p1));
           ]
         :: !index_entries;
-      let _, t2 = time_best ~repeat:5 (fun () -> Si_core.Builder.load p2) in
-      let _, t1 = time_best ~repeat:5 (fun () -> Si_core.Builder.load p1) in
+      let _, t2 = time_best ~repeat:5 (fun () -> ok_exn (Si_core.Builder.load p2)) in
+      let _, t1 = time_best ~repeat:5 (fun () -> ok_exn (Si_core.Builder.load p1)) in
       Printf.eprintf
         "size %-10s: sidx2=%d sidx1=%d bytes; load lazy=%.4fs eager=%.4fs\n%!"
         name (file_size p2) (file_size p1) t2 t1;
@@ -232,15 +250,17 @@ let () =
   List.iter
     (fun scheme ->
       let name = Si_core.Coding.scheme_to_string scheme in
-      let index = Si_core.Builder.load (Filename.concat tmp (name ^ ".idx")) in
+      let index = ok_exn (Si_core.Builder.load (Filename.concat tmp (name ^ ".idx"))) in
       List.iter
         (fun qstr ->
           let q = Si_query.Parser.parse_exn qstr in
-          let matches = Si_core.Eval.run ~index ~corpus:docs q in
+          let matches = Si_core.Eval.run_exn ~index ~corpus:docs q in
           let samples, p50, p90, p99 =
             latency_quantiles ~quota ~name:(name ^ "/" ^ qstr) (fun () ->
-                Si_core.Eval.run ~index ~corpus:docs q)
+                Si_core.Eval.run_exn ~index ~corpus:docs q)
           in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt query_p50s scheme) in
+          Hashtbl.replace query_p50s scheme (p50 :: prev);
           Printf.eprintf
             "query %-10s %-22s: %d matches, p50=%.1fus p99=%.1fus (%d samples)\n%!"
             name qstr (List.length matches) (p50 /. 1e3) (p99 /. 1e3) samples;
@@ -259,9 +279,27 @@ let () =
         bench_queries)
     schemes;
 
+  (* stable headline numbers: one object per coding, fixed keys, so CI and
+     future PRs can diff trajectories without walking the detail arrays *)
+  let summary =
+    J.Obj
+      (List.map
+         (fun scheme ->
+           let name = Si_core.Coding.scheme_to_string scheme in
+           ( name,
+             J.Obj
+               [
+                 ("build_ms", J.Float (1000.0 *. Hashtbl.find build1_s scheme));
+                 ("index_bytes", J.Int (Hashtbl.find idx_bytes scheme));
+                 ( "p50_query_ns",
+                   J.Float (median (Hashtbl.find query_p50s scheme)) );
+               ] ))
+         schemes)
+  in
   let json =
     J.Obj
       [
+        ("summary", summary);
         ( "meta",
           J.Obj
             [

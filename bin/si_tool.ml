@@ -8,6 +8,15 @@ let scheme_conv =
   let print ppf s = Format.pp_print_string ppf (Si_core.Coding.scheme_to_string s) in
   Arg.conv (parse, print)
 
+(* Every Si_error variant maps to a distinct message and exit code
+   (README "failure modes"): 1 oracle mismatch, 2 bad query, 3 corrupt
+   index, 4 i/o error, 5 schema mismatch. *)
+let fail_si e =
+  Printf.eprintf "si_tool: %s\n" (Si_core.Si_error.to_string e);
+  exit (Si_core.Si_error.exit_code e)
+
+let ok_or_fail = function Ok v -> v | Error e -> fail_si e
+
 (* ---- gen --------------------------------------------------------------- *)
 
 let gen n seed output =
@@ -44,9 +53,17 @@ let build corpus prefix scheme mss domains =
     Printf.eprintf "si_tool: --domains must be >= 1 (got %d)\n" domains;
     exit 2
   end;
-  let trees = Si_treebank.Penn.read_file corpus in
+  let trees =
+    try Si_treebank.Penn.read_file corpus with
+    | Sys_error what -> fail_si (Si_core.Si_error.Io { path = corpus; what })
+    | Failure what ->
+        fail_si (Si_core.Si_error.Corrupt { path = corpus; offset = 0; what })
+  in
   let t0 = Unix.gettimeofday () in
-  let si = Si_core.Si.build ~domains ~scheme ~mss ~trees ~prefix () in
+  let si =
+    try Si_core.Si.build ~domains ~scheme ~mss ~trees ~prefix ()
+    with Si_core.Si_error.Error e -> fail_si e
+  in
   let dt = Unix.gettimeofday () -. t0 in
   let s = Si_core.Si.stats si in
   Printf.printf
@@ -82,31 +99,30 @@ let build_cmd =
 (* ---- query ------------------------------------------------------------- *)
 
 let query prefix qstr sentences check_oracle =
-  let si = Si_core.Si.open_ prefix in
-  match Si_core.Si.query si qstr with
-  | Error e ->
-      Printf.eprintf "query syntax error: %s\n" e;
-      exit 2
-  | Ok matches ->
-      Printf.printf "%d matches\n" (List.length matches);
-      if sentences then
-        List.iter
-          (fun (tid, node) ->
-            let t = Si_core.Si.sentence si tid in
-            Printf.printf "%d:%d %s\n" tid node (Si_treebank.Tree.to_string t))
-          matches;
-      if check_oracle then begin
-        let q =
-          match Si_query.Parser.parse qstr with Ok q -> q | Error _ -> assert false
-        in
-        let want = Si_core.Si.oracle si q in
-        if matches = want then print_endline "oracle: OK"
-        else begin
-          Printf.eprintf "oracle MISMATCH: index %d matches, oracle %d\n"
-            (List.length matches) (List.length want);
-          exit 1
-        end
-      end
+  (* parse once; the same AST drives both the index and the oracle *)
+  let q =
+    match Si_query.Parser.parse qstr with
+    | Ok q -> q
+    | Error e -> fail_si (Si_core.Si_error.Bad_query e)
+  in
+  let si = ok_or_fail (Si_core.Si.open_ prefix) in
+  let matches = ok_or_fail (Si_core.Si.query_ast si q) in
+  Printf.printf "%d matches\n" (List.length matches);
+  if sentences then
+    List.iter
+      (fun (tid, node) ->
+        let t = Si_core.Si.sentence si tid in
+        Printf.printf "%d:%d %s\n" tid node (Si_treebank.Tree.to_string t))
+      matches;
+  if check_oracle then begin
+    let want = Si_core.Si.oracle si q in
+    if matches = want then print_endline "oracle: OK"
+    else begin
+      Printf.eprintf "oracle MISMATCH: index %d matches, oracle %d\n"
+        (List.length matches) (List.length want);
+      exit 1
+    end
+  end
 
 let query_cmd =
   let qstr =
@@ -127,7 +143,7 @@ let query_cmd =
 (* ---- stats ------------------------------------------------------------- *)
 
 let stats prefix =
-  let si = Si_core.Si.open_ prefix in
+  let si = ok_or_fail (Si_core.Si.open_ prefix) in
   let s = Si_core.Si.stats si in
   Printf.printf "scheme=%s mss=%d trees=%d nodes=%d keys=%d postings=%d idx_bytes=%d\n"
     (Si_core.Coding.scheme_to_string (Si_core.Si.scheme si))

@@ -20,6 +20,7 @@ type t = {
   mss : int;
   table : (string, slot) Hashtbl.t;
   stats : stats;
+  origin : string;
 }
 
 (* ---- shard stage ------------------------------------------------------- *)
@@ -149,6 +150,7 @@ let finalize ~scheme ~mss ~trees merged =
         postings = !postings;
         bytes = !bytes;
       };
+    origin = "<memory>";
   }
 
 let build ?(domains = 1) ~scheme ~mss docs =
@@ -175,19 +177,32 @@ let build ?(domains = 1) ~scheme ~mss docs =
 
 (* ---- access ------------------------------------------------------------ *)
 
-let find (t : t) key =
+let find_exn (t : t) key =
   match Hashtbl.find_opt t.table key with
   | None -> None
   | Some slot -> (
       match slot.decoded with
       | Some p -> Some p
       | None ->
-          let p, _ =
-            Coding.unpack t.scheme ~key_size:(Canonical.key_size key) slot.src
-              slot.off
+          let finish = slot.off + slot.len in
+          let p, consumed =
+            try
+              Coding.unpack t.scheme ~key_size:(Canonical.key_size key)
+                ~limit:finish slot.src slot.off
+            with
+            | Coding.Malformed { offset; what } ->
+                Si_error.raise_corrupt ~path:t.origin ~offset what
+            | Invalid_argument what ->
+                Si_error.raise_corrupt ~path:t.origin ~offset:slot.off
+                  ("malformed posting: " ^ what)
           in
+          if consumed <> finish then
+            Si_error.raise_corrupt ~path:t.origin ~offset:consumed
+              "posting shorter than its recorded length";
           slot.decoded <- Some p;
           Some p)
+
+let find (t : t) key = Si_error.guard (fun () -> find_exn t key)
 
 let posting_entries (t : t) key =
   Option.map (fun (s : slot) -> s.entries) (Hashtbl.find_opt t.table key)
@@ -196,7 +211,9 @@ let n_keys (t : t) = Hashtbl.length t.table
 
 let iter (t : t) f =
   let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] in
-  List.iter (fun k -> f k (Option.get (find t k))) (List.sort String.compare keys)
+  List.iter
+    (fun k -> f k (Option.get (find_exn t k)))
+    (List.sort String.compare keys)
 
 let length_histogram (t : t) =
   (* power-of-two buckets: count of keys whose posting has <= 2^i entries *)
@@ -213,8 +230,26 @@ let length_histogram (t : t) =
 
 (* ---- flattened file ---------------------------------------------------- *)
 
+(* SIDX2 layout (integrity-checked, see DESIGN.md):
+
+     header    "SIDX2\n"  scheme byte (F|I|R)  mss byte          (8 bytes)
+     keydir    varint nkeys, then per key in sorted order:
+                 varint lcp, varint slen, suffix bytes, varint plen
+     postings  the packed posting bytes, concatenated in key order
+               (offsets implied by the cumulative plen of the keydir)
+     footer    u64le keydir_len | u64le postings_len
+               u32le crc32(header) | u32le crc32(keydir) | u32le crc32(postings)
+               "SI2F"                                            (32 bytes)
+
+   [save] writes to [path ^ ".tmp"], fsyncs, then renames — a crash mid-save
+   never clobbers an existing index.  [load] verifies magic, region lengths
+   and all three checksums before parsing a single record. *)
+
 let magic = "SIDX2\n"
 let magic_v1 = "SIDX1\n"
+let header_len = 8
+let footer_magic = "SI2F"
+let footer_len = 32
 
 let scheme_byte = function
   | Coding.Filter -> 'F'
@@ -225,7 +260,9 @@ let scheme_of_byte path = function
   | 'F' -> Coding.Filter
   | 'I' -> Coding.Interval
   | 'R' -> Coding.Root_split
-  | c -> failwith (Printf.sprintf "%s: bad scheme byte %C" path c)
+  | c ->
+      Si_error.raise_corrupt ~path ~offset:(String.length magic)
+        (Printf.sprintf "bad scheme byte %C (want F, I or R)" c)
 
 let sorted_keys (t : t) =
   List.sort String.compare (Hashtbl.fold (fun k _ a -> k :: a) t.table [])
@@ -235,23 +272,56 @@ let common_prefix a b =
   let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
   go 0
 
+(* Write-to-temporary, fsync, rename.  [f] streams the payload; on any
+   [Sys_error] the temporary is removed and the previous file at [path] is
+   left untouched. *)
+let with_atomic_out path f =
+  let tmp = path ^ ".tmp" in
+  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+  match
+    let oc = open_out_bin tmp in
+    let ok = ref false in
+    Fun.protect
+      ~finally:(fun () ->
+        close_out_noerr oc;
+        if not !ok then cleanup ())
+      (fun () ->
+        f oc;
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc);
+        ok := true);
+    Sys.rename tmp path
+  with
+  | () -> Ok ()
+  | exception Sys_error what ->
+      cleanup ();
+      Error (Si_error.Io { path; what })
+
 (* Streams records straight to the channel through a small per-record
    scratch buffer — peak extra memory is one record, not the whole index. *)
 let save (t : t) path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc magic;
-      output_char oc (scheme_byte t.scheme);
-      output_char oc (Char.chr t.mss);
+  with_atomic_out path (fun oc ->
+      let keys = sorted_keys t in
+      let header =
+        Printf.sprintf "%s%c%c" magic (scheme_byte t.scheme) (Char.chr t.mss)
+      in
+      output_string oc header;
+      (* key directory *)
       let scratch = Buffer.create 256 in
+      let crc_keydir = ref Crc32.empty in
+      let keydir_len = ref 0 in
+      let emit () =
+        let s = Buffer.contents scratch in
+        output_string oc s;
+        crc_keydir := Crc32.feed_string !crc_keydir s;
+        keydir_len := !keydir_len + String.length s;
+        Buffer.clear scratch
+      in
       Varint.write scratch (Hashtbl.length t.table);
-      Buffer.output_buffer oc scratch;
+      emit ();
       let prev = ref "" in
       List.iter
         (fun key ->
-          Buffer.clear scratch;
           let slot = Hashtbl.find t.table key in
           (* front-coded key: shared prefix with the previous sorted key *)
           let lcp = common_prefix !prev key in
@@ -259,16 +329,30 @@ let save (t : t) path =
           Varint.write scratch (String.length key - lcp);
           Buffer.add_substring scratch key lcp (String.length key - lcp);
           Varint.write scratch slot.len;
-          Buffer.output_buffer oc scratch;
-          output_substring oc slot.src slot.off slot.len;
+          emit ();
           prev := key)
-        (sorted_keys t))
+        keys;
+      (* postings region *)
+      let crc_postings = ref Crc32.empty in
+      let postings_len = ref 0 in
+      List.iter
+        (fun key ->
+          let slot = Hashtbl.find t.table key in
+          output_substring oc slot.src slot.off slot.len;
+          crc_postings := Crc32.feed_substring !crc_postings slot.src slot.off slot.len;
+          postings_len := !postings_len + slot.len)
+        keys;
+      (* footer *)
+      Buffer.add_int64_le scratch (Int64.of_int !keydir_len);
+      Buffer.add_int64_le scratch (Int64.of_int !postings_len);
+      Buffer.add_int32_le scratch (Int32.of_int (Crc32.string header));
+      Buffer.add_int32_le scratch (Int32.of_int (Crc32.value !crc_keydir));
+      Buffer.add_int32_le scratch (Int32.of_int (Crc32.value !crc_postings));
+      Buffer.add_string scratch footer_magic;
+      Buffer.output_buffer oc scratch)
 
 let save_v1 (t : t) path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
+  with_atomic_out path (fun oc ->
       output_string oc magic_v1;
       output_char oc (scheme_byte t.scheme);
       output_char oc (Char.chr t.mss);
@@ -280,7 +364,7 @@ let save_v1 (t : t) path =
           Buffer.clear scratch;
           Varint.write scratch (String.length key);
           Buffer.add_string scratch key;
-          Coding.write scratch (Option.get (find t key));
+          Coding.write scratch (Option.get (find_exn t key));
           Buffer.output_buffer oc scratch)
         (sorted_keys t))
 
@@ -290,76 +374,176 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* SIDX2 load: one pass over the records building key -> (offset, length)
-   slots over the raw file bytes; postings decode on first [find]. *)
+(* A key must begin with a root label varint followed by the root size byte
+   (= node count, in [1, mss]) — validated before [Canonical.key_size] or
+   the posting decoder ever consume it. *)
+let checked_key_size path ~offset ~mss key =
+  let corrupt what = Si_error.raise_corrupt ~path ~offset what in
+  match Varint.read key 0 with
+  | exception Invalid_argument _ -> corrupt "malformed key (bad root label varint)"
+  | _, o ->
+      if o >= String.length key then corrupt "malformed key (missing root size byte)";
+      let ks = Char.code key.[o] in
+      if ks < 1 || ks > mss then
+        corrupt (Printf.sprintf "key size %d outside 1..mss=%d" ks mss);
+      ks
+
+let u32_at s off = Int32.to_int (String.get_int32_le s off) land 0xffffffff
+
+let u64_at path s off =
+  match Int64.unsigned_to_int (String.get_int64_le s off) with
+  | Some v -> v
+  | None -> Si_error.raise_corrupt ~path ~offset:off "region length out of range"
+
+(* SIDX2 load: verify footer magic, region lengths and checksums over the
+   whole byte string, then one bounds-checked pass over the key directory
+   building key -> (offset, length) slots; postings decode on first [find]. *)
 let load_v2 path s =
-  let mlen = String.length magic in
-  let scheme = scheme_of_byte path s.[mlen] in
-  let mss = Char.code s.[mlen + 1] in
-  let nkeys, off = Varint.read s (mlen + 2) in
-  let table = Hashtbl.create (2 * nkeys) in
+  let len = String.length s in
+  let corrupt offset what = Si_error.raise_corrupt ~path ~offset what in
+  if len < header_len + footer_len then
+    corrupt len
+      (Printf.sprintf "truncated: %d bytes cannot hold the header and footer" len);
+  if not (String.equal (String.sub s (len - 4) 4) footer_magic) then
+    corrupt (len - 4) "missing footer magic (truncated file or pre-checksum SIDX2)";
+  let keydir_len = u64_at path s (len - 32) in
+  let postings_len = u64_at path s (len - 24) in
+  if keydir_len > len || postings_len > len
+     || header_len + keydir_len + postings_len + footer_len <> len
+  then
+    corrupt (len - 32)
+      (Printf.sprintf
+         "recorded region lengths (%d-byte key directory + %d-byte postings) \
+          disagree with the %d-byte file"
+         keydir_len postings_len len);
+  if Crc32.substring s 0 header_len <> u32_at s (len - 16) then
+    corrupt 0 "header checksum mismatch";
+  let kd_start = header_len in
+  let p_start = kd_start + keydir_len in
+  if Crc32.substring s kd_start keydir_len <> u32_at s (len - 12) then
+    corrupt kd_start "key directory checksum mismatch";
+  if Crc32.substring s p_start postings_len <> u32_at s (len - 8) then
+    corrupt p_start "postings checksum mismatch";
+  let scheme = scheme_of_byte path s.[6] in
+  let mss = Char.code s.[7] in
+  if mss < 1 then corrupt 7 "mss byte must be >= 1";
+  (* key directory: every varint bounded by the region end, keys strictly
+     sorted, posting lengths tiling the postings region exactly *)
+  let kd_end = p_start in
+  let vread off = Coding.checked_varint ~limit:kd_end s off in
+  let nkeys, off0 = vread kd_start in
+  if nkeys > keydir_len then corrupt kd_start "key count exceeds key directory size";
+  let table = Hashtbl.create (2 * (nkeys + 1)) in
   let postings = ref 0 in
-  let off = ref off in
+  let off = ref off0 in
+  let post_off = ref 0 in
   let prev = ref "" in
   for _ = 1 to nkeys do
-    let lcp, o = Varint.read s !off in
-    let slen, o = Varint.read s o in
+    let rec_start = !off in
+    let lcp, o = vread !off in
+    let slen, o = vread o in
+    if lcp > String.length !prev then
+      corrupt rec_start "front-coded prefix longer than the previous key";
+    if slen > kd_end - o then corrupt rec_start "key suffix overruns the key directory";
     let key = String.sub !prev 0 lcp ^ String.sub s o slen in
     let o = o + slen in
-    let plen, o = Varint.read s o in
-    let entries = Coding.packed_entries s o in
+    if String.compare key !prev <= 0 then
+      corrupt rec_start "keys not in strictly increasing order";
+    ignore (checked_key_size path ~offset:rec_start ~mss key);
+    let plen, o = vread o in
+    if plen < 1 then corrupt rec_start "zero-length posting";
+    if plen > postings_len - !post_off then
+      corrupt rec_start "posting overruns the postings region";
+    let slot_off = p_start + !post_off in
+    let entries = Coding.packed_entries ~limit:(slot_off + plen) s slot_off in
     postings := !postings + entries;
-    Hashtbl.replace table key { src = s; off = o; len = plen; entries; decoded = None };
-    off := o + plen;
+    Hashtbl.replace table key
+      { src = s; off = slot_off; len = plen; entries; decoded = None };
+    post_off := !post_off + plen;
+    off := o;
     prev := key
   done;
+  if !off <> kd_end then corrupt !off "trailing bytes in the key directory";
+  if !post_off <> postings_len then
+    corrupt p_start "posting lengths do not cover the postings region";
   {
     scheme;
     mss;
     table;
     stats =
-      {
-        trees = 0;
-        nodes = 0;
-        keys = nkeys;
-        postings = !postings;
-        bytes = String.length s;
-      };
+      { trees = 0; nodes = 0; keys = nkeys; postings = !postings; bytes = len };
+    origin = path;
   }
 
-(* SIDX1 load: the legacy format stores postings eagerly; decode each and
-   re-pack so the in-memory representation is uniformly SIDX2. *)
+(* SIDX1 load: the legacy format stores postings eagerly and carries no
+   checksum (detection is structural only); decode each posting defensively
+   and re-pack so the in-memory representation is uniformly SIDX2. *)
 let load_v1 path s =
-  let mlen = String.length magic_v1 in
-  let scheme = scheme_of_byte path s.[mlen] in
-  let mss = Char.code s.[mlen + 1] in
-  let nkeys, off = Varint.read s (mlen + 2) in
-  let table = Hashtbl.create (2 * nkeys) in
-  let off = ref off in
+  let len = String.length s in
+  let corrupt offset what = Si_error.raise_corrupt ~path ~offset what in
+  if len < header_len then corrupt len "truncated header";
+  let scheme = scheme_of_byte path s.[6] in
+  let mss = Char.code s.[7] in
+  if mss < 1 then corrupt 7 "mss byte must be >= 1";
+  let vread off = Coding.checked_varint ~limit:len s off in
+  let nkeys, off0 = vread 8 in
+  if nkeys > len then corrupt 8 "key count exceeds file size";
+  let table = Hashtbl.create (2 * (nkeys + 1)) in
+  let off = ref off0 in
   let postings = ref 0 in
   let bytes = ref 0 in
+  let prev = ref "" in
   for _ = 1 to nkeys do
-    let klen, o = Varint.read s !off in
+    let rec_start = !off in
+    let klen, o = vread !off in
+    if klen > len - o then corrupt rec_start "key overruns the file";
     let key = String.sub s o klen in
-    let posting, o = Coding.read scheme ~key_size:(Canonical.key_size key) s (o + klen) in
+    if String.compare key !prev <= 0 then
+      corrupt rec_start "keys not in strictly increasing order";
+    let key_size = checked_key_size path ~offset:rec_start ~mss key in
+    let posting, o = Coding.read scheme ~key_size ~limit:len s (o + klen) in
     off := o;
+    prev := key;
     let slot = slot_of_posting posting in
     postings := !postings + slot.entries;
-    bytes :=
-      !bytes + Varint.size klen + klen + Varint.size slot.len + slot.len;
+    bytes := !bytes + Varint.size klen + klen + Varint.size slot.len + slot.len;
     Hashtbl.replace table key slot
   done;
+  if !off <> len then corrupt !off "trailing bytes after the last posting";
   {
     scheme;
     mss;
     table;
     stats = { trees = 0; nodes = 0; keys = nkeys; postings = !postings; bytes = !bytes };
+    origin = path;
   }
 
+let is_prefix s m = String.length s < String.length m && String.equal s (String.sub m 0 (String.length s))
+
 let load path =
-  let s = read_file path in
-  let mlen = String.length magic in
-  if String.length s < mlen + 2 then failwith (path ^ ": not an si index file")
-  else if String.equal (String.sub s 0 mlen) magic then load_v2 path s
-  else if String.equal (String.sub s 0 mlen) magic_v1 then load_v1 path s
-  else failwith (path ^ ": not an si index file (bad magic; want SIDX1 or SIDX2)")
+  match read_file path with
+  | exception Sys_error what -> Error (Si_error.Io { path; what })
+  | s -> (
+      let corrupt offset what = Si_error.raise_corrupt ~path ~offset what in
+      let mlen = String.length magic in
+      match
+        let len = String.length s in
+        if len = 0 then corrupt 0 "empty file"
+        else if len >= mlen && String.equal (String.sub s 0 mlen) magic then
+          load_v2 path s
+        else if len >= mlen && String.equal (String.sub s 0 mlen) magic_v1 then
+          load_v1 path s
+        else if is_prefix s magic || is_prefix s magic_v1 then
+          corrupt 0
+            (Printf.sprintf "truncated header: %d bytes, shorter than the magic" len)
+        else corrupt 0 "not an si index file (bad magic; want SIDX1 or SIDX2)"
+      with
+      | t -> Ok t
+      | exception Si_error.Error e -> Error e
+      | exception Coding.Malformed { offset; what } ->
+          Error (Si_error.Corrupt { path; offset; what })
+      (* safety net: no decoding slip may escape as a crash *)
+      | exception Invalid_argument what ->
+          Error (Si_error.Corrupt { path; offset = 0; what = "malformed: " ^ what })
+      | exception Failure what ->
+          Error (Si_error.Corrupt { path; offset = 0; what }))

@@ -18,7 +18,15 @@
     slices and [load] only builds a key → offset table over the raw file
     (O(keys) startup), decoding a posting on first {!find} and memoizing
     the result.  Legacy SIDX1 files are still readable (decoded eagerly and
-    re-packed). *)
+    re-packed).
+
+    {b Integrity}: SIDX2 files end in a 32-byte footer recording the key
+    directory and postings region lengths plus a CRC-32 per region (header,
+    key directory, postings).  {!save} writes atomically
+    ([path ^ ".tmp"], fsync, rename); {!load} verifies magic, lengths and
+    all three checksums before parsing, and every decode path is
+    bounds-checked — corrupt bytes surface as [Error (Corrupt _)], never a
+    crash or a silently wrong posting. *)
 
 type stats = {
   trees : int;
@@ -41,6 +49,10 @@ type t = {
   mss : int;
   table : (string, slot) Hashtbl.t;  (** key bytes -> packed posting *)
   stats : stats;
+  origin : string;
+      (** where the index came from: the [.idx] path for loaded indexes,
+          ["<memory>"] for built ones — used as the [path] of corruption
+          errors raised on lazy posting decode *)
 }
 
 val build :
@@ -53,8 +65,14 @@ val build :
     (sequential); higher values shard the corpus across that many OCaml
     domains.  The result is independent of [domains]. *)
 
-val find : t -> string -> Coding.posting option
-(** Decode-on-first-use: unpacks the slot's bytes once and memoizes. *)
+val find : t -> string -> (Coding.posting option, Si_error.t) result
+(** Decode-on-first-use: unpacks the slot's bytes once and memoizes.
+    [Ok None] if the key is absent; [Error (Corrupt _)] if the stored bytes
+    do not decode to a well-formed posting of exactly the recorded length. *)
+
+val find_exn : t -> string -> Coding.posting option
+(** {!find} for callers already inside an {!Si_error.guard}: raises
+    [Si_error.Error] instead of returning [Error]. *)
 
 val posting_entries : t -> string -> int option
 (** Entry count of a key's posting without decoding it. *)
@@ -63,25 +81,35 @@ val n_keys : t -> int
 
 val iter : t -> (string -> Coding.posting -> unit) -> unit
 (** Iterate (key, decoded posting) in sorted key order — decodes every
-    posting; for tests and tools, not hot paths. *)
+    posting; for tests and tools, not hot paths.  Raises [Si_error.Error]
+    if a stored posting fails to decode. *)
 
 val length_histogram : t -> (int * int) list
 (** [(bucket, count)] pairs, bucket = power-of-two upper bound on posting
     entries: count of keys with [entries <= bucket] (and > previous
     bucket).  Computed from slot metadata, no decoding. *)
 
-val save : t -> string -> unit
-(** [save t path] streams the SIDX2 index: magic, scheme, mss, key count,
-    then sorted records of front-coded key ([varint lcp], [varint slen],
-    suffix) + [varint plen] + packed posting.  Peak extra memory is one
+val save : t -> string -> (unit, Si_error.t) result
+(** [save t path] streams the SIDX2 index: an 8-byte header (magic, scheme,
+    mss), the key directory (key count, then sorted records of front-coded
+    key + posting length), the concatenated packed postings, and the
+    32-byte integrity footer (region lengths + three CRC-32s).  The write
+    is atomic: [path ^ ".tmp"] + fsync + rename, so a crash or [Error (Io _)]
+    leaves any existing file at [path] untouched.  Peak extra memory is one
     record, not the index. *)
 
-val save_v1 : t -> string -> unit
-(** Legacy SIDX1 writer (eager postings, no front coding) — kept for the
-    size baseline in the bench harness and the migration test. *)
+val save_v1 : t -> string -> (unit, Si_error.t) result
+(** Legacy SIDX1 writer (eager postings, no front coding, no footer) — kept
+    for the size baseline in the bench harness and the migration test.
+    Atomic like {!save}. *)
 
-val load : string -> t
-(** Inverse of {!save}: reads the file once, builds the key → offset table,
-    defers posting decode to {!find}.  Also accepts SIDX1 files (eager).
-    The [trees]/[nodes] stats are not stored and read back as 0; [Si]
-    restores them from the [.meta]. *)
+val load : string -> (t, Si_error.t) result
+(** Inverse of {!save}: verifies the footer (magic, region lengths, all
+    three checksums) before parsing, then builds the key → offset table in
+    one bounds-checked pass, deferring posting decode to {!find}.  Also
+    accepts SIDX1 files (eager, defensively decoded — but unchecksummed, so
+    only structural corruption is detectable).  Errors: [Io] if the file
+    cannot be read; [Corrupt] for an empty file, a truncated header, a bad
+    magic, a footer/checksum mismatch, or any malformed record.  The
+    [trees]/[nodes] stats are not stored and read back as 0; [Si] restores
+    them from the [.meta]. *)

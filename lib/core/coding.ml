@@ -27,15 +27,52 @@ let entries = function
   | Interval_p a -> Array.length a
   | Root_p a -> Array.length a
 
+(* ---- defensive primitives ---------------------------------------------- *)
+
+exception Malformed of { offset : int; what : string }
+
+let malformed offset what = raise (Malformed { offset; what })
+
+(* Like [Varint.read] but bounded by an explicit [limit] (the end of the
+   posting's byte slice, not of the whole backing buffer — a decode must
+   never stray into the neighbouring posting) and failing with an offset. *)
+let checked_varint ~limit s off =
+  let limit = min limit (String.length s) in
+  let rec go o shift acc =
+    if o >= limit then malformed o "truncated varint";
+    if shift > 56 then malformed o "overlong varint";
+    let b = Char.code (String.unsafe_get s o) in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if acc < 0 then malformed o "varint overflow";
+    if b land 0x80 = 0 then (acc, o + 1) else go (o + 1) (shift + 7) acc
+  in
+  if off < 0 then malformed off "negative offset";
+  go off 0 0
+
+(* ---- pack-time validation ---------------------------------------------- *)
+
+let pack_error what = invalid_arg ("Coding.pack: " ^ what)
+
+let check_interval what iv =
+  if iv.pre < 0 || iv.level < 0 then
+    pack_error (Printf.sprintf "%s: negative pre/level %d/%d" what iv.pre iv.level);
+  (* size - 1 = post + level - pre; >= 0 by the pre/post/level identity *)
+  if iv.post + iv.level - iv.pre < 0 then
+    pack_error
+      (Printf.sprintf "%s: interval (%d,%d,%d) violates post = pre + size-1 - level"
+         what iv.pre iv.post iv.level)
+
+(* ---- SIDX1 flattening --------------------------------------------------- *)
+
 let write_interval buf i =
   Varint.write buf i.pre;
   Varint.write buf i.post;
   Varint.write buf i.level
 
-let read_interval s off =
-  let pre, off = Varint.read s off in
-  let post, off = Varint.read s off in
-  let level, off = Varint.read s off in
+let read_interval ~limit s off =
+  let pre, off = checked_varint ~limit s off in
+  let post, off = checked_varint ~limit s off in
+  let level, off = checked_varint ~limit s off in
   ({ pre; post; level }, off)
 
 let write buf = function
@@ -74,19 +111,25 @@ let write buf = function
    - every non-root node of an instance is a strict descendant of the
      instance root, so its pre/level pack as offsets from the root's.
    Entry tids stay delta-coded; within a tid run the root pre is also
-   delta-coded against the previous entry (roots arrive in pre-order). *)
+   delta-coded against the previous entry (roots arrive in pre-order).
 
-let pack_size buf iv =
-  (* size - 1 = post + level - pre; >= 0 by the pre/post/level identity *)
-  Varint.write buf (iv.post + iv.level - iv.pre)
+   Those deltas silently encode garbage if entries ever arrive unsorted, so
+   [pack] validates every invariant it relies on and fails loudly instead
+   of producing bytes that decode to a different posting. *)
+
+let pack_size buf iv = Varint.write buf (iv.post + iv.level - iv.pre)
 
 let pack buf = function
   | Filter_p tids ->
       Varint.write buf (Array.length tids);
-      let prev = ref 0 in
+      let prev = ref (-1) in
       Array.iter
         (fun tid ->
-          Varint.write buf (tid - !prev);
+          if tid <= !prev then
+            pack_error
+              (Printf.sprintf "filter tids not strictly increasing (%d after %d)" tid
+                 !prev);
+          Varint.write buf (tid - max !prev 0);
           prev := tid)
         tids
   | Root_p a ->
@@ -95,9 +138,19 @@ let pack buf = function
       let prev_pre = ref 0 in
       Array.iter
         (fun (tid, iv) ->
+          if tid < max !prev_tid 0 then
+            pack_error
+              (Printf.sprintf "root entries not sorted by tid (%d after %d)" tid
+                 !prev_tid);
+          check_interval "root entry" iv;
+          (* same tid: roots are sorted by pre, delta >= 0; new tid: absolute *)
+          if !prev_tid = tid && iv.pre < !prev_pre then
+            pack_error
+              (Printf.sprintf
+                 "root entries not sorted by pre within tid %d (%d after %d)" tid
+                 iv.pre !prev_pre);
           let dtid = tid - max !prev_tid 0 in
           Varint.write buf (if !prev_tid < 0 then tid else dtid);
-          (* same tid: roots are sorted by pre, delta >= 0; new tid: absolute *)
           let base = if !prev_tid = tid then !prev_pre else 0 in
           Varint.write buf (iv.pre - base);
           pack_size buf iv;
@@ -111,9 +164,20 @@ let pack buf = function
       let prev_pre = ref 0 in
       Array.iter
         (fun (tid, ivs) ->
+          if Array.length ivs = 0 then pack_error "interval entry with no nodes";
+          if tid < max !prev_tid 0 then
+            pack_error
+              (Printf.sprintf "interval entries not sorted by tid (%d after %d)" tid
+                 !prev_tid);
+          let root = ivs.(0) in
+          check_interval "instance root" root;
+          if !prev_tid = tid && root.pre < !prev_pre then
+            pack_error
+              (Printf.sprintf
+                 "interval entries not sorted by root pre within tid %d (%d after %d)"
+                 tid root.pre !prev_pre);
           let dtid = tid - max !prev_tid 0 in
           Varint.write buf (if !prev_tid < 0 then tid else dtid);
-          let root = ivs.(0) in
           let base = if !prev_tid = tid then !prev_pre else 0 in
           Varint.write buf (root.pre - base);
           pack_size buf root;
@@ -121,7 +185,13 @@ let pack buf = function
           Array.iteri
             (fun k iv ->
               if k > 0 then begin
-                (* strict descendant of the root: both offsets >= 1 *)
+                check_interval "instance node" iv;
+                (* descendant of the root: both offsets >= 0 *)
+                if iv.pre < root.pre || iv.level < root.level then
+                  pack_error
+                    (Printf.sprintf
+                       "instance node (%d,%d,%d) not a descendant of its root (%d,%d,%d)"
+                       iv.pre iv.post iv.level root.pre root.post root.level);
                 Varint.write buf (iv.pre - root.pre);
                 pack_size buf iv;
                 Varint.write buf (iv.level - root.level)
@@ -131,120 +201,173 @@ let pack buf = function
           prev_pre := root.pre)
         a
 
-let unpack scheme ~key_size s off =
-  let count, off = Varint.read s off in
+(* Decoding trusts nothing: every varint is bounds-checked against [limit],
+   the entry count is validated against the remaining bytes *before* any
+   allocation (each entry costs at least [per_entry] bytes), and the delta
+   accumulators are explicit loops — [Array.init] applies its function in
+   unspecified order, which would scramble sequential delta decoding. *)
+let check_count ~count ~per_entry ~remaining off =
+  if count < 0 || per_entry <= 0 || count > remaining / per_entry then
+    malformed off
+      (Printf.sprintf "entry count %d exceeds %d remaining bytes" count remaining)
+
+let dummy_interval = { pre = 0; post = 0; level = 0 }
+
+let unpack scheme ~key_size ?limit s off =
+  let limit =
+    match limit with None -> String.length s | Some l -> min l (String.length s)
+  in
+  let count, off = checked_varint ~limit s off in
+  check_count ~count
+    ~per_entry:
+      (match scheme with
+      | Filter -> 1
+      | Root_split -> 4
+      | Interval ->
+          if key_size < 1 then malformed off "key size must be >= 1";
+          4 + (3 * (key_size - 1)))
+    ~remaining:(limit - off) off;
   match scheme with
   | Filter ->
-      let prev = ref 0 in
+      let tids = Array.make count 0 in
       let off = ref off in
-      let tids =
-        Array.init count (fun _ ->
-            let d, o = Varint.read s !off in
-            off := o;
-            prev := !prev + d;
-            !prev)
-      in
+      let prev = ref 0 in
+      for i = 0 to count - 1 do
+        let d, o = checked_varint ~limit s !off in
+        if i > 0 && d = 0 then malformed !off "duplicate tid in filter posting";
+        let tid = !prev + d in
+        if tid < 0 then malformed !off "tid overflow";
+        tids.(i) <- tid;
+        prev := tid;
+        off := o
+      done;
       (Filter_p tids, !off)
   | Root_split ->
+      let a = Array.make count (0, dummy_interval) in
+      let off = ref off in
       let prev_tid = ref 0 in
       let prev_pre = ref 0 in
-      let off = ref off in
-      let a =
-        Array.init count (fun i ->
-            let dtid, o = Varint.read s !off in
-            let tid = if i = 0 then dtid else !prev_tid + dtid in
-            let base = if i > 0 && dtid = 0 then !prev_pre else 0 in
-            let dpre, o = Varint.read s o in
-            let pre = base + dpre in
-            let s1, o = Varint.read s o in
-            let level, o = Varint.read s o in
-            off := o;
-            prev_tid := tid;
-            prev_pre := pre;
-            (tid, { pre; post = pre + s1 - level; level }))
-      in
+      for i = 0 to count - 1 do
+        let at = !off in
+        let dtid, o = checked_varint ~limit s at in
+        let tid = if i = 0 then dtid else !prev_tid + dtid in
+        let base = if i > 0 && dtid = 0 then !prev_pre else 0 in
+        let dpre, o = checked_varint ~limit s o in
+        let pre = base + dpre in
+        let s1, o = checked_varint ~limit s o in
+        let level, o = checked_varint ~limit s o in
+        let post = pre + s1 - level in
+        if tid < 0 || pre < 0 || post < 0 then
+          malformed at "root entry out of range";
+        a.(i) <- (tid, { pre; post; level });
+        prev_tid := tid;
+        prev_pre := pre;
+        off := o
+      done;
       (Root_p a, !off)
   | Interval ->
+      let a = Array.make count (0, [||]) in
+      let off = ref off in
       let prev_tid = ref 0 in
       let prev_pre = ref 0 in
-      let off = ref off in
-      let a =
-        Array.init count (fun i ->
-            let dtid, o = Varint.read s !off in
-            let tid = if i = 0 then dtid else !prev_tid + dtid in
-            let base = if i > 0 && dtid = 0 then !prev_pre else 0 in
-            let dpre, o = Varint.read s o in
-            let root_pre = base + dpre in
-            let s1, o = Varint.read s o in
-            let root_level, o = Varint.read s o in
-            let root =
-              { pre = root_pre; post = root_pre + s1 - root_level; level = root_level }
-            in
-            off := o;
-            let ivs =
-              Array.init key_size (fun k ->
-                  if k = 0 then root
-                  else begin
-                    let dpre, o = Varint.read s !off in
-                    let pre = root_pre + dpre in
-                    let s1, o = Varint.read s o in
-                    let dlevel, o = Varint.read s o in
-                    let level = root_level + dlevel in
-                    off := o;
-                    { pre; post = pre + s1 - level; level }
-                  end)
-            in
-            prev_tid := tid;
-            prev_pre := root_pre;
-            (tid, ivs))
-      in
+      for i = 0 to count - 1 do
+        let at = !off in
+        let dtid, o = checked_varint ~limit s at in
+        let tid = if i = 0 then dtid else !prev_tid + dtid in
+        let base = if i > 0 && dtid = 0 then !prev_pre else 0 in
+        let dpre, o = checked_varint ~limit s o in
+        let root_pre = base + dpre in
+        let s1, o = checked_varint ~limit s o in
+        let root_level, o = checked_varint ~limit s o in
+        let root_post = root_pre + s1 - root_level in
+        if tid < 0 || root_pre < 0 || root_post < 0 then
+          malformed at "instance root out of range";
+        let root = { pre = root_pre; post = root_post; level = root_level } in
+        let ivs = Array.make key_size root in
+        off := o;
+        for k = 1 to key_size - 1 do
+          let dpre, o = checked_varint ~limit s !off in
+          let pre = root_pre + dpre in
+          let s1, o = checked_varint ~limit s o in
+          let dlevel, o = checked_varint ~limit s o in
+          let level = root_level + dlevel in
+          let post = pre + s1 - level in
+          if post < 0 then malformed !off "instance node out of range";
+          ivs.(k) <- { pre; post; level };
+          off := o
+        done;
+        a.(i) <- (tid, ivs);
+        prev_tid := tid;
+        prev_pre := root_pre
+      done;
       (Interval_p a, !off)
 
-let packed_entries s off = fst (Varint.read s off)
+let packed_entries ?limit s off =
+  let limit =
+    match limit with None -> String.length s | Some l -> min l (String.length s)
+  in
+  fst (checked_varint ~limit s off)
 
 (* ---- SIDX1 legacy codec ------------------------------------------------ *)
 
-let read scheme ~key_size s off =
-  let count, off = Varint.read s off in
+let read scheme ~key_size ?limit s off =
+  let limit =
+    match limit with None -> String.length s | Some l -> min l (String.length s)
+  in
+  let count, off = checked_varint ~limit s off in
+  check_count ~count
+    ~per_entry:
+      (match scheme with
+      | Filter -> 1
+      | Root_split -> 4
+      | Interval ->
+          if key_size < 1 then malformed off "key size must be >= 1";
+          1 + (3 * key_size))
+    ~remaining:(limit - off) off;
   match scheme with
   | Filter ->
-      let prev = ref 0 in
+      let tids = Array.make count 0 in
       let off = ref off in
-      let tids =
-        Array.init count (fun _ ->
-            let d, o = Varint.read s !off in
-            off := o;
-            prev := !prev + d;
-            !prev)
-      in
+      let prev = ref 0 in
+      for i = 0 to count - 1 do
+        let d, o = checked_varint ~limit s !off in
+        let tid = !prev + d in
+        if tid < 0 then malformed !off "tid overflow";
+        tids.(i) <- tid;
+        prev := tid;
+        off := o
+      done;
       (Filter_p tids, !off)
   | Interval ->
-      let prev = ref 0 in
+      let a = Array.make count (0, [||]) in
       let off = ref off in
-      let a =
-        Array.init count (fun _ ->
-            let d, o = Varint.read s !off in
-            prev := !prev + d;
-            off := o;
-            let ivs =
-              Array.init key_size (fun _ ->
-                  let iv, o = read_interval s !off in
-                  off := o;
-                  iv)
-            in
-            (!prev, ivs))
-      in
+      let prev = ref 0 in
+      for i = 0 to count - 1 do
+        let d, o = checked_varint ~limit s !off in
+        let tid = !prev + d in
+        if tid < 0 then malformed !off "tid overflow";
+        prev := tid;
+        off := o;
+        let ivs = Array.make key_size dummy_interval in
+        for k = 0 to key_size - 1 do
+          let iv, o = read_interval ~limit s !off in
+          ivs.(k) <- iv;
+          off := o
+        done;
+        a.(i) <- (tid, ivs)
+      done;
       (Interval_p a, !off)
   | Root_split ->
-      let prev = ref 0 in
+      let a = Array.make count (0, dummy_interval) in
       let off = ref off in
-      let a =
-        Array.init count (fun _ ->
-            let d, o = Varint.read s !off in
-            prev := !prev + d;
-            off := o;
-            let iv, o = read_interval s !off in
-            off := o;
-            (!prev, iv))
-      in
+      let prev = ref 0 in
+      for i = 0 to count - 1 do
+        let d, o = checked_varint ~limit s !off in
+        let tid = !prev + d in
+        if tid < 0 then malformed !off "tid overflow";
+        prev := tid;
+        let iv, o = read_interval ~limit s o in
+        a.(i) <- (tid, iv);
+        off := o
+      done;
       (Root_p a, !off)

@@ -36,14 +36,28 @@ type posting =
 val entries : posting -> int
 (** Number of posting entries. *)
 
+exception Malformed of { offset : int; what : string }
+(** Raised by every decoding function on bytes that are not a well-formed
+    posting: truncated or overlong varints, entry counts exceeding the
+    remaining bytes, negative or overflowing values.  {!Builder} maps it to
+    {!Si_error.Corrupt} with the file path attached. *)
+
+val checked_varint : limit:int -> string -> int -> int * int
+(** [checked_varint ~limit s off] is [(value, next_off)], reading strictly
+    below [limit] (clamped to [String.length s]); raises {!Malformed}
+    instead of [Invalid_argument], with the failing offset.  The shared
+    primitive of the defensive decode paths ({!Builder.load} uses it for
+    the key directory as well). *)
+
 val write : Buffer.t -> posting -> unit
 (** Legacy SIDX1 flattening: delta-varint tids, raw [(pre, post, level)]
     varints per interval. *)
 
-val read : scheme -> key_size:int -> string -> int -> posting * int
+val read : scheme -> key_size:int -> ?limit:int -> string -> int -> posting * int
 (** [read scheme ~key_size s off] parses one posting written by {!write}
     ([key_size] nodes per interval-coded instance); returns the posting and
-    the next offset. *)
+    the next offset.  Raises {!Malformed} on bad bytes; never reads at or
+    past [limit] (default: end of [s]). *)
 
 val pack : Buffer.t -> posting -> unit
 (** SIDX2 packing — the representation both held in memory and written to
@@ -51,11 +65,22 @@ val pack : Buffer.t -> posting -> unit
     using the identity [post = pre + size - 1 - level], so sizes (small)
     replace postorder ranks (corpus-wide); non-root instance nodes pack
     [pre]/[level] as offsets from the instance root, and within a tid run
-    the root [pre] is delta-coded against the previous entry. *)
+    the root [pre] is delta-coded against the previous entry.
 
-val unpack : scheme -> key_size:int -> string -> int -> posting * int
-(** Inverse of {!pack}; same contract as {!read}. *)
+    The delta coding is only injective on postings satisfying the builder's
+    ordering invariants, so [pack] validates them — tids sorted (strictly,
+    for filter postings), root [pre]s non-decreasing within a tid run,
+    instance nodes at or below their root, every interval honouring the
+    [post = pre + size - 1 - level] identity — and raises
+    [Invalid_argument] with a clear message rather than encoding bytes that
+    would decode to a different posting. *)
 
-val packed_entries : string -> int -> int
+val unpack : scheme -> key_size:int -> ?limit:int -> string -> int -> posting * int
+(** Inverse of {!pack}; same contract as {!read}: bounds-checked against
+    [limit], validates the entry count against the remaining bytes before
+    allocating, raises {!Malformed} on bad bytes. *)
+
+val packed_entries : ?limit:int -> string -> int -> int
 (** [packed_entries s off] is the entry count of the packed posting at
-    [off] — the leading varint, without decoding the posting. *)
+    [off] — the leading varint, without decoding the posting.  Raises
+    {!Malformed} on a truncated or overflowing count. *)

@@ -1,0 +1,27 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+type t = int
+
+let empty = 0xffffffff
+
+let feed_substring crc s pos len =
+  let table = Lazy.force table in
+  let crc = ref crc in
+  for i = pos to pos + len - 1 do
+    crc :=
+      Array.unsafe_get table ((!crc lxor Char.code (String.unsafe_get s i)) land 0xff)
+      lxor (!crc lsr 8)
+  done;
+  !crc
+
+let feed_string crc s = feed_substring crc s 0 (String.length s)
+let value crc = crc lxor 0xffffffff
+let string s = value (feed_string empty s)
+let substring s pos len = value (feed_substring empty s pos len)

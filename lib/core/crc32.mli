@@ -1,0 +1,26 @@
+(** CRC-32 (IEEE 802.3, polynomial [0xedb88320]) over strings.
+
+    Guards the SIDX2 on-disk regions: {!Builder.save} records one checksum
+    per region in the file footer and {!Builder.load} verifies them before
+    trusting a byte.  The incremental API lets the writer fold the checksum
+    over streamed records without buffering a region. *)
+
+type t
+(** Running (unfinalized) checksum state. *)
+
+val empty : t
+(** State over zero bytes. *)
+
+val feed_substring : t -> string -> int -> int -> t
+(** [feed_substring c s pos len] folds [s.[pos .. pos+len-1]] into [c]. *)
+
+val feed_string : t -> string -> t
+
+val value : t -> int
+(** Finalized checksum in [0 .. 0xffff_ffff]. *)
+
+val string : string -> int
+(** One-shot checksum of a whole string. *)
+
+val substring : string -> int -> int -> int
+(** One-shot checksum of a slice. *)

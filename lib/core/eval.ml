@@ -117,9 +117,11 @@ let run_filter ~(index : Builder.t) ~corpus ~label_id q (cover : Cover.t) =
     match encodings_opt ~label_id c.Cover.fragment with
     | None -> [||]
     | Some (key, _) -> (
-        match Builder.find index key with
+        match Builder.find_exn index key with
         | Some (Coding.Filter_p tids) -> tids
-        | Some _ -> invalid_arg "Eval: filter index holds non-filter postings"
+        | Some _ ->
+            Si_error.raise_schema ~path:index.Builder.origin
+              "filter index holds non-filter postings"
         | None -> [||])
   in
   let lists = Array.map chunk_tids cover.Cover.chunks in
@@ -147,7 +149,7 @@ let chunk_rel ~(index : Builder.t) ~label_id (c : Cover.chunk) =
   match encodings_opt ~label_id c.Cover.fragment with
   | None -> Join.empty
   | Some (key, orders) -> (
-      match Builder.find index key with
+      match Builder.find_exn index key with
       | None -> Join.empty
       | Some (Coding.Root_p entries) ->
           {
@@ -179,7 +181,8 @@ let chunk_rel ~(index : Builder.t) ~label_id (c : Cover.chunk) =
           in
           { Join.cols; rows = Array.of_list rows }
       | Some (Coding.Filter_p _) ->
-          invalid_arg "Eval: joinable evaluator over a filter index")
+          Si_error.raise_schema ~path:index.Builder.origin
+            "joinable evaluator over a filter index")
 
 (* Join order: the chunks form a tree (one cut edge per non-first chunk).
    Start from the smallest relation and repeatedly merge in the smallest
@@ -278,10 +281,13 @@ let run_joins ~(index : Builder.t) ~corpus ~label_id q (ix : Ast.indexed)
     else results
   end
 
-let run ~index ~corpus ?(label_id = Fun.id) q =
+let run_exn ~index ~corpus ?(label_id = Fun.id) q =
   let ix = Ast.index q in
   let cover = cover_for index ix in
   match index.Builder.scheme with
   | Coding.Filter -> run_filter ~index ~corpus ~label_id q cover
   | Coding.Interval | Coding.Root_split ->
       run_joins ~index ~corpus ~label_id q ix cover
+
+let run ~index ~corpus ?label_id q =
+  Si_error.guard (fun () -> run_exn ~index ~corpus ?label_id q)

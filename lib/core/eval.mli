@@ -19,10 +19,22 @@ val run :
   corpus:Si_treebank.Annotated.t array ->
   ?label_id:(Si_treebank.Label.t -> int) ->
   Si_query.Ast.t ->
-  (int * int) list
+  ((int * int) list, Si_error.t) result
 (** [label_id] maps process-global label ids into the index's stored id
     space (raising [Not_found] for labels unknown to the index); defaults
-    to the identity, which is correct for an index built in this process. *)
+    to the identity, which is correct for an index built in this process.
+    Errors: [Corrupt] if a stored posting fails to decode;
+    [Schema_mismatch] if a decoded posting's coding disagrees with the
+    index scheme. *)
+
+val run_exn :
+  index:Builder.t ->
+  corpus:Si_treebank.Annotated.t array ->
+  ?label_id:(Si_treebank.Label.t -> int) ->
+  Si_query.Ast.t ->
+  (int * int) list
+(** {!run} for callers already inside an {!Si_error.guard}: raises
+    [Si_error.Error] instead of returning [Error]. *)
 
 val cover_for : Builder.t -> Si_query.Ast.indexed -> Cover.t
 (** The cover [run] uses: {!Cover.min_rc} under root-split coding,

@@ -34,7 +34,9 @@ let read_lines path =
       go [])
 
 let save t prefix trees =
-  Builder.save t.index (prefix ^ ".idx");
+  (match Builder.save t.index (prefix ^ ".idx") with
+  | Ok () -> ()
+  | Error e -> raise (Si_error.Error e));
   Penn.write_file (prefix ^ ".dat") trees;
   write_text (prefix ^ ".labels") (Array.to_list (Label.all ()));
   let s = t.index.Builder.stats in
@@ -52,14 +54,63 @@ let build ?(domains = 1) ~scheme ~mss ~trees ?prefix () =
   let corpus = Array.of_list (List.map Annotated.of_tree trees) in
   let index = Builder.build ~domains ~scheme ~mss corpus in
   let t = { index; corpus; label_id = Fun.id } in
-  Option.iter (fun p -> save t p trees) prefix;
+  (try Option.iter (fun p -> save t p trees) prefix
+   with Sys_error what ->
+     raise (Si_error.Error (Si_error.Io { path = Option.get prefix; what })));
   t
 
+(* The .meta is advisory for stats but load-bearing for consistency: an
+   [.idx] paired with the wrong sibling files (regenerated corpus, copied
+   prefix) must not answer queries against the wrong trees. *)
+let check_meta prefix ~(index : Builder.t) ~ntrees =
+  let path = prefix ^ ".meta" in
+  let mismatch what = Si_error.raise_schema ~path what in
+  List.iter
+    (fun line ->
+      match String.index_opt line '=' with
+      | None -> ()
+      | Some i -> (
+          let k = String.sub line 0 i in
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          match k with
+          | "scheme" ->
+              if v <> Coding.scheme_to_string index.Builder.scheme then
+                mismatch
+                  (Printf.sprintf ".meta says scheme=%s but the .idx is %s" v
+                     (Coding.scheme_to_string index.Builder.scheme))
+          | "mss" ->
+              if v <> string_of_int index.Builder.mss then
+                mismatch
+                  (Printf.sprintf ".meta says mss=%s but the .idx has mss=%d" v
+                     index.Builder.mss)
+          | "trees" ->
+              if v <> string_of_int ntrees then
+                mismatch
+                  (Printf.sprintf ".meta says trees=%s but the .dat holds %d" v
+                     ntrees)
+          | _ -> ()))
+    (read_lines path)
+
 let open_ prefix =
-  let index = Builder.load (prefix ^ ".idx") in
-  let trees = Penn.read_file (prefix ^ ".dat") in
+  Si_error.guard @@ fun () ->
+  let index =
+    match Builder.load (prefix ^ ".idx") with
+    | Ok index -> index
+    | Error e -> raise (Si_error.Error e)
+  in
+  let wrap_file path f =
+    try f () with
+    | Sys_error what -> Si_error.raise_io ~path what
+    | Failure what ->
+        (* Penn parse errors: the corpus file is damaged, not the query *)
+        Si_error.raise_corrupt ~path ~offset:0 what
+  in
+  let trees = wrap_file (prefix ^ ".dat") (fun () -> Penn.read_file (prefix ^ ".dat")) in
   let corpus = Array.of_list (List.map Annotated.of_tree trees) in
-  let stored = Array.of_list (read_lines (prefix ^ ".labels")) in
+  let stored =
+    wrap_file (prefix ^ ".labels") (fun () ->
+        Array.of_list (read_lines (prefix ^ ".labels")))
+  in
   let stored_id : (string, int) Hashtbl.t = Hashtbl.create (Array.length stored) in
   Array.iteri (fun id name -> Hashtbl.replace stored_id name id) stored;
   let label_id l =
@@ -67,6 +118,8 @@ let open_ prefix =
     | Some id -> id
     | None -> raise Not_found
   in
+  wrap_file (prefix ^ ".meta") (fun () ->
+      check_meta prefix ~index ~ntrees:(Array.length corpus));
   let index =
     (* restore the corpus stats the .idx does not carry *)
     let nodes = Array.fold_left (fun acc d -> acc + Annotated.size d) 0 corpus in
@@ -82,7 +135,7 @@ let query_ast t q = Eval.run ~index:t.index ~corpus:t.corpus ~label_id:t.label_i
 
 let query t s =
   match Si_query.Parser.parse s with
-  | Ok q -> Ok (query_ast t q)
-  | Error e -> Error e
+  | Ok q -> query_ast t q
+  | Error e -> Error (Si_error.Bad_query e)
 
 let oracle t q = Si_query.Matcher.corpus_roots t.corpus q

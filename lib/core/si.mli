@@ -25,21 +25,28 @@ val build :
   ?prefix:string ->
   unit ->
   t
-(** Build in memory; when [prefix] is given, also persist the four files.
-    [domains] (default 1) shards construction across that many OCaml
-    domains; the result and persisted bytes are identical regardless. *)
+(** Build in memory; when [prefix] is given, also persist the four files
+    (the [.idx] atomically — see {!Builder.save}).  [domains] (default 1)
+    shards construction across that many OCaml domains; the result and
+    persisted bytes are identical regardless.  Raises [Si_error.Error]
+    (an [Io] variant) if persisting fails. *)
 
 val index : t -> Builder.t
 (** The underlying key table — for tools and benchmarks. *)
 
-val open_ : string -> t
-(** Load an index persisted by {!build}. *)
+val open_ : string -> (t, Si_error.t) result
+(** Load an index persisted by {!build}.  Every byte is verified before it
+    is trusted: the [.idx] checksums and structure ([Corrupt]), the [.dat]
+    parse ([Corrupt]), unreadable files ([Io]), and the [.meta]
+    cross-check — scheme, mss and tree count must agree with the loaded
+    [.idx] and [.dat] ([Schema_mismatch]). *)
 
-val query : t -> string -> ((int * int) list, string) result
-(** Parse and evaluate; [(tid, node)] match pairs, sorted.  [Error] on a
-    query syntax error. *)
+val query : t -> string -> ((int * int) list, Si_error.t) result
+(** Parse and evaluate; [(tid, node)] match pairs, sorted.  Errors:
+    [Bad_query] on a syntax error, [Corrupt]/[Schema_mismatch] if posting
+    decode fails during evaluation. *)
 
-val query_ast : t -> Si_query.Ast.t -> (int * int) list
+val query_ast : t -> Si_query.Ast.t -> ((int * int) list, Si_error.t) result
 
 val oracle : t -> Si_query.Ast.t -> (int * int) list
 (** The brute-force matcher over the stored corpus — the reference answer. *)

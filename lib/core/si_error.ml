@@ -1,0 +1,28 @@
+type t =
+  | Corrupt of { path : string; offset : int; what : string }
+  | Io of { path : string; what : string }
+  | Bad_query of string
+  | Schema_mismatch of { path : string; what : string }
+
+exception Error of t
+
+let to_string = function
+  | Corrupt { path; offset; what } ->
+      Printf.sprintf "corrupt index: %s: %s (at byte %d)" path what offset
+  | Io { path; what } -> Printf.sprintf "i/o error: %s: %s" path what
+  | Bad_query what -> Printf.sprintf "bad query: %s" what
+  | Schema_mismatch { path; what } ->
+      Printf.sprintf "schema mismatch: %s: %s" path what
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let exit_code = function
+  | Bad_query _ -> 2
+  | Corrupt _ -> 3
+  | Io _ -> 4
+  | Schema_mismatch _ -> 5
+
+let raise_corrupt ~path ~offset what = raise (Error (Corrupt { path; offset; what }))
+let raise_io ~path what = raise (Error (Io { path; what }))
+let raise_schema ~path what = raise (Error (Schema_mismatch { path; what }))
+let guard f = match f () with v -> Ok v | exception Error e -> Error e

@@ -1,0 +1,46 @@
+(** The error taxonomy of the index I/O and query layer.
+
+    Every way a stored index can fail to serve a query maps to exactly one
+    variant, and every load / find / query entry point in {!Builder}, {!Si}
+    and {!Eval} returns it in a [result] rather than raising — a damaged
+    byte stream degrades to a clean error, never a crash and never a silent
+    wrong answer (the fuzz harness in [test/fuzz_main.ml] asserts this).
+
+    [si_tool] maps each variant to a distinct exit code ({!exit_code});
+    the table is documented in the README ("failure modes & exit codes"). *)
+
+type t =
+  | Corrupt of { path : string; offset : int; what : string }
+      (** The file's bytes are not a well-formed index: bad magic,
+          truncation, checksum mismatch, or a malformed record.  [offset]
+          is the byte position of the first inconsistency (0 when the
+          failure concerns the file as a whole). *)
+  | Io of { path : string; what : string }
+      (** The operating system refused the read or write ([Sys_error]). *)
+  | Bad_query of string  (** The query string does not parse. *)
+  | Schema_mismatch of { path : string; what : string }
+      (** The parts of a stored index disagree with each other (e.g. the
+          [.meta] scheme vs the [.idx] scheme byte), or a posting's coding
+          disagrees with the index's declared scheme. *)
+
+exception Error of t
+(** Internal control flow: decode paths deep inside the evaluator raise
+    [Error]; the public entry points catch it at their boundary and return
+    the payload as [result].  Only {!Builder.find_exn} and {!Builder.iter}
+    let it escape a public signature (documented there). *)
+
+val to_string : t -> string
+(** One-line human-readable rendering, one distinct prefix per variant. *)
+
+val pp : Format.formatter -> t -> unit
+
+val exit_code : t -> int
+(** The [si_tool] exit code: [Bad_query] → 2, [Corrupt] → 3, [Io] → 4,
+    [Schema_mismatch] → 5.  (0 = success, 1 = oracle mismatch.) *)
+
+val raise_corrupt : path:string -> offset:int -> string -> 'a
+val raise_io : path:string -> string -> 'a
+val raise_schema : path:string -> string -> 'a
+
+val guard : (unit -> 'a) -> ('a, t) result
+(** [guard f] runs [f], catching {!Error} into [Error _]. *)

@@ -9,14 +9,19 @@ let write buf v =
   in
   go v
 
+(* 9 continuation groups of 7 bits cover the 63-bit OCaml int; a byte at
+   shift > 56 (or a set bit 62 = the sign bit) cannot come from [write]. *)
 let read s off =
   let n = String.length s in
   let rec go off shift acc =
     if off >= n then invalid_arg "Varint.read: truncated";
-    let b = Char.code s.[off] in
+    if shift > 56 then invalid_arg "Varint.read: overlong varint";
+    let b = Char.code (String.unsafe_get s off) in
     let acc = acc lor ((b land 0x7f) lsl shift) in
+    if acc < 0 then invalid_arg "Varint.read: overflow";
     if b land 0x80 = 0 then (acc, off + 1) else go (off + 1) (shift + 7) acc
   in
+  if off < 0 then invalid_arg "Varint.read: negative offset";
   go off 0 0
 
 let size v =

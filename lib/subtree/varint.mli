@@ -7,8 +7,10 @@ val write : Buffer.t -> int -> unit
 (** [write buf v] appends the varint for [v]; [v] must be non-negative. *)
 
 val read : string -> int -> int * int
-(** [read s off] is [(value, next_off)]. Raises [Invalid_argument] on
-    truncated input. *)
+(** [read s off] is [(value, next_off)]. Raises [Invalid_argument] on a
+    negative offset, truncated input, an overlong encoding (more than nine
+    continuation bytes), or a value overflowing the 63-bit [int] — the
+    input bytes are never trusted. *)
 
 val size : int -> int
 (** Encoded byte length of [v]. *)

@@ -41,4 +41,47 @@ for q in "${QUERIES[@]}"; do
   fi
 done
 
+# ---- failure modes & exit codes (README table) --------------------------
+# 2 = bad query, 3 = corrupt index, 4 = i/o error
+PFX="$DIR/ix-root-split"
+cp "$PFX.idx" "$DIR/pristine.idx"
+
+expect_exit() { # expect_exit CODE GREP_PATTERN CMD...
+  local want="$1" pat="$2"; shift 2
+  local out code
+  set +e
+  out="$("$@" 2>&1)"
+  code=$?
+  set -e
+  if [ "$code" != "$want" ]; then
+    echo "FAIL: expected exit $want, got $code: $*" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  if ! grep -q "$pat" <<<"$out"; then
+    echo "FAIL: expected message matching '$pat': $out" >&2
+    exit 1
+  fi
+}
+
+# truncated index -> documented corruption exit code and message
+head -c 100 "$DIR/pristine.idx" > "$PFX.idx"
+expect_exit 3 'corrupt index' "$TOOL" query --prefix "$PFX" 'S(NP)(VP)'
+
+# a single flipped bit -> caught by the checksum, same contract
+cp "$DIR/pristine.idx" "$PFX.idx"
+byte=$(od -An -tu1 -j200 -N1 "$PFX.idx" | tr -d ' ')
+printf "$(printf '\\%03o' $((byte ^ 1)))" \
+  | dd of="$PFX.idx" bs=1 seek=200 conv=notrunc 2>/dev/null
+expect_exit 3 'corrupt index' "$TOOL" query --prefix "$PFX" 'S(NP)(VP)'
+
+# restore; syntax error -> 2, missing prefix -> 4
+cp "$DIR/pristine.idx" "$PFX.idx"
+expect_exit 2 'bad query' "$TOOL" query --prefix "$PFX" 'S((NP)'
+expect_exit 4 'i/o error' "$TOOL" query --prefix "$DIR/no-such-prefix" 'S(NP)(VP)'
+
+# the restored index still answers correctly after all that
+out="$("$TOOL" query --prefix "$PFX" 'S(NP)(VP)' --check-oracle)"
+grep -q 'oracle: OK' <<<"$out" || { echo "FAIL: restored index broken" >&2; exit 1; }
+
 echo "cli_test: OK"

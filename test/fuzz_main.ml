@@ -1,0 +1,270 @@
+(* fuzz_main — corruption / differential fuzzer for the index files.
+
+   Builds small pristine indexes under all three codings (SIDX2 and legacy
+   SIDX1, mss 1 and 3), then hammers them with deterministic byte
+   mutations — truncation, bit flips, splices, range fills, appends,
+   deletions — asserting the crash-proofing invariant:
+
+     a mutated file produces a clean [Si_error] or a correct answer —
+     never an uncaught exception, never a silently wrong result.
+
+   "Correct answer" is oracle-checked: when a mutated checksummed (SIDX2)
+   index still opens, its query answers must equal the brute-force
+   matcher's.  Legacy SIDX1 files carry no checksum, so a mutation can in
+   principle decode into a *valid but different* index — those assert
+   no-crash only.
+
+   Three phases, interleaved per iteration: [idx] mutates the .idx bytes,
+   [codec] feeds raw garbage to the posting decoders (must return or raise
+   [Coding.Malformed], nothing else), [sibling] mutates .dat/.labels/.meta
+   (open must return [Ok]/[Error], queries must not raise).
+
+   Fully deterministic: all randomness flows from --seed through splitmix64
+   (Si_grammar.Prng), so a failing run reproduces exactly. *)
+
+open Si_core
+module Prng = Si_grammar.Prng
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let failures = ref 0
+
+let fail_iter iter fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.eprintf "fuzz FAILURE at iteration %d: %s\n%!" iter msg)
+    fmt
+
+(* ---- byte mutations ---------------------------------------------------- *)
+
+let mutate_once g s =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  match Prng.int g 7 with
+  | 0 -> (* truncate *) if n = 0 then s else String.sub s 0 (Prng.int g n)
+  | 1 ->
+      (* flip 1..8 random bits *)
+      if n = 0 then s
+      else begin
+        for _ = 1 to 1 + Prng.int g 8 do
+          let i = Prng.int g n in
+          Bytes.set b i
+            (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Prng.int g 8)))
+        done;
+        Bytes.to_string b
+      end
+  | 2 ->
+      (* splice: overwrite a range with bytes copied from elsewhere *)
+      if n < 2 then s
+      else begin
+        let len = 1 + Prng.int g (min 32 (n - 1)) in
+        let src = Prng.int g (n - len + 1) and dst = Prng.int g (n - len + 1) in
+        Bytes.blit_string s src b dst len;
+        Bytes.to_string b
+      end
+  | 3 ->
+      (* fill a range with 0x00 or 0xff *)
+      if n = 0 then s
+      else begin
+        let len = 1 + Prng.int g (min 32 n) in
+        let off = Prng.int g (n - len + 1) in
+        Bytes.fill b off len (if Prng.int g 2 = 0 then '\x00' else '\xff');
+        Bytes.to_string b
+      end
+  | 4 ->
+      (* append garbage *)
+      s ^ String.init (1 + Prng.int g 64) (fun _ -> Char.chr (Prng.int g 256))
+  | 5 ->
+      (* delete a range *)
+      if n = 0 then s
+      else begin
+        let len = 1 + Prng.int g (min 32 n) in
+        let off = Prng.int g (n - len + 1) in
+        String.sub s 0 off ^ String.sub s (off + len) (n - len - off)
+      end
+  | _ ->
+      (* store 1..4 random bytes *)
+      if n = 0 then s
+      else begin
+        for _ = 1 to 1 + Prng.int g 4 do
+          Bytes.set b (Prng.int g n) (Char.chr (Prng.int g 256))
+        done;
+        Bytes.to_string b
+      end
+
+let mutate g s =
+  let rec go s k = if k = 0 then s else go (mutate_once g s) (k - 1) in
+  go s (1 + Prng.int g 3)
+
+(* ---- pristine bases ----------------------------------------------------- *)
+
+let queries =
+  List.map Si_query.Parser.parse_exn
+    [ "S(NP)(VP)"; "NP(DT)(NN)"; "S(//NN)"; "S(NP(DT)(NN))(VP)" ]
+
+type base = {
+  name : string;
+  scratch : string;  (** prefix whose files are rewritten per iteration *)
+  files : (string * string) list;  (** pristine bytes per extension *)
+  v2 : bool;
+  expected : (Si_query.Ast.t * (int * int) list) list;
+}
+
+let make_bases dir =
+  let bases = ref [] in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun mss ->
+          List.iter
+            (fun v2 ->
+              let name =
+                Printf.sprintf "%s-mss%d-%s"
+                  (Coding.scheme_to_string scheme)
+                  mss
+                  (if v2 then "v2" else "v1")
+              in
+              let prefix = Filename.concat dir name in
+              let trees =
+                Si_grammar.Generator.corpus ~seed:(100 + mss) ~n:25 ()
+              in
+              let si = Si.build ~scheme ~mss ~trees ~prefix () in
+              if not v2 then begin
+                match Builder.save_v1 (Si.index si) (prefix ^ ".idx") with
+                | Ok () -> ()
+                | Error e -> failwith (Si_error.to_string e)
+              end;
+              let expected = List.map (fun q -> (q, Si.oracle si q)) queries in
+              let files =
+                List.map
+                  (fun ext -> (ext, read_file (prefix ^ ext)))
+                  [ ".idx"; ".dat"; ".labels"; ".meta" ]
+              in
+              let scratch = Filename.concat dir (name ^ "-scratch") in
+              bases := { name; scratch; files; v2; expected } :: !bases)
+            [ true; false ])
+        [ 1; 3 ])
+    [ Coding.Filter; Coding.Interval; Coding.Root_split ];
+  Array.of_list (List.rev !bases)
+
+let restore base =
+  List.iter (fun (ext, bytes) -> write_file (base.scratch ^ ext) bytes) base.files
+
+(* ---- phases ------------------------------------------------------------- *)
+
+type stats = {
+  mutable idx_runs : int;
+  mutable idx_rejected : int;  (** mutated .idx -> clean error *)
+  mutable idx_opened : int;  (** mutated .idx still opened (oracle-checked) *)
+  mutable codec_runs : int;
+  mutable sibling_runs : int;
+}
+
+(* every query on a surviving index must come back as a result; on a
+   checksummed (v2) file an [Ok] must equal the oracle *)
+let check_queries iter base si ~oracle_checked =
+  List.iter
+    (fun (q, want) ->
+      match Si.query_ast si q with
+      | Error _ -> ()
+      | Ok got ->
+          if oracle_checked && got <> want then
+            fail_iter iter
+              "silent wrong result on %s: base %s, index %d matches, oracle %d"
+              (Si_query.Ast.to_string q) base.name (List.length got)
+              (List.length want))
+    base.expected
+
+let fuzz_idx g bases st iter =
+  let base = Prng.pick g bases in
+  restore base;
+  let pristine = List.assoc ".idx" base.files in
+  let mutated = mutate g pristine in
+  write_file (base.scratch ^ ".idx") mutated;
+  st.idx_runs <- st.idx_runs + 1;
+  match Si.open_ base.scratch with
+  | Error _ -> st.idx_rejected <- st.idx_rejected + 1
+  | Ok si ->
+      st.idx_opened <- st.idx_opened + 1;
+      (* v2 opened => every checksum matched => answers must be correct;
+         v1 has no checksum, so only crash-freedom is asserted *)
+      check_queries iter base si
+        ~oracle_checked:(base.v2 && not (String.equal mutated pristine))
+
+let fuzz_codec g st _iter =
+  st.codec_runs <- st.codec_runs + 1;
+  let s = String.init (Prng.int g 200) (fun _ -> Char.chr (Prng.int g 256)) in
+  let scheme = Prng.pick g [| Coding.Filter; Coding.Interval; Coding.Root_split |] in
+  let key_size = 1 + Prng.int g 4 in
+  (match Coding.unpack scheme ~key_size s 0 with
+  | _ -> ()
+  | exception Coding.Malformed _ -> ());
+  match Coding.read scheme ~key_size s 0 with
+  | _ -> ()
+  | exception Coding.Malformed _ -> ()
+
+let fuzz_sibling g bases st iter =
+  let base = Prng.pick g bases in
+  restore base;
+  let ext = Prng.pick g [| ".dat"; ".labels"; ".meta" |] in
+  write_file (base.scratch ^ ext) (mutate g (List.assoc ext base.files));
+  st.sibling_runs <- st.sibling_runs + 1;
+  match Si.open_ base.scratch with
+  | Error _ -> ()
+  | Ok si ->
+      (* the mutated sibling may parse to a *different* valid corpus, so the
+         stored oracle answers no longer apply: assert crash-freedom only *)
+      check_queries iter base si ~oracle_checked:false
+
+(* ---- driver ------------------------------------------------------------- *)
+
+let () =
+  Printexc.record_backtrace true;
+  let seed = ref 0xC0FFEE in
+  let iters = ref 2000 in
+  Arg.parse
+    [
+      ("--seed", Arg.Set_int seed, "PRNG seed (default 0xC0FFEE)");
+      ("--iters", Arg.Set_int iters, "number of fuzz iterations (default 2000)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "fuzz_main [--seed S] [--iters N]";
+  let dir = Filename.temp_file "si_fuzz" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+  @@ fun () ->
+  let bases = make_bases dir in
+  let g = Prng.create !seed in
+  let st =
+    { idx_runs = 0; idx_rejected = 0; idx_opened = 0; codec_runs = 0; sibling_runs = 0 }
+  in
+  for iter = 1 to !iters do
+    let run f = try f () with e ->
+      fail_iter iter "uncaught exception %s\n%s" (Printexc.to_string e)
+        (Printexc.get_backtrace ())
+    in
+    let phase = Prng.int g 10 in
+    if phase < 7 then run (fun () -> fuzz_idx g bases st iter)
+    else if phase < 9 then run (fun () -> fuzz_codec g st iter)
+    else run (fun () -> fuzz_sibling g bases st iter)
+  done;
+  Printf.printf
+    "fuzz: %d iterations, %d failures (idx: %d runs, %d rejected, %d survived; \
+     codec: %d; sibling: %d)\n"
+    !iters !failures st.idx_runs st.idx_rejected st.idx_opened st.codec_runs
+    st.sibling_runs;
+  if !failures > 0 then exit 1
