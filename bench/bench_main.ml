@@ -2,9 +2,13 @@
    that measures, on a seeded PCFG corpus,
 
    - build throughput (trees/s) per coding at 1 / 2 / 4 domains,
-   - on-disk index bytes, SIDX2 vs the SIDX1 baseline,
-   - index load (open) time, lazy SIDX2 vs eager SIDX1,
-   - per-coding query latency quantiles (bechamel samples),
+   - on-disk index bytes, SIDX3 vs the SIDX2 and SIDX1 baselines,
+   - index load (open) time, lazy SIDX3 vs eager SIDX1,
+   - per-coding query latency quantiles (bechamel samples), on both the
+     serving path (block-skip streaming through a warm decode cache) and
+     the full-decode reference path,
+   - serving throughput (QPS) and whole-stream latency quantiles through
+     [Si.query_batch] at 1 and 2 domains,
 
    and writes the lot as JSON (default: BENCH_SI.json in the cwd) so every
    future PR has a trajectory to compare against. *)
@@ -115,7 +119,7 @@ let latency_quantiles ~quota ~name f =
   Array.sort compare samples;
   ( Array.length samples,
     quantile samples 0.5,
-    quantile samples 0.9,
+    quantile samples 0.95,
     quantile samples 0.99 )
 
 let file_size path = (Unix.stat path).Unix.st_size
@@ -207,18 +211,20 @@ let () =
         domain_counts)
     schemes;
 
-  (* index size: SIDX2 vs SIDX1 baseline; load time: lazy vs eager *)
+  (* index size: SIDX3 vs the SIDX2 and SIDX1 baselines; load: lazy vs eager *)
   let index_entries = ref [] in
   let load_entries = ref [] in
   List.iter
     (fun scheme ->
       let b = Hashtbl.find built scheme in
       let name = Si_core.Coding.scheme_to_string scheme in
-      let p2 = Filename.concat tmp (name ^ ".idx") in
+      let p3 = Filename.concat tmp (name ^ ".idx") in
+      let p2 = Filename.concat tmp (name ^ ".v2.idx") in
       let p1 = Filename.concat tmp (name ^ ".v1.idx") in
-      ok_exn (Si_core.Builder.save b p2);
+      ok_exn (Si_core.Builder.save b p3);
+      ok_exn (Si_core.Builder.save_v2 b p2);
       ok_exn (Si_core.Builder.save_v1 b p1);
-      Hashtbl.replace idx_bytes scheme (file_size p2);
+      Hashtbl.replace idx_bytes scheme (file_size p3);
       let s = b.Si_core.Builder.stats in
       index_entries :=
         J.Obj
@@ -226,44 +232,62 @@ let () =
             ("scheme", J.Str name);
             ("keys", J.Int s.Si_core.Builder.keys);
             ("postings", J.Int s.Si_core.Builder.postings);
+            ("bytes_sidx3", J.Int (file_size p3));
             ("bytes_sidx2", J.Int (file_size p2));
             ("bytes_sidx1", J.Int (file_size p1));
           ]
         :: !index_entries;
-      let _, t2 = time_best ~repeat:5 (fun () -> ok_exn (Si_core.Builder.load p2)) in
+      let _, t3 = time_best ~repeat:5 (fun () -> ok_exn (Si_core.Builder.load p3)) in
       let _, t1 = time_best ~repeat:5 (fun () -> ok_exn (Si_core.Builder.load p1)) in
       Printf.eprintf
-        "size %-10s: sidx2=%d sidx1=%d bytes; load lazy=%.4fs eager=%.4fs\n%!"
-        name (file_size p2) (file_size p1) t2 t1;
+        "size %-10s: sidx3=%d sidx2=%d sidx1=%d bytes; load lazy=%.4fs eager=%.4fs\n%!"
+        name (file_size p3) (file_size p2) (file_size p1) t3 t1;
       load_entries :=
         J.Obj
           [
             ("scheme", J.Str name);
-            ("sidx2_lazy_seconds", J.Float t2);
+            ("sidx3_lazy_seconds", J.Float t3);
             ("sidx1_eager_seconds", J.Float t1);
           ]
         :: !load_entries)
     schemes;
 
-  (* query latency quantiles per scheme, over a freshly loaded lazy index *)
+  (* query latency quantiles per scheme, over a freshly loaded lazy index:
+     the serving path (block-skip streaming, warm bounded cache) is the
+     headline; the full-decode path is measured beside it as the
+     reference the streaming path must not regress *)
   let query_entries = ref [] in
+  let query_p95s = Hashtbl.create 4 in
+  let query_p99s = Hashtbl.create 4 in
   List.iter
     (fun scheme ->
       let name = Si_core.Coding.scheme_to_string scheme in
       let index = ok_exn (Si_core.Builder.load (Filename.concat tmp (name ^ ".idx"))) in
+      let cache = Si_core.Cursor.create_cache () in
       List.iter
         (fun qstr ->
           let q = Si_query.Parser.parse_exn qstr in
-          let matches = Si_core.Eval.run_exn ~index ~corpus:docs q in
-          let samples, p50, p90, p99 =
+          let matches = Si_core.Eval.run_exn ~index ~corpus:docs ~cache q in
+          let samples, p50, p95, p99 =
             latency_quantiles ~quota ~name:(name ^ "/" ^ qstr) (fun () ->
+                Si_core.Eval.run_exn ~index ~corpus:docs ~cache q)
+          in
+          let _, p50_full, _, _ =
+            latency_quantiles ~quota ~name:(name ^ "/full/" ^ qstr) (fun () ->
                 Si_core.Eval.run_exn ~index ~corpus:docs q)
           in
-          let prev = Option.value ~default:[] (Hashtbl.find_opt query_p50s scheme) in
-          Hashtbl.replace query_p50s scheme (p50 :: prev);
+          let push tbl v =
+            Hashtbl.replace tbl scheme
+              (v :: Option.value ~default:[] (Hashtbl.find_opt tbl scheme))
+          in
+          push query_p50s p50;
+          push query_p95s p95;
+          push query_p99s p99;
           Printf.eprintf
-            "query %-10s %-22s: %d matches, p50=%.1fus p99=%.1fus (%d samples)\n%!"
-            name qstr (List.length matches) (p50 /. 1e3) (p99 /. 1e3) samples;
+            "query %-10s %-22s: %d matches, p50=%.1fus p99=%.1fus \
+             full-decode p50=%.1fus (%d samples)\n%!"
+            name qstr (List.length matches) (p50 /. 1e3) (p99 /. 1e3)
+            (p50_full /. 1e3) samples;
           query_entries :=
             J.Obj
               [
@@ -272,11 +296,70 @@ let () =
                 ("matches", J.Int (List.length matches));
                 ("samples", J.Int samples);
                 ("p50_ns", J.Float p50);
-                ("p90_ns", J.Float p90);
+                ("p95_ns", J.Float p95);
                 ("p99_ns", J.Float p99);
+                ("p50_full_decode_ns", J.Float p50_full);
               ]
             :: !query_entries)
         bench_queries)
+    schemes;
+
+  (* serving throughput: the parallel batch evaluator over one shared
+     in-memory handle, 1 vs 2 domains; per-run caches start cold, so the
+     numbers include the cache warm-up the first queries pay *)
+  let serve_entries = ref [] in
+  let qps_1d = Hashtbl.create 4 in
+  let qps_2d = Hashtbl.create 4 in
+  let stream =
+    let nq = List.length bench_queries in
+    Array.init 400 (fun i -> List.nth bench_queries (i mod nq))
+  in
+  List.iter
+    (fun scheme ->
+      let name = Si_core.Coding.scheme_to_string scheme in
+      let si = Si_core.Si.build ~scheme ~mss ~trees () in
+      List.iter
+        (fun domains ->
+          let best = ref None in
+          for _ = 1 to 3 do
+            let b = Si_core.Si.query_batch ~domains si stream in
+            match !best with
+            | Some p when p.Si_core.Si.elapsed_s <= b.Si_core.Si.elapsed_s -> ()
+            | _ -> best := Some b
+          done;
+          let b = Option.get !best in
+          let lat = Array.copy b.Si_core.Si.latencies_ns in
+          Array.sort compare lat;
+          let qps = float_of_int (Array.length stream) /. b.Si_core.Si.elapsed_s in
+          if domains = 1 then Hashtbl.replace qps_1d scheme qps;
+          if domains = 2 then Hashtbl.replace qps_2d scheme qps;
+          let cs = b.Si_core.Si.cache in
+          Printf.eprintf
+            "serve %-10s domains=%d: %d queries in %.3fs (%.0f qps), \
+             p50=%.1fus p95=%.1fus p99=%.1fus, cache %d/%d hits\n%!"
+            name domains (Array.length stream) b.Si_core.Si.elapsed_s qps
+            (quantile lat 0.5 /. 1e3)
+            (quantile lat 0.95 /. 1e3)
+            (quantile lat 0.99 /. 1e3)
+            cs.Si_core.Cache.hits
+            (cs.Si_core.Cache.hits + cs.Si_core.Cache.misses);
+          serve_entries :=
+            J.Obj
+              [
+                ("scheme", J.Str name);
+                ("domains", J.Int domains);
+                ("queries", J.Int (Array.length stream));
+                ("elapsed_s", J.Float b.Si_core.Si.elapsed_s);
+                ("qps", J.Float qps);
+                ("p50_ns", J.Float (quantile lat 0.5));
+                ("p95_ns", J.Float (quantile lat 0.95));
+                ("p99_ns", J.Float (quantile lat 0.99));
+                ("cache_hits", J.Int cs.Si_core.Cache.hits);
+                ("cache_misses", J.Int cs.Si_core.Cache.misses);
+                ("cache_evictions", J.Int cs.Si_core.Cache.evictions);
+              ]
+            :: !serve_entries)
+        [ 1; 2 ])
     schemes;
 
   (* stable headline numbers: one object per coding, fixed keys, so CI and
@@ -293,6 +376,12 @@ let () =
                  ("index_bytes", J.Int (Hashtbl.find idx_bytes scheme));
                  ( "p50_query_ns",
                    J.Float (median (Hashtbl.find query_p50s scheme)) );
+                 ( "p95_query_ns",
+                   J.Float (median (Hashtbl.find query_p95s scheme)) );
+                 ( "p99_query_ns",
+                   J.Float (median (Hashtbl.find query_p99s scheme)) );
+                 ("qps", J.Float (Hashtbl.find qps_1d scheme));
+                 ("qps_domains2", J.Float (Hashtbl.find qps_2d scheme));
                ] ))
          schemes)
   in
@@ -315,6 +404,7 @@ let () =
         ("index", J.Arr (List.rev !index_entries));
         ("load", J.Arr (List.rev !load_entries));
         ("query", J.Arr (List.rev !query_entries));
+        ("serve", J.Arr (List.rev !serve_entries));
       ]
   in
   let oc = open_out !out in

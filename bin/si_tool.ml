@@ -98,36 +98,96 @@ let build_cmd =
 
 (* ---- query ------------------------------------------------------------- *)
 
-let query prefix qstr sentences check_oracle =
-  (* parse once; the same AST drives both the index and the oracle *)
-  let q =
-    match Si_query.Parser.parse qstr with
-    | Ok q -> q
-    | Error e -> fail_si (Si_core.Si_error.Bad_query e)
+(* one query per line; blank lines and #-comments skipped *)
+let read_queries path =
+  let lines =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | l -> go (l :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          go [])
+    with Sys_error what -> fail_si (Si_core.Si_error.Io { path; what })
   in
-  let si = ok_or_fail (Si_core.Si.open_ prefix) in
+  lines
+  |> List.filter (fun l -> String.trim l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  |> Array.of_list
+
+let parse_query qstr =
+  match Si_query.Parser.parse qstr with
+  | Ok q -> q
+  | Error e -> fail_si (Si_core.Si_error.Bad_query e)
+
+(* evaluate one parsed query against an open handle, with the optional
+   oracle cross-check; returns the match list *)
+let eval_checked si q ~check_oracle =
   let matches = ok_or_fail (Si_core.Si.query_ast si q) in
-  Printf.printf "%d matches\n" (List.length matches);
-  if sentences then
-    List.iter
-      (fun (tid, node) ->
-        let t = Si_core.Si.sentence si tid in
-        Printf.printf "%d:%d %s\n" tid node (Si_treebank.Tree.to_string t))
-      matches;
   if check_oracle then begin
     let want = Si_core.Si.oracle si q in
-    if matches = want then print_endline "oracle: OK"
-    else begin
+    if matches <> want then begin
       Printf.eprintf "oracle MISMATCH: index %d matches, oracle %d\n"
         (List.length matches) (List.length want);
       exit 1
     end
-  end
+  end;
+  matches
+
+let query prefix qstr queries_file sentences check_oracle =
+  let si = ok_or_fail (Si_core.Si.open_ prefix) in
+  match (qstr, queries_file) with
+  | None, None ->
+      Printf.eprintf "si_tool: query needs a QUERY argument or --queries FILE\n";
+      exit 2
+  | Some _, Some _ ->
+      Printf.eprintf "si_tool: pass either a QUERY argument or --queries, not both\n";
+      exit 2
+  | Some qstr, None ->
+      (* parse once; the same AST drives both the index and the oracle *)
+      let q = parse_query qstr in
+      let matches = eval_checked si q ~check_oracle in
+      Printf.printf "%d matches\n" (List.length matches);
+      if sentences then
+        List.iter
+          (fun (tid, node) ->
+            let t = Si_core.Si.sentence si tid in
+            Printf.printf "%d:%d %s\n" tid node (Si_treebank.Tree.to_string t))
+          matches;
+      if check_oracle then print_endline "oracle: OK"
+  | None, Some file ->
+      (* batch: one open, N evaluations over the handle's shared cache *)
+      let qs = read_queries file in
+      let t0 = Unix.gettimeofday () in
+      let total = ref 0 in
+      Array.iter
+        (fun qstr ->
+          let matches = eval_checked si (parse_query qstr) ~check_oracle in
+          total := !total + List.length matches;
+          Printf.printf "%s\t%d\n" qstr (List.length matches))
+        qs;
+      let dt = Unix.gettimeofday () -. t0 in
+      let cs = Si_core.Si.cache_stats si in
+      Printf.eprintf
+        "evaluated %d queries (%d matches) in %.3fs over one open; cache \
+         hits=%d misses=%d evictions=%d%s\n"
+        (Array.length qs) !total dt cs.Si_core.Cache.hits cs.Si_core.Cache.misses
+        cs.Si_core.Cache.evictions
+        (if check_oracle then "; oracle: OK" else "")
 
 let query_cmd =
   let qstr =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY"
            ~doc:"Query, e.g. 'S(NP(DT)(NN))(VP)'; use (//q) for descendant edges.")
+  in
+  let queries_file =
+    Arg.(value & opt (some file) None & info [ "queries" ] ~docv:"FILE"
+           ~doc:"Evaluate every query in FILE (one per line, # comments) \
+                 against a single index open instead of paying one open per \
+                 invocation.")
   in
   let sentences =
     Arg.(value & flag & info [ "sentences" ] ~doc:"Print each matched tree.")
@@ -137,8 +197,60 @@ let query_cmd =
            ~doc:"Also run the brute-force matcher and exit non-zero on mismatch.")
   in
   Cmd.v
-    (Cmd.info "query" ~doc:"Evaluate a query against a built index.")
-    Term.(const query $ prefix_arg $ qstr $ sentences $ check_oracle)
+    (Cmd.info "query" ~doc:"Evaluate one query or a query file against a built index.")
+    Term.(const query $ prefix_arg $ qstr $ queries_file $ sentences $ check_oracle)
+
+(* ---- serve ------------------------------------------------------------- *)
+
+let quantile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0. else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+let serve prefix batch_file domains cache_budget =
+  if domains < 1 then begin
+    Printf.eprintf "si_tool: --domains must be >= 1 (got %d)\n" domains;
+    exit 2
+  end;
+  let si = ok_or_fail (Si_core.Si.open_ prefix) in
+  let qs = read_queries batch_file in
+  let b = Si_core.Si.query_batch ~domains ?cache_budget si qs in
+  let total = ref 0 in
+  Array.iter
+    (function Error e -> fail_si e | Ok ms -> total := !total + List.length ms)
+    b.Si_core.Si.answers;
+  let lat = Array.copy b.Si_core.Si.latencies_ns in
+  Array.sort compare lat;
+  let n = Array.length qs in
+  Printf.printf "queries=%d domains=%d matches=%d elapsed=%.3fs qps=%.0f\n" n
+    domains !total b.Si_core.Si.elapsed_s
+    (if b.Si_core.Si.elapsed_s > 0. then float_of_int n /. b.Si_core.Si.elapsed_s
+     else 0.);
+  Printf.printf "latency_ns p50=%.0f p95=%.0f p99=%.0f\n" (quantile lat 0.50)
+    (quantile lat 0.95) (quantile lat 0.99);
+  let cs = b.Si_core.Si.cache in
+  Printf.printf "cache hits=%d misses=%d evictions=%d resident=%d entries=%d\n"
+    cs.Si_core.Cache.hits cs.Si_core.Cache.misses cs.Si_core.Cache.evictions
+    cs.Si_core.Cache.resident cs.Si_core.Cache.entries
+
+let serve_cmd =
+  let batch_file =
+    Arg.(required & opt (some file) None & info [ "batch" ] ~docv:"FILE"
+           ~doc:"Query stream to evaluate (one query per line, # comments).")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Fan the stream across N OCaml domains over one shared \
+                 index handle (per-domain decode caches, no hot-path locks).")
+  in
+  let cache_budget =
+    Arg.(value & opt (some int) None & info [ "cache-budget" ] ~docv:"BYTES"
+           ~doc:"Per-domain decoded-block cache budget in bytes (default 64 MiB).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Throughput-evaluate a query stream: batch fan-out across domains \
+             with per-query latency and cache statistics.")
+    Term.(const serve $ prefix_arg $ batch_file $ domains $ cache_budget)
 
 (* ---- stats ------------------------------------------------------------- *)
 
@@ -160,7 +272,17 @@ let stats prefix =
     (fun (bucket, count) ->
       let bar = int_of_float (50.0 *. float_of_int count /. width) in
       Printf.printf "  <=%-8d %8d %s\n" bucket count (String.make bar '#'))
-    hist
+    hist;
+  (* block layout: how many keys are split into how many skip blocks *)
+  print_endline "block histogram (blocks : keys):";
+  List.iter
+    (fun (nblocks, count) -> Printf.printf "  %-8d %8d\n" nblocks count)
+    (Si_core.Builder.block_histogram (Si_core.Si.index si));
+  let cs = Si_core.Si.cache_stats si in
+  Printf.printf
+    "cache budget=%d hits=%d misses=%d evictions=%d resident=%d entries=%d\n"
+    cs.Si_core.Cache.budget cs.Si_core.Cache.hits cs.Si_core.Cache.misses
+    cs.Si_core.Cache.evictions cs.Si_core.Cache.resident cs.Si_core.Cache.entries
 
 let stats_cmd =
   Cmd.v
@@ -172,4 +294,6 @@ let () =
     Cmd.info "si_tool" ~version:"0.1.0"
       ~doc:"Subtree index over syntactically annotated trees (PVLDB 2012)."
   in
-  exit (Cmd.eval (Cmd.group info [ gen_cmd; build_cmd; query_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ gen_cmd; build_cmd; query_cmd; serve_cmd; stats_cmd ]))

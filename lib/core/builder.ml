@@ -3,8 +3,13 @@ open Si_subtree
 
 type stats = { trees : int; nodes : int; keys : int; postings : int; bytes : int }
 
-(* A slot holds the SIDX2 packed bytes of one posting — a slice of [src] —
-   and memoizes its decoded form on first access.  [src] is either a
+(* Which container encoding the slot's bytes use: [V3] is the block-skip
+   container (built indexes and SIDX3 files), [V2] the flat SIDX2 body
+   (kept decodable so old files load without a rebuild). *)
+type enc = V2 | V3
+
+(* A slot holds the packed bytes of one posting — a slice of [src] — and
+   memoizes its decoded form on first access.  [src] is either a
    per-posting string (after build) or the whole index file (after load),
    so loading shares one backing buffer across every slot. *)
 type slot = {
@@ -12,6 +17,7 @@ type slot = {
   off : int;
   len : int;
   entries : int;
+  enc : enc;
   mutable decoded : Coding.posting option;
 }
 
@@ -118,20 +124,27 @@ let posting_of_acc = function
   | A_interval es -> Coding.Interval_p (Array.of_list (List.rev es))
   | A_root es -> Coding.Root_p (Array.of_list (List.rev es))
 
-let slot_of_posting p =
+let slot_of_posting ?block_entries p =
   let buf = Buffer.create 64 in
-  Coding.pack buf p;
+  Coding.pack_v3 ?block_entries buf p;
   let src = Buffer.contents buf in
-  { src; off = 0; len = String.length src; entries = Coding.entries p; decoded = Some p }
+  {
+    src;
+    off = 0;
+    len = String.length src;
+    entries = Coding.entries p;
+    enc = V3;
+    decoded = Some p;
+  }
 
-let finalize ~scheme ~mss ~trees merged =
+let finalize ?block_entries ~scheme ~mss ~trees merged =
   let final = Hashtbl.create (Hashtbl.length merged.table) in
   let postings = ref 0 in
   let bytes = ref 0 in
   Hashtbl.iter
     (fun key acc ->
       let p = posting_of_acc acc in
-      let slot = slot_of_posting p in
+      let slot = slot_of_posting ?block_entries p in
       postings := !postings + slot.entries;
       bytes :=
         !bytes + Varint.size (String.length key) + String.length key
@@ -153,7 +166,7 @@ let finalize ~scheme ~mss ~trees merged =
     origin = "<memory>";
   }
 
-let build ?(domains = 1) ~scheme ~mss docs =
+let build ?(domains = 1) ?block_entries ~scheme ~mss docs =
   if mss < 1 || mss > 255 then invalid_arg "Builder.build: mss out of range";
   if domains < 1 then invalid_arg "Builder.build: domains must be >= 1";
   let n = Array.length docs in
@@ -173,9 +186,32 @@ let build ?(domains = 1) ~scheme ~mss docs =
       merge_shards (first :: rest)
     end
   in
-  finalize ~scheme ~mss ~trees:n merged
+  finalize ?block_entries ~scheme ~mss ~trees:n merged
 
 (* ---- access ------------------------------------------------------------ *)
+
+(* Run a decoding thunk, mapping codec failures to [Corrupt] against the
+   index's origin path. *)
+let guard_decode (t : t) ~offset f =
+  try f () with
+  | Coding.Malformed { offset; what } ->
+      Si_error.raise_corrupt ~path:t.origin ~offset what
+  | Invalid_argument what ->
+      Si_error.raise_corrupt ~path:t.origin ~offset ("malformed posting: " ^ what)
+
+let decode_slot (t : t) key (slot : slot) =
+  let finish = slot.off + slot.len in
+  let p, consumed =
+    guard_decode t ~offset:slot.off (fun () ->
+        let key_size = Canonical.key_size key in
+        match slot.enc with
+        | V2 -> Coding.unpack t.scheme ~key_size ~limit:finish slot.src slot.off
+        | V3 -> Coding.unpack_v3 t.scheme ~key_size ~limit:finish slot.src slot.off)
+  in
+  if consumed <> finish then
+    Si_error.raise_corrupt ~path:t.origin ~offset:consumed
+      "posting shorter than its recorded length";
+  p
 
 let find_exn (t : t) key =
   match Hashtbl.find_opt t.table key with
@@ -184,23 +220,46 @@ let find_exn (t : t) key =
       match slot.decoded with
       | Some p -> Some p
       | None ->
-          let finish = slot.off + slot.len in
-          let p, consumed =
-            try
-              Coding.unpack t.scheme ~key_size:(Canonical.key_size key)
-                ~limit:finish slot.src slot.off
-            with
-            | Coding.Malformed { offset; what } ->
-                Si_error.raise_corrupt ~path:t.origin ~offset what
-            | Invalid_argument what ->
-                Si_error.raise_corrupt ~path:t.origin ~offset:slot.off
-                  ("malformed posting: " ^ what)
-          in
-          if consumed <> finish then
-            Si_error.raise_corrupt ~path:t.origin ~offset:consumed
-              "posting shorter than its recorded length";
+          let p = decode_slot t key slot in
           slot.decoded <- Some p;
           Some p)
+
+(* ---- block access (the streaming read path) ----------------------------- *)
+
+(* Layout of a slot as decodable blocks.  A V2 slot's body after the count
+   varint is exactly a flat v3 block, so both encodings present uniformly
+   to the cursor layer. *)
+let slot_blocks (t : t) (slot : slot) =
+  let finish = slot.off + slot.len in
+  guard_decode t ~offset:slot.off (fun () ->
+      match slot.enc with
+      | V3 ->
+          let count, blocks =
+            Coding.v3_layout t.scheme ~limit:finish slot.src slot.off
+          in
+          if count <> slot.entries then
+            Si_error.raise_corrupt ~path:t.origin ~offset:slot.off
+              "posting entry count disagrees with the key directory";
+          blocks
+      | V2 ->
+          let count, boff = Coding.checked_varint ~limit:finish slot.src slot.off in
+          [|
+            {
+              Coding.first_tid = -1;
+              boff;
+              blen = finish - boff;
+              bentries = count;
+            };
+          |])
+
+let find_blocks (t : t) key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some slot -> Some (slot, slot_blocks t slot)
+
+let decode_block (t : t) key (slot : slot) (b : Coding.block) =
+  guard_decode t ~offset:b.Coding.boff (fun () ->
+      Coding.unpack_block t.scheme ~key_size:(Canonical.key_size key) slot.src b)
 
 let find (t : t) key = Si_error.guard (fun () -> find_exn t key)
 
@@ -228,23 +287,37 @@ let length_histogram (t : t) =
   Array.iteri (fun i c -> if c > 0 then last := i) buckets;
   Array.to_list (Array.init (!last + 1) (fun i -> (1 lsl i, buckets.(i))))
 
+let block_histogram (t : t) =
+  (* nblocks -> number of keys; parses container headers only *)
+  let counts = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ slot ->
+      let n = Array.length (slot_blocks t slot) in
+      Hashtbl.replace counts n (1 + Option.value ~default:0 (Hashtbl.find_opt counts n)))
+    t.table;
+  List.sort compare (Hashtbl.fold (fun n c acc -> (n, c) :: acc) counts [])
+
 (* ---- flattened file ---------------------------------------------------- *)
 
-(* SIDX2 layout (integrity-checked, see DESIGN.md):
+(* SIDX3 layout (integrity-checked, see DESIGN.md):
 
-     header    "SIDX2\n"  scheme byte (F|I|R)  mss byte          (8 bytes)
+     header    "SIDX3\n"  scheme byte (F|I|R)  mss byte          (8 bytes)
      keydir    varint nkeys, then per key in sorted order:
                  varint lcp, varint slen, suffix bytes, varint plen
-     postings  the packed posting bytes, concatenated in key order
-               (offsets implied by the cumulative plen of the keydir)
+     postings  the v3 block containers ({!Coding.pack_v3}), concatenated in
+               key order (offsets implied by the cumulative plen)
      footer    u64le keydir_len | u64le postings_len
                u32le crc32(header) | u32le crc32(keydir) | u32le crc32(postings)
                "SI2F"                                            (32 bytes)
 
-   [save] writes to [path ^ ".tmp"], fsyncs, then renames — a crash mid-save
-   never clobbers an existing index.  [load] verifies magic, region lengths
-   and all three checksums before parsing a single record. *)
+   SIDX2 is the same container with flat posting bodies ({!Coding.pack});
+   only the header magic and the posting codec differ, so one reader
+   handles both.  [save] writes to [path ^ ".tmp"], fsyncs, then renames —
+   a crash mid-save never clobbers an existing index.  [load] verifies
+   magic, region lengths and all three checksums before parsing a single
+   record. *)
 
+let magic_v3 = "SIDX3\n"
 let magic = "SIDX2\n"
 let magic_v1 = "SIDX1\n"
 let header_len = 8
@@ -297,11 +370,38 @@ let with_atomic_out path f =
       cleanup ();
       Error (Si_error.Io { path; what })
 
+(* Re-encode [slot]'s posting in the [want] container; [None] = the slot's
+   own bytes already are that encoding and can be streamed as-is. *)
+let converted ~want (t : t) key (slot : slot) =
+  if slot.enc = want then None
+  else begin
+    let p =
+      match slot.decoded with Some p -> p | None -> decode_slot t key slot
+    in
+    let buf = Buffer.create (slot.len + 16) in
+    (match want with V2 -> Coding.pack buf p | V3 -> Coding.pack_v3 buf p);
+    Some (Buffer.contents buf)
+  end
+
 (* Streams records straight to the channel through a small per-record
-   scratch buffer — peak extra memory is one record, not the whole index. *)
-let save (t : t) path =
+   scratch buffer — peak extra memory is one record, not the whole index
+   (plus the re-encoded postings when saving across container versions). *)
+let save_as ~magic ~want (t : t) path =
   with_atomic_out path (fun oc ->
       let keys = sorted_keys t in
+      (* cross-version saves need each posting's final length already in the
+         key directory pass, so conversions are computed once and kept *)
+      let conv = Hashtbl.create 16 in
+      let bytes_of key (slot : slot) =
+        match Hashtbl.find_opt conv key with
+        | Some s -> (s, 0, String.length s)
+        | None -> (
+            match converted ~want t key slot with
+            | None -> (slot.src, slot.off, slot.len)
+            | Some s ->
+                Hashtbl.replace conv key s;
+                (s, 0, String.length s))
+      in
       let header =
         Printf.sprintf "%s%c%c" magic (scheme_byte t.scheme) (Char.chr t.mss)
       in
@@ -323,12 +423,13 @@ let save (t : t) path =
       List.iter
         (fun key ->
           let slot = Hashtbl.find t.table key in
+          let _, _, plen = bytes_of key slot in
           (* front-coded key: shared prefix with the previous sorted key *)
           let lcp = common_prefix !prev key in
           Varint.write scratch lcp;
           Varint.write scratch (String.length key - lcp);
           Buffer.add_substring scratch key lcp (String.length key - lcp);
-          Varint.write scratch slot.len;
+          Varint.write scratch plen;
           emit ();
           prev := key)
         keys;
@@ -338,9 +439,10 @@ let save (t : t) path =
       List.iter
         (fun key ->
           let slot = Hashtbl.find t.table key in
-          output_substring oc slot.src slot.off slot.len;
-          crc_postings := Crc32.feed_substring !crc_postings slot.src slot.off slot.len;
-          postings_len := !postings_len + slot.len)
+          let src, off, plen = bytes_of key slot in
+          output_substring oc src off plen;
+          crc_postings := Crc32.feed_substring !crc_postings src off plen;
+          postings_len := !postings_len + plen)
         keys;
       (* footer *)
       Buffer.add_int64_le scratch (Int64.of_int !keydir_len);
@@ -350,6 +452,9 @@ let save (t : t) path =
       Buffer.add_int32_le scratch (Int32.of_int (Crc32.value !crc_postings));
       Buffer.add_string scratch footer_magic;
       Buffer.output_buffer oc scratch)
+
+let save (t : t) path = save_as ~magic:magic_v3 ~want:V3 t path
+let save_v2 (t : t) path = save_as ~magic ~want:V2 t path
 
 let save_v1 (t : t) path =
   with_atomic_out path (fun oc ->
@@ -395,10 +500,11 @@ let u64_at path s off =
   | Some v -> v
   | None -> Si_error.raise_corrupt ~path ~offset:off "region length out of range"
 
-(* SIDX2 load: verify footer magic, region lengths and checksums over the
-   whole byte string, then one bounds-checked pass over the key directory
-   building key -> (offset, length) slots; postings decode on first [find]. *)
-let load_v2 path s =
+(* SIDX2/SIDX3 load: verify footer magic, region lengths and checksums over
+   the whole byte string, then one bounds-checked pass over the key
+   directory building key -> (offset, length) slots; postings decode on
+   first [find] (or block by block through the cursors). *)
+let load_packed ~enc path s =
   let len = String.length s in
   let corrupt offset what = Si_error.raise_corrupt ~path ~offset what in
   if len < header_len + footer_len then
@@ -455,10 +561,14 @@ let load_v2 path s =
     if plen > postings_len - !post_off then
       corrupt rec_start "posting overruns the postings region";
     let slot_off = p_start + !post_off in
-    let entries = Coding.packed_entries ~limit:(slot_off + plen) s slot_off in
+    let entries =
+      match enc with
+      | V2 -> Coding.packed_entries ~limit:(slot_off + plen) s slot_off
+      | V3 -> Coding.packed_entries_v3 ~limit:(slot_off + plen) s slot_off
+    in
     postings := !postings + entries;
     Hashtbl.replace table key
-      { src = s; off = slot_off; len = plen; entries; decoded = None };
+      { src = s; off = slot_off; len = plen; entries; enc; decoded = None };
     post_off := !post_off + plen;
     off := o;
     prev := key
@@ -528,15 +638,16 @@ let load path =
       let mlen = String.length magic in
       match
         let len = String.length s in
+        let has m = len >= mlen && String.equal (String.sub s 0 mlen) m in
         if len = 0 then corrupt 0 "empty file"
-        else if len >= mlen && String.equal (String.sub s 0 mlen) magic then
-          load_v2 path s
-        else if len >= mlen && String.equal (String.sub s 0 mlen) magic_v1 then
-          load_v1 path s
-        else if is_prefix s magic || is_prefix s magic_v1 then
+        else if has magic_v3 then load_packed ~enc:V3 path s
+        else if has magic then load_packed ~enc:V2 path s
+        else if has magic_v1 then load_v1 path s
+        else if is_prefix s magic_v3 || is_prefix s magic || is_prefix s magic_v1
+        then
           corrupt 0
             (Printf.sprintf "truncated header: %d bytes, shorter than the magic" len)
-        else corrupt 0 "not an si index file (bad magic; want SIDX1 or SIDX2)"
+        else corrupt 0 "not an si index file (bad magic; want SIDX1, SIDX2 or SIDX3)"
       with
       | t -> Ok t
       | exception Si_error.Error e -> Error e

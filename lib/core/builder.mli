@@ -36,11 +36,17 @@ type stats = {
   bytes : int;  (** flattened size of keys + packed postings *)
 }
 
+type enc = V2 | V3
+(** Container encoding of a slot's bytes: [V3] the block-skip container
+    ({!Coding.pack_v3} — built indexes and SIDX3 files), [V2] the flat
+    SIDX2 body (loaded from old files, still fully decodable). *)
+
 type slot = {
   src : string;  (** backing buffer holding the packed posting bytes *)
   off : int;
   len : int;
   entries : int;  (** posting entry count (readable without decoding) *)
+  enc : enc;
   mutable decoded : Coding.posting option;  (** memoized decode *)
 }
 
@@ -57,13 +63,16 @@ type t = {
 
 val build :
   ?domains:int ->
+  ?block_entries:int ->
   scheme:Coding.scheme ->
   mss:int ->
   Si_treebank.Annotated.t array ->
   t
 (** [build ?domains ~scheme ~mss docs] — [domains] defaults to 1
     (sequential); higher values shard the corpus across that many OCaml
-    domains.  The result is independent of [domains]. *)
+    domains.  The result is independent of [domains].  [block_entries]
+    (default {!Coding.default_block_entries}) sets the v3 block size;
+    tests use small values to force blocking on small corpora. *)
 
 val find : t -> string -> (Coding.posting option, Si_error.t) result
 (** Decode-on-first-use: unpacks the slot's bytes once and memoizes.
@@ -89,14 +98,37 @@ val length_histogram : t -> (int * int) list
     entries: count of keys with [entries <= bucket] (and > previous
     bucket).  Computed from slot metadata, no decoding. *)
 
+val block_histogram : t -> (int * int) list
+(** [(nblocks, count)] pairs: number of keys whose posting is laid out in
+    exactly [nblocks] blocks (flat postings and V2 slots count as 1).
+    Parses container headers only.  Raises [Si_error.Error] on corrupt
+    container bytes. *)
+
+val find_blocks : t -> string -> (slot * Coding.block array) option
+(** The block layout of a key's posting without decoding any entries —
+    the entry point of the streaming cursor path.  V2 slots present as a
+    single flat block.  Raises [Si_error.Error] on corrupt container
+    bytes. *)
+
+val decode_block : t -> string -> slot -> Coding.block -> Coding.posting
+(** [decode_block t key slot b] decodes one block of [key]'s posting
+    (does {e not} touch [slot.decoded]).  Raises [Si_error.Error] on
+    corrupt bytes. *)
+
 val save : t -> string -> (unit, Si_error.t) result
-(** [save t path] streams the SIDX2 index: an 8-byte header (magic, scheme,
+(** [save t path] streams the SIDX3 index: an 8-byte header (magic, scheme,
     mss), the key directory (key count, then sorted records of front-coded
-    key + posting length), the concatenated packed postings, and the
+    key + posting length), the concatenated v3 posting containers, and the
     32-byte integrity footer (region lengths + three CRC-32s).  The write
     is atomic: [path ^ ".tmp"] + fsync + rename, so a crash or [Error (Io _)]
     leaves any existing file at [path] untouched.  Peak extra memory is one
-    record, not the index. *)
+    record (plus re-encoded postings when the index was loaded from an
+    older container version). *)
+
+val save_v2 : t -> string -> (unit, Si_error.t) result
+(** SIDX2 writer (same container, flat posting bodies) — kept for the
+    back-compat tests and the size baseline in the bench harness.  Atomic
+    like {!save}. *)
 
 val save_v1 : t -> string -> (unit, Si_error.t) result
 (** Legacy SIDX1 writer (eager postings, no front coding, no footer) — kept
@@ -107,8 +139,10 @@ val load : string -> (t, Si_error.t) result
 (** Inverse of {!save}: verifies the footer (magic, region lengths, all
     three checksums) before parsing, then builds the key → offset table in
     one bounds-checked pass, deferring posting decode to {!find}.  Also
-    accepts SIDX1 files (eager, defensively decoded — but unchecksummed, so
-    only structural corruption is detectable).  Errors: [Io] if the file
+    accepts SIDX2 files (same container, flat postings — slots stay [V2]
+    in memory and re-encode on {!save}) and SIDX1 files (eager,
+    defensively decoded — but unchecksummed, so only structural corruption
+    is detectable).  Errors: [Io] if the file
     cannot be read; [Corrupt] for an empty file, a truncated header, a bad
     magic, a footer/checksum mismatch, or any malformed record.  The
     [trees]/[nodes] stats are not stored and read back as 0; [Si] restores

@@ -1,0 +1,121 @@
+(* Byte-budgeted LRU: a hash table over an intrusive doubly-linked list.
+   [find_or_add] is O(1) amortised; eviction pops from the cold end until
+   the resident cost is back within budget. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  resident : int;
+  entries : int;
+  budget : int;
+}
+
+type ('k, 'v) node = {
+  key : 'k;
+  value : 'v;
+  cost : int;
+  mutable prev : ('k, 'v) node option;  (* towards the hot (MRU) end *)
+  mutable next : ('k, 'v) node option;  (* towards the cold (LRU) end *)
+}
+
+type ('k, 'v) t = {
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  cost_of : 'v -> int;
+  budget : int;
+  mutable hot : ('k, 'v) node option;
+  mutable cold : ('k, 'v) node option;
+  mutable resident : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let default_budget = 64 * 1024 * 1024
+
+let create ?(budget = default_budget) ~cost () =
+  if budget < 0 then invalid_arg "Cache.create: negative budget";
+  {
+    table = Hashtbl.create 256;
+    cost_of = cost;
+    budget;
+    hot = None;
+    cold = None;
+    resident = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+(* ---- intrusive list ---------------------------------------------------- *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.hot <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.cold <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_hot t n =
+  n.prev <- None;
+  n.next <- t.hot;
+  (match t.hot with Some h -> h.prev <- Some n | None -> t.cold <- Some n);
+  t.hot <- Some n
+
+let evict_until_fits t =
+  while t.resident > t.budget do
+    match t.cold with
+    | None -> t.resident <- 0 (* unreachable: resident > 0 implies a node *)
+    | Some n ->
+        unlink t n;
+        Hashtbl.remove t.table n.key;
+        t.resident <- t.resident - n.cost;
+        t.evictions <- t.evictions + 1
+  done
+
+let find_or_add t key produce =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      (match t.hot with
+      | Some h when h == n -> ()
+      | _ ->
+          unlink t n;
+          push_hot t n);
+      n.value
+  | None ->
+      t.misses <- t.misses + 1;
+      let value = produce () in
+      let cost = t.cost_of value in
+      (* a value bigger than the whole budget would only thrash: hand it
+         back uncached *)
+      if cost <= t.budget then begin
+        let n = { key; value; cost; prev = None; next = None } in
+        Hashtbl.replace t.table key n;
+        push_hot t n;
+        t.resident <- t.resident + cost;
+        evict_until_fits t
+      end;
+      value
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    resident = t.resident;
+    entries = Hashtbl.length t.table;
+    budget = t.budget;
+  }
+
+let add_stats (a : stats) (b : stats) =
+  {
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    evictions = a.evictions + b.evictions;
+    resident = a.resident + b.resident;
+    entries = a.entries + b.entries;
+    budget = a.budget + b.budget;
+  }
+
+let zero_stats budget =
+  { hits = 0; misses = 0; evictions = 0; resident = 0; entries = 0; budget }

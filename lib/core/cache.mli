@@ -1,0 +1,47 @@
+(** A byte-budgeted LRU cache — the bounded replacement for the unbounded
+    memoized decode-on-find of PR 2.
+
+    The serving read path decodes postings block by block ({!Cursor}); each
+    decoded block goes through one of these caches, so the resident decoded
+    footprint of a long-running query process is capped by [budget] bytes
+    no matter how many distinct postings traffic touches.  One cache per
+    domain: the structure is deliberately {e not} thread-safe — the batch
+    evaluator ({!Si.query_batch}) gives every domain its own cache over the
+    shared immutable packed bytes, so the hot path takes no locks.
+
+    Keys and values are generic; the [cost] function supplied at creation
+    charges each value against the budget (for decoded postings:
+    {!Coding.heap_bytes}).  A value whose cost alone exceeds the budget is
+    returned but not retained. *)
+
+type ('k, 'v) t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;  (** entries evicted to stay within budget *)
+  resident : int;  (** current total cost of cached entries *)
+  entries : int;  (** current number of cached entries *)
+  budget : int;
+}
+
+val create : ?budget:int -> cost:('v -> int) -> unit -> ('k, 'v) t
+(** [budget] defaults to 64 MiB.  [cost v] is the budget charge of [v],
+    evaluated once at insertion. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find_or_add t k produce] returns the cached value for [k] (a hit,
+    promoting [k] to most-recently-used) or calls [produce] (a miss),
+    inserts the result and evicts least-recently-used entries until the
+    total cost is back within budget.  Exceptions from [produce] propagate;
+    nothing is inserted. *)
+
+val stats : ('k, 'v) t -> stats
+
+val add_stats : stats -> stats -> stats
+(** Pointwise sum — aggregates per-domain caches for reporting ([resident],
+    [entries] and [budget] add; a batch over [n] domains reports the fleet
+    total). *)
+
+val zero_stats : int -> stats
+(** [zero_stats budget] — the stats of a fresh cache, for aggregation. *)

@@ -27,6 +27,20 @@ let entries = function
   | Interval_p a -> Array.length a
   | Root_p a -> Array.length a
 
+let tid_at p i =
+  match p with
+  | Filter_p a -> a.(i)
+  | Root_p a -> fst a.(i)
+  | Interval_p a -> fst a.(i)
+
+(* decoded heap footprint estimate, for the cache's byte budget: per-entry
+   words (tuples, interval records, per-instance arrays) plus array slots *)
+let heap_bytes = function
+  | Filter_p a -> 24 + (8 * Array.length a)
+  | Root_p a -> 24 + (72 * Array.length a)
+  | Interval_p a ->
+      Array.fold_left (fun acc (_, ivs) -> acc + 40 + (40 * Array.length ivs)) 24 a
+
 (* ---- defensive primitives ---------------------------------------------- *)
 
 exception Malformed of { offset : int; what : string }
@@ -61,6 +75,72 @@ let check_interval what iv =
     pack_error
       (Printf.sprintf "%s: interval (%d,%d,%d) violates post = pre + size-1 - level"
          what iv.pre iv.post iv.level)
+
+(* The delta codings below silently encode garbage if entries ever arrive
+   unsorted, so every packer validates the whole posting first and fails
+   loudly instead of producing bytes that decode to a different posting. *)
+let validate = function
+  | Filter_p tids ->
+      let prev = ref (-1) in
+      Array.iter
+        (fun tid ->
+          if tid <= !prev then
+            pack_error
+              (Printf.sprintf "filter tids not strictly increasing (%d after %d)" tid
+                 !prev);
+          if tid < 0 then pack_error "negative tid";
+          prev := tid)
+        tids
+  | Root_p a ->
+      let prev_tid = ref (-1) in
+      let prev_pre = ref 0 in
+      Array.iter
+        (fun (tid, iv) ->
+          if tid < max !prev_tid 0 then
+            pack_error
+              (Printf.sprintf "root entries not sorted by tid (%d after %d)" tid
+                 !prev_tid);
+          check_interval "root entry" iv;
+          if !prev_tid = tid && iv.pre < !prev_pre then
+            pack_error
+              (Printf.sprintf
+                 "root entries not sorted by pre within tid %d (%d after %d)" tid
+                 iv.pre !prev_pre);
+          prev_tid := tid;
+          prev_pre := iv.pre)
+        a
+  | Interval_p a ->
+      let prev_tid = ref (-1) in
+      let prev_pre = ref 0 in
+      Array.iter
+        (fun (tid, ivs) ->
+          if Array.length ivs = 0 then pack_error "interval entry with no nodes";
+          if tid < max !prev_tid 0 then
+            pack_error
+              (Printf.sprintf "interval entries not sorted by tid (%d after %d)" tid
+                 !prev_tid);
+          let root = ivs.(0) in
+          check_interval "instance root" root;
+          if !prev_tid = tid && root.pre < !prev_pre then
+            pack_error
+              (Printf.sprintf
+                 "interval entries not sorted by root pre within tid %d (%d after %d)"
+                 tid root.pre !prev_pre);
+          Array.iteri
+            (fun k iv ->
+              if k > 0 then begin
+                check_interval "instance node" iv;
+                (* descendant of the root: both offsets >= 0 *)
+                if iv.pre < root.pre || iv.level < root.level then
+                  pack_error
+                    (Printf.sprintf
+                       "instance node (%d,%d,%d) not a descendant of its root (%d,%d,%d)"
+                       iv.pre iv.post iv.level root.pre root.post root.level)
+              end)
+            ivs;
+          prev_tid := tid;
+          prev_pre := root.pre)
+        a
 
 (* ---- SIDX1 flattening --------------------------------------------------- *)
 
@@ -103,9 +183,9 @@ let write buf = function
           write_interval buf iv)
         a
 
-(* ---- SIDX2 packed codec ----------------------------------------------- *)
+(* ---- entry-slice codec (shared by SIDX2 and the SIDX3 blocks) ----------- *)
 
-(* The v2 packing exploits two corpus invariants the v1 codec ignores:
+(* The packing exploits two corpus invariants the v1 codec ignores:
    - post = pre + size - 1 - level for every node, so each interval stores
      the (small) subtree size instead of the (corpus-wide) postorder rank;
    - every non-root node of an instance is a strict descendant of the
@@ -113,93 +193,57 @@ let write buf = function
    Entry tids stay delta-coded; within a tid run the root pre is also
    delta-coded against the previous entry (roots arrive in pre-order).
 
-   Those deltas silently encode garbage if entries ever arrive unsorted, so
-   [pack] validates every invariant it relies on and fails loudly instead
-   of producing bytes that decode to a different posting. *)
+   A slice [lo, lo+n) always encodes its first entry with an absolute tid
+   (and absolute root pre), so every slice is independently decodable —
+   this is what makes fixed-size blocks with a skip table possible. *)
 
 let pack_size buf iv = Varint.write buf (iv.post + iv.level - iv.pre)
 
-let pack buf = function
+(* encode entries [lo, lo+n); assumes [validate] has run *)
+let pack_slice buf p lo n =
+  match p with
   | Filter_p tids ->
-      Varint.write buf (Array.length tids);
       let prev = ref (-1) in
-      Array.iter
-        (fun tid ->
-          if tid <= !prev then
-            pack_error
-              (Printf.sprintf "filter tids not strictly increasing (%d after %d)" tid
-                 !prev);
-          Varint.write buf (tid - max !prev 0);
-          prev := tid)
-        tids
+      for i = lo to lo + n - 1 do
+        let tid = tids.(i) in
+        Varint.write buf (tid - max !prev 0);
+        prev := tid
+      done
   | Root_p a ->
-      Varint.write buf (Array.length a);
       let prev_tid = ref (-1) in
       let prev_pre = ref 0 in
-      Array.iter
-        (fun (tid, iv) ->
-          if tid < max !prev_tid 0 then
-            pack_error
-              (Printf.sprintf "root entries not sorted by tid (%d after %d)" tid
-                 !prev_tid);
-          check_interval "root entry" iv;
-          (* same tid: roots are sorted by pre, delta >= 0; new tid: absolute *)
-          if !prev_tid = tid && iv.pre < !prev_pre then
-            pack_error
-              (Printf.sprintf
-                 "root entries not sorted by pre within tid %d (%d after %d)" tid
-                 iv.pre !prev_pre);
-          let dtid = tid - max !prev_tid 0 in
-          Varint.write buf (if !prev_tid < 0 then tid else dtid);
-          let base = if !prev_tid = tid then !prev_pre else 0 in
-          Varint.write buf (iv.pre - base);
-          pack_size buf iv;
-          Varint.write buf iv.level;
-          prev_tid := tid;
-          prev_pre := iv.pre)
-        a
+      for i = lo to lo + n - 1 do
+        let tid, iv = a.(i) in
+        Varint.write buf (tid - max !prev_tid 0);
+        let base = if !prev_tid = tid then !prev_pre else 0 in
+        Varint.write buf (iv.pre - base);
+        pack_size buf iv;
+        Varint.write buf iv.level;
+        prev_tid := tid;
+        prev_pre := iv.pre
+      done
   | Interval_p a ->
-      Varint.write buf (Array.length a);
       let prev_tid = ref (-1) in
       let prev_pre = ref 0 in
-      Array.iter
-        (fun (tid, ivs) ->
-          if Array.length ivs = 0 then pack_error "interval entry with no nodes";
-          if tid < max !prev_tid 0 then
-            pack_error
-              (Printf.sprintf "interval entries not sorted by tid (%d after %d)" tid
-                 !prev_tid);
-          let root = ivs.(0) in
-          check_interval "instance root" root;
-          if !prev_tid = tid && root.pre < !prev_pre then
-            pack_error
-              (Printf.sprintf
-                 "interval entries not sorted by root pre within tid %d (%d after %d)"
-                 tid root.pre !prev_pre);
-          let dtid = tid - max !prev_tid 0 in
-          Varint.write buf (if !prev_tid < 0 then tid else dtid);
-          let base = if !prev_tid = tid then !prev_pre else 0 in
-          Varint.write buf (root.pre - base);
-          pack_size buf root;
-          Varint.write buf root.level;
-          Array.iteri
-            (fun k iv ->
-              if k > 0 then begin
-                check_interval "instance node" iv;
-                (* descendant of the root: both offsets >= 0 *)
-                if iv.pre < root.pre || iv.level < root.level then
-                  pack_error
-                    (Printf.sprintf
-                       "instance node (%d,%d,%d) not a descendant of its root (%d,%d,%d)"
-                       iv.pre iv.post iv.level root.pre root.post root.level);
-                Varint.write buf (iv.pre - root.pre);
-                pack_size buf iv;
-                Varint.write buf (iv.level - root.level)
-              end)
-            ivs;
-          prev_tid := tid;
-          prev_pre := root.pre)
-        a
+      for i = lo to lo + n - 1 do
+        let tid, ivs = a.(i) in
+        let root = ivs.(0) in
+        Varint.write buf (tid - max !prev_tid 0);
+        let base = if !prev_tid = tid then !prev_pre else 0 in
+        Varint.write buf (root.pre - base);
+        pack_size buf root;
+        Varint.write buf root.level;
+        Array.iteri
+          (fun k iv ->
+            if k > 0 then begin
+              Varint.write buf (iv.pre - root.pre);
+              pack_size buf iv;
+              Varint.write buf (iv.level - root.level)
+            end)
+          ivs;
+        prev_tid := tid;
+        prev_pre := root.pre
+      done
 
 (* Decoding trusts nothing: every varint is bounds-checked against [limit],
    the entry count is validated against the remaining bytes *before* any
@@ -213,11 +257,8 @@ let check_count ~count ~per_entry ~remaining off =
 
 let dummy_interval = { pre = 0; post = 0; level = 0 }
 
-let unpack scheme ~key_size ?limit s off =
-  let limit =
-    match limit with None -> String.length s | Some l -> min l (String.length s)
-  in
-  let count, off = checked_varint ~limit s off in
+(* decode [count] slice-encoded entries; inverse of [pack_slice] *)
+let unpack_slice scheme ~key_size ~count ~limit s off =
   check_count ~count
     ~per_entry:
       (match scheme with
@@ -302,18 +343,200 @@ let unpack scheme ~key_size ?limit s off =
       done;
       (Interval_p a, !off)
 
+(* ---- SIDX2 packed codec ------------------------------------------------ *)
+
+let pack buf p =
+  validate p;
+  Varint.write buf (entries p);
+  pack_slice buf p 0 (entries p)
+
+let clamp_limit limit s =
+  match limit with None -> String.length s | Some l -> min l (String.length s)
+
+let unpack scheme ~key_size ?limit s off =
+  let limit = clamp_limit limit s in
+  let count, off = checked_varint ~limit s off in
+  unpack_slice scheme ~key_size ~count ~limit s off
+
 let packed_entries ?limit s off =
-  let limit =
-    match limit with None -> String.length s | Some l -> min l (String.length s)
-  in
+  let limit = clamp_limit limit s in
   fst (checked_varint ~limit s off)
+
+(* ---- SIDX3 block container --------------------------------------------- *)
+
+(* A v3 posting is a container around slice-encoded entries:
+
+     varint  (count << 1) | blocked
+
+   blocked = 0: the slice encoding of all [count] entries follows directly
+   (identical bytes to the SIDX2 body) — the posting is one implicit block.
+
+   blocked = 1 (only when count > block size B):
+
+     varint  B                 entries per block (last block: the remainder)
+     skip table, ceil(count/B) records:
+       varint  dtid            first tid of the block, delta vs the previous
+                               block's first tid (block 0: absolute)
+       varint  blen            byte length of the block body
+     block bodies, concatenated; each an independently decodable slice
+
+   The skip table lets a reader jump to the block covering a target tid and
+   decode only that block; B is stored, so the build-time constant can
+   change without a format break.  Readers validate: B >= 1, a blocked
+   posting really exceeds one block, skip records fit the remaining bytes,
+   block lengths tile the body region exactly, and (at block decode) the
+   body's first tid equals the skip table's and the body fills its recorded
+   length. *)
+
+let default_block_entries = 128
+
+type block = { first_tid : int; boff : int; blen : int; bentries : int }
+
+let pack_v3 ?(block_entries = default_block_entries) buf p =
+  if block_entries < 1 then invalid_arg "Coding.pack_v3: block_entries must be >= 1";
+  validate p;
+  let count = entries p in
+  if count <= block_entries then begin
+    Varint.write buf (count lsl 1);
+    pack_slice buf p 0 count
+  end
+  else begin
+    Varint.write buf ((count lsl 1) lor 1);
+    Varint.write buf block_entries;
+    let nblocks = (count + block_entries - 1) / block_entries in
+    let bodies =
+      Array.init nblocks (fun b ->
+          let lo = b * block_entries in
+          let scratch = Buffer.create 512 in
+          pack_slice scratch p lo (min block_entries (count - lo));
+          Buffer.contents scratch)
+    in
+    let prev = ref 0 in
+    Array.iteri
+      (fun b body ->
+        let ft = tid_at p (b * block_entries) in
+        Varint.write buf (ft - !prev);
+        prev := ft;
+        Varint.write buf (String.length body))
+      bodies;
+    Array.iter (Buffer.add_string buf) bodies
+  end
+
+let dummy_block = { first_tid = -1; boff = 0; blen = 0; bentries = 0 }
+
+let v3_layout scheme ?limit s off =
+  let limit = clamp_limit limit s in
+  let hdr, off = checked_varint ~limit s off in
+  let count = hdr lsr 1 in
+  if hdr land 1 = 0 then
+    (count, [| { first_tid = -1; boff = off; blen = limit - off; bentries = count } |])
+  else begin
+    let at = off in
+    let be, off = checked_varint ~limit s off in
+    if be < 1 then malformed at "block size must be >= 1";
+    if count <= be then malformed at "blocked posting does not exceed one block";
+    let nblocks = (count + be - 1) / be in
+    (* each skip record costs at least 2 bytes: bound before allocating *)
+    if nblocks > (limit - off) / 2 then
+      malformed off "skip table exceeds the remaining bytes";
+    let blocks = Array.make nblocks dummy_block in
+    let off = ref off in
+    let prev_tid = ref 0 in
+    let body_len = ref 0 in
+    for b = 0 to nblocks - 1 do
+      let at = !off in
+      let dtid, o = checked_varint ~limit s at in
+      let blen, o = checked_varint ~limit s o in
+      if blen < 1 then malformed at "zero-length block";
+      if b > 0 && dtid = 0 && scheme = Filter then
+        malformed at "filter block first tids not strictly increasing";
+      let first_tid = !prev_tid + dtid in
+      if first_tid < 0 then malformed at "block first tid overflow";
+      let bentries = if b = nblocks - 1 then count - ((nblocks - 1) * be) else be in
+      blocks.(b) <- { first_tid; boff = 0; blen; bentries };
+      prev_tid := first_tid;
+      body_len := !body_len + blen;
+      if !body_len < 0 || !body_len > limit - !off then
+        malformed at "block lengths exceed the posting bytes";
+      off := o
+    done;
+    if !body_len <> limit - !off then
+      malformed !off "block lengths do not tile the posting bytes";
+    let pos = ref !off in
+    Array.iteri
+      (fun b blk ->
+        blocks.(b) <- { blk with boff = !pos };
+        pos := !pos + blk.blen)
+      blocks;
+    (count, blocks)
+  end
+
+let unpack_block scheme ~key_size s (b : block) =
+  let finish = b.boff + b.blen in
+  let p, off = unpack_slice scheme ~key_size ~count:b.bentries ~limit:finish s b.boff in
+  if off <> finish then malformed off "block shorter than its recorded length";
+  if b.first_tid >= 0 && b.bentries > 0 && tid_at p 0 <> b.first_tid then
+    malformed b.boff "block first tid disagrees with the skip table";
+  p
+
+let concat_parts scheme ~count blocks (parts : posting array) =
+  (* cross-block tid monotonicity: the within-block invariants hold per
+     slice, so the boundaries are the only place corrupt bytes could break
+     the sortedness the evaluators rely on *)
+  let last p = tid_at p (entries p - 1) in
+  Array.iteri
+    (fun b part ->
+      if b > 0 then begin
+        let prev = last parts.(b - 1) in
+        let ok =
+          match scheme with
+          | Filter -> tid_at part 0 > prev
+          | Interval | Root_split -> tid_at part 0 >= prev
+        in
+        if not ok then
+          malformed blocks.(b).boff "block tids overlap the previous block"
+      end)
+    parts;
+  match scheme with
+  | Filter ->
+      let arrs =
+        Array.map (function Filter_p a -> a | _ -> assert false) parts
+      in
+      let out = Array.concat (Array.to_list arrs) in
+      assert (Array.length out = count);
+      Filter_p out
+  | Root_split ->
+      let arrs = Array.map (function Root_p a -> a | _ -> assert false) parts in
+      let out = Array.concat (Array.to_list arrs) in
+      assert (Array.length out = count);
+      Root_p out
+  | Interval ->
+      let arrs =
+        Array.map (function Interval_p a -> a | _ -> assert false) parts
+      in
+      let out = Array.concat (Array.to_list arrs) in
+      assert (Array.length out = count);
+      Interval_p out
+
+let unpack_v3 scheme ~key_size ?limit s off =
+  let limit = clamp_limit limit s in
+  let count, blocks = v3_layout scheme ~limit s off in
+  let parts = Array.map (unpack_block scheme ~key_size s) blocks in
+  let finish =
+    let b = blocks.(Array.length blocks - 1) in
+    b.boff + b.blen
+  in
+  if Array.length parts = 1 then (parts.(0), finish)
+  else (concat_parts scheme ~count blocks parts, finish)
+
+let packed_entries_v3 ?limit s off =
+  let limit = clamp_limit limit s in
+  fst (checked_varint ~limit s off) lsr 1
 
 (* ---- SIDX1 legacy codec ------------------------------------------------ *)
 
 let read scheme ~key_size ?limit s off =
-  let limit =
-    match limit with None -> String.length s | Some l -> min l (String.length s)
-  in
+  let limit = clamp_limit limit s in
   let count, off = checked_varint ~limit s off in
   check_count ~count
     ~per_entry:

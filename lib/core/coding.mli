@@ -36,6 +36,13 @@ type posting =
 val entries : posting -> int
 (** Number of posting entries. *)
 
+val tid_at : posting -> int -> int
+(** [tid_at p i] is the tree id of entry [i] — constructor-agnostic. *)
+
+val heap_bytes : posting -> int
+(** Estimated decoded heap footprint in bytes, the {!Cache} cost of a
+    decoded posting or block. *)
+
 exception Malformed of { offset : int; what : string }
 (** Raised by every decoding function on bytes that are not a well-formed
     posting: truncated or overlong varints, entry counts exceeding the
@@ -84,3 +91,52 @@ val packed_entries : ?limit:int -> string -> int -> int
 (** [packed_entries s off] is the entry count of the packed posting at
     [off] — the leading varint, without decoding the posting.  Raises
     {!Malformed} on a truncated or overflowing count. *)
+
+(** {1 SIDX3 block container}
+
+    A v3 posting wraps the v2 entry encoding in a block container.  The
+    leading varint is [(count << 1) | blocked].  Flat postings
+    ([blocked = 0], whenever [count <= block_entries]) are followed by the
+    exact SIDX2 body.  Blocked postings carry the block size [B], then a
+    skip table of [ceil count/B] records — (first tid delta vs the previous
+    block, block byte length) — then the concatenated block bodies.  Every
+    block body re-starts the delta chains (the v2 encoding already writes
+    each posting's first entry absolutely, so a block is decodable in
+    isolation), which is what lets intersections and joins seek by tid over
+    compressed bytes and decode only the blocks they touch. *)
+
+val default_block_entries : int
+(** 128 — build-time default; the value used is written into the bytes, so
+    readers never assume it. *)
+
+type block = {
+  first_tid : int;  (** from the skip table; [-1] for a flat posting *)
+  boff : int;  (** byte offset of the block body *)
+  blen : int;  (** byte length of the block body *)
+  bentries : int;  (** entries in this block *)
+}
+
+val pack_v3 : ?block_entries:int -> Buffer.t -> posting -> unit
+(** Pack with the v3 container.  Validates like {!pack}; raises
+    [Invalid_argument] if [block_entries < 1]. *)
+
+val v3_layout : scheme -> ?limit:int -> string -> int -> int * block array
+(** [v3_layout scheme s off] parses only the container header and skip
+    table: [(count, blocks)].  A flat posting yields one block with
+    [first_tid = -1].  Validates [B >= 1], that a blocked posting exceeds
+    one block, that skip records fit the remaining bytes (before any
+    allocation), that block lengths tile the byte range exactly, and — for
+    filter postings — that block first tids are strictly increasing.
+    Raises {!Malformed}. *)
+
+val unpack_block : scheme -> key_size:int -> string -> block -> posting
+(** Decode one block.  Checks the body fills exactly [blen] bytes and that
+    its first tid matches the skip table.  Raises {!Malformed}. *)
+
+val unpack_v3 : scheme -> key_size:int -> ?limit:int -> string -> int -> posting * int
+(** Decode a whole v3 posting (all blocks, concatenated), additionally
+    validating cross-block tid monotonicity.  Raises {!Malformed}. *)
+
+val packed_entries_v3 : ?limit:int -> string -> int -> int
+(** Entry count of the v3 posting at [off], from the container header
+    only. *)

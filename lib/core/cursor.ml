@@ -1,0 +1,122 @@
+type cache = (string * int, Coding.posting) Cache.t
+
+let create_cache ?budget () = Cache.create ?budget ~cost:Coding.heap_bytes ()
+
+type t = {
+  index : Builder.t;
+  key : string;
+  slot : Builder.slot;
+  blocks : Coding.block array;
+  cache : cache option;
+  mutable bi : int;  (* current block *)
+  mutable ei : int;  (* entry within the current block *)
+  mutable decoded : Coding.posting option;  (* decode memo for block [bi] *)
+}
+
+let create ?cache (index : Builder.t) key =
+  match Builder.find_blocks index key with
+  | None -> None
+  | Some (slot, blocks) ->
+      let bi = if slot.Builder.entries = 0 then Array.length blocks else 0 in
+      Some { index; key; slot; blocks; cache; bi; ei = 0; decoded = None }
+
+let entries t = t.slot.Builder.entries
+let exhausted t = t.bi >= Array.length t.blocks
+
+let ensure_decoded t =
+  match t.decoded with
+  | Some p -> p
+  | None ->
+      let b = t.blocks.(t.bi) in
+      let p =
+        match t.cache with
+        | None -> Builder.decode_block t.index t.key t.slot b
+        | Some c ->
+            Cache.find_or_add c (t.key, t.bi) (fun () ->
+                Builder.decode_block t.index t.key t.slot b)
+      in
+      t.decoded <- Some p;
+      p
+
+let peek_tid t =
+  if exhausted t then -1
+  else
+    match t.decoded with
+    | Some p -> Coding.tid_at p t.ei
+    | None ->
+        (* at a block start the skip table already knows the first tid
+           (except for flat postings); mid-block positions must decode *)
+        let ft = t.blocks.(t.bi).Coding.first_tid in
+        if t.ei = 0 && ft >= 0 then ft
+        else Coding.tid_at (ensure_decoded t) t.ei
+
+let peek t = if exhausted t then None else Some (peek_tid t)
+
+let current t = (ensure_decoded t, t.ei)
+
+let advance t =
+  t.ei <- t.ei + 1;
+  if t.ei >= t.blocks.(t.bi).Coding.bentries then begin
+    t.bi <- t.bi + 1;
+    t.ei <- 0;
+    t.decoded <- None
+  end
+
+(* least i in [lo, hi) with tid_at p i >= x; hi if none *)
+let lower_bound_tid p lo hi x =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if Coding.tid_at p mid < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let seek t target =
+  if not (exhausted t) then begin
+    let already_there =
+      (* cheap checks first: current tid from the decode memo or skip table *)
+      match t.decoded with
+      | Some p -> Coding.tid_at p t.ei >= target
+      | None ->
+          let ft = t.blocks.(t.bi).Coding.first_tid in
+          ft >= 0 && ft >= target
+    in
+    if not already_there then begin
+      let n = Array.length t.blocks in
+      (* fb = first later block whose first tid >= target.  Blocks before
+         it are all < target except possibly the tail of block fb-1 (tids
+         only become >= target once, so only one block can straddle).
+         Fast path first: consecutive seeks usually stay in the current
+         block, making the next block's first tid >= target — answered
+         with one comparison instead of a skip-table binary search. *)
+      let fb =
+        if t.bi + 1 >= n || t.blocks.(t.bi + 1).Coding.first_tid >= target
+        then t.bi + 1
+        else begin
+          let lo = ref (t.bi + 2) and hi = ref n in
+          while !lo < !hi do
+            let mid = (!lo + !hi) lsr 1 in
+            if t.blocks.(mid).Coding.first_tid >= target then hi := mid
+            else lo := mid + 1
+          done;
+          !lo
+        end
+      in
+      let start = max t.bi (fb - 1) in
+      if start <> t.bi then begin
+        t.bi <- start;
+        t.ei <- 0;
+        t.decoded <- None
+      end;
+      let p = ensure_decoded t in
+      let nb = t.blocks.(t.bi).Coding.bentries in
+      let ei = lower_bound_tid p t.ei nb target in
+      if ei < nb then t.ei <- ei
+      else begin
+        (* whole block below target: block fb (if any) starts at >= target *)
+        t.bi <- t.bi + 1;
+        t.ei <- 0;
+        t.decoded <- None
+      end
+    end
+  end

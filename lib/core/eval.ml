@@ -112,6 +112,23 @@ let intersect (a : int array) (b : int array) =
   else intersect_merge a b out;
   Ibuf.contents out
 
+(* a decoded tid outside the corpus means the .idx and .dat disagree —
+   a corrupt or mismatched pair of files, never a crash *)
+let tree_of ~(index : Builder.t) ~corpus tid =
+  if tid < 0 || tid >= Array.length corpus then
+    Si_error.raise_corrupt ~path:index.Builder.origin ~offset:0
+      (Printf.sprintf "posting tid %d outside the corpus of %d trees" tid
+         (Array.length corpus));
+  corpus.(tid)
+
+(* candidate tids -> verified (tid, root) results, shared by the
+   materialized and streaming filter paths *)
+let filter_results ~index ~corpus q candidates =
+  Array.to_list candidates
+  |> List.concat_map (fun tid ->
+         List.map (fun v -> (tid, v)) (Matcher.roots (tree_of ~index ~corpus tid) q))
+  |> List.sort cmp_pair
+
 let run_filter ~(index : Builder.t) ~corpus ~label_id q (cover : Cover.t) =
   let chunk_tids (c : Cover.chunk) =
     match encodings_opt ~label_id c.Cover.fragment with
@@ -138,10 +155,7 @@ let run_filter ~(index : Builder.t) ~corpus ~label_id q (cover : Cover.t) =
       !acc
     end
   in
-  Array.to_list candidates
-  |> List.concat_map (fun tid ->
-         List.map (fun v -> (tid, v)) (Matcher.roots corpus.(tid) q))
-  |> List.sort cmp_pair
+  filter_results ~index ~corpus q candidates
 
 (* ---- interval / root-split -------------------------------------------- *)
 
@@ -183,6 +197,43 @@ let chunk_rel ~(index : Builder.t) ~label_id (c : Cover.chunk) =
       | Some (Coding.Filter_p _) ->
           Si_error.raise_schema ~path:index.Builder.origin
             "joinable evaluator over a filter index")
+
+(* Injectivity filtering, result projection and the root-split validation
+   corner — the shared tail of the materialized and streaming join paths. *)
+let finish_joins ~(index : Builder.t) ~corpus q (ix : Ast.indexed)
+    (cover : Cover.t) acc =
+  let col_opt q =
+    match Join.col_index acc q with c -> Some c | exception Not_found -> None
+  in
+  let pairs = cross_chunk_pairs ix cover in
+  let checked =
+    Join.filter acc (fun r ->
+        List.for_all
+          (fun (x, y) ->
+            match (col_opt x, col_opt y) with
+            | Some cx, Some cy ->
+                r.Join.ivs.(cx).Coding.pre <> r.Join.ivs.(cy).Coding.pre
+            | _ -> true)
+          pairs)
+  in
+  let c0 = Join.col_index checked 0 in
+  let results =
+    Array.to_list checked.Join.rows
+    |> List.map (fun r -> (r.Join.tid, r.Join.ivs.(c0).Coding.pre))
+    |> List.sort_uniq cmp_pair
+  in
+  (* root-split corner (DESIGN.md §6b): an injectivity constraint touching
+     a non-exposed node cannot be a join predicate -> validate candidates *)
+  let exposed v = cover.Cover.chunks.(cover.Cover.chunk_of.(v)).Cover.root = v in
+  let needs_validation =
+    index.Builder.scheme = Coding.Root_split
+    && List.exists (fun (x, y) -> not (exposed x && exposed y)) pairs
+  in
+  if needs_validation then
+    List.filter
+      (fun (tid, v) -> Matcher.matches_at (tree_of ~index ~corpus tid) q v)
+      results
+  else results
 
 (* Join order: the chunks form a tree (one cut edge per non-first chunk).
    Start from the smallest relation and repeatedly merge in the smallest
@@ -251,43 +302,288 @@ let run_joins ~(index : Builder.t) ~corpus ~label_id q (ix : Ast.indexed)
       acc := Join.merge_join a b ~pred;
       included.(c) <- true
     done;
-    let col_opt q = match Join.col_index !acc q with c -> Some c | exception Not_found -> None in
-    let pairs = cross_chunk_pairs ix cover in
-    let checked =
-      Join.filter !acc (fun r ->
-          List.for_all
-            (fun (x, y) ->
-              match (col_opt x, col_opt y) with
-              | Some cx, Some cy ->
-                  r.Join.ivs.(cx).Coding.pre <> r.Join.ivs.(cy).Coding.pre
-              | _ -> true)
-            pairs)
-    in
-    let c0 = Join.col_index checked 0 in
-    let results =
-      Array.to_list checked.Join.rows
-      |> List.map (fun r -> (r.Join.tid, r.Join.ivs.(c0).Coding.pre))
-      |> List.sort_uniq cmp_pair
-    in
-    (* root-split corner (DESIGN.md §6b): an injectivity constraint touching
-       a non-exposed node cannot be a join predicate -> validate candidates *)
-    let exposed v = cover.Cover.chunks.(cover.Cover.chunk_of.(v)).Cover.root = v in
-    let needs_validation =
-      index.Builder.scheme = Coding.Root_split
-      && List.exists (fun (x, y) -> not (exposed x && exposed y)) pairs
-    in
-    if needs_validation then
-      List.filter (fun (tid, v) -> Matcher.matches_at corpus.(tid) q v) results
-    else results
+    finish_joins ~index ~corpus q ix cover !acc
   end
 
-let run_exn ~index ~corpus ?(label_id = Fun.id) q =
+(* ---- streaming paths (block-skip + bounded cache) ---------------------- *)
+
+(* The streaming evaluators produce exactly the rows of the materialized
+   paths above, in the same order — the differential tests assert it —
+   while touching postings only through {!Cursor}, so long postings decode
+   block by block (through the caller's bounded cache) and intersections /
+   joins skip the blocks their tids never land in. *)
+
+let run_filter_stream ~(index : Builder.t) ~corpus ~label_id ~cache q
+    (cover : Cover.t) =
+  let cursors =
+    Array.map
+      (fun (c : Cover.chunk) ->
+        match encodings_opt ~label_id c.Cover.fragment with
+        | None -> None
+        | Some (key, _) -> Cursor.create ~cache index key)
+      cover.Cover.chunks
+  in
+  if Array.length cursors = 0 || Array.exists Option.is_none cursors then []
+  else begin
+    let cs = Array.map Option.get cursors in
+    (* cheapest first: the shortest cursor drives the leapfrog *)
+    Array.sort (fun a b -> Int.compare (Cursor.entries a) (Cursor.entries b)) cs;
+    let n = Array.length cs in
+    (* Per-cursor view of the current decoded block: tid array + position.
+       Within a block the leapfrog runs on plain int arrays (same speed as
+       the materialized intersection); the cursor is consulted only for
+       cross-block moves, where its seek gallops over the skip table. *)
+    let arrs = Array.make n [||] in
+    let idxs = Array.make n 0 in
+    let load k =
+      let c = cs.(k) in
+      (not (Cursor.exhausted c))
+      && begin
+           match Cursor.current c with
+           | Coding.Filter_p a, ei ->
+               arrs.(k) <- a;
+               idxs.(k) <- ei;
+               true
+           | _ ->
+               Si_error.raise_schema ~path:index.Builder.origin
+                 "filter index holds non-filter postings"
+         end
+    in
+    let live = ref true in
+    for k = 0 to n - 1 do
+      live := !live && load k
+    done;
+    let out = Ibuf.create 16 in
+    if !live then begin
+      (* first entry >= target in stream k, or -1 when the stream ends;
+         gallop within the block (targets and positions are monotone),
+         fall back to the cursor's skip-table seek across blocks *)
+      let seek_stream k target =
+        let a = arrs.(k) in
+        let len = Array.length a in
+        if len > 0 && target <= a.(len - 1) then begin
+          let lo = idxs.(k) in
+          let bound = ref 1 in
+          while lo + !bound < len && a.(lo + !bound) < target do
+            bound := !bound lsl 1
+          done;
+          let i =
+            lower_bound a (lo + (!bound lsr 1)) (min len (lo + !bound + 1)) target
+          in
+          idxs.(k) <- i;
+          a.(i)
+        end
+        else begin
+          Cursor.seek cs.(k) target;
+          if load k then arrs.(k).(idxs.(k)) else -1
+        end
+      in
+      (* leapfrog: keep seeking every stream to the running max tid; when
+         all agree the tid is in the intersection *)
+      try
+        let target = ref 0 in
+        while true do
+          let m = ref !target in
+          let all_eq = ref true in
+          for k = 0 to n - 1 do
+            let t = seek_stream k !target in
+            if t < 0 then raise Exit;
+            if t > !m then begin
+              m := t;
+              all_eq := false
+            end
+          done;
+          if !all_eq then begin
+            Ibuf.push out !target;
+            incr target
+          end
+          else target := !m
+        done
+      with Exit -> ()
+    end;
+    filter_results ~index ~corpus q (Ibuf.contents out)
+  end
+
+(* a chunk relation behind a cursor: exact row count (entries x
+   alignments) for the join-order heuristic, rows expanded on demand *)
+type vrel = {
+  vcols : int array;
+  vrows : int;
+  vcur : Cursor.t;
+  vexpand : Coding.posting -> int -> Join.row list;
+}
+
+let vrel_of_chunk ~(index : Builder.t) ~label_id ~cache (c : Cover.chunk) =
+  match encodings_opt ~label_id c.Cover.fragment with
+  | None -> None
+  | Some (key, orders) -> (
+      match Cursor.create ~cache index key with
+      | None -> None
+      | Some cur -> (
+          let schema () =
+            Si_error.raise_schema ~path:index.Builder.origin
+              "posting scheme disagrees with the index header"
+          in
+          match index.Builder.scheme with
+          | Coding.Root_split ->
+              Some
+                {
+                  vcols = [| c.Cover.root |];
+                  vrows = Cursor.entries cur;
+                  vcur = cur;
+                  vexpand =
+                    (fun p i ->
+                      match p with
+                      | Coding.Root_p a ->
+                          let tid, iv = a.(i) in
+                          [ { Join.tid; ivs = [| iv |] } ]
+                      | _ -> schema ());
+                }
+          | Coding.Interval ->
+              let cols = Array.of_list c.Cover.nodes in
+              let maps =
+                List.map
+                  (fun order ->
+                    Array.map
+                      (fun q ->
+                        let rec find k =
+                          if order.(k) = q then k else find (k + 1)
+                        in
+                        find 0)
+                      cols)
+                  orders
+              in
+              Some
+                {
+                  vcols = cols;
+                  vrows = Cursor.entries cur * List.length maps;
+                  vcur = cur;
+                  vexpand =
+                    (fun p i ->
+                      match p with
+                      | Coding.Interval_p a ->
+                          let tid, ivs = a.(i) in
+                          List.map
+                            (fun map ->
+                              {
+                                Join.tid;
+                                ivs = Array.map (fun k -> ivs.(k)) map;
+                              })
+                            maps
+                      | _ -> schema ());
+                }
+          | Coding.Filter ->
+              Si_error.raise_schema ~path:index.Builder.origin
+                "joinable evaluator over a filter index"))
+
+let materialize (v : vrel) =
+  let acc = ref [] in
+  while not (Cursor.exhausted v.vcur) do
+    let p, i = Cursor.current v.vcur in
+    acc := List.rev_append (v.vexpand p i) !acc;
+    Cursor.advance v.vcur
+  done;
+  { Join.cols = v.vcols; rows = Array.of_list (List.rev !acc) }
+
+(* all stream rows with exactly tid [t]; the cursor is already at the
+   first entry >= t after the caller's seek *)
+let probe (v : vrel) t =
+  let acc = ref [] in
+  while Cursor.peek_tid v.vcur = t do
+    let p, i = Cursor.current v.vcur in
+    acc := List.rev_append (v.vexpand p i) !acc;
+    Cursor.advance v.vcur
+  done;
+  List.rev !acc
+
+let col_in cols q =
+  let rec find i =
+    if i >= Array.length cols then raise Not_found
+    else if cols.(i) = q then i
+    else find (i + 1)
+  in
+  find 0
+
+let run_joins_stream ~(index : Builder.t) ~corpus ~label_id ~cache q
+    (ix : Ast.indexed) (cover : Cover.t) =
+  let nchunks = Array.length cover.Cover.chunks in
+  let vrels = Array.map (vrel_of_chunk ~index ~label_id ~cache) cover.Cover.chunks in
+  if Array.exists (function None -> true | Some v -> v.vrows = 0) vrels then []
+  else begin
+    let vrels = Array.map Option.get vrels in
+    let edge c =
+      let r = cover.Cover.chunks.(c).Cover.root in
+      (ix.Ast.parent.(r), ix.Ast.axis.(r))
+    in
+    let parent_chunk c = cover.Cover.chunk_of.(fst (edge c)) in
+    let adj = Array.make nchunks [] in
+    for c = 1 to nchunks - 1 do
+      let p = parent_chunk c in
+      adj.(p) <- c :: adj.(p);
+      adj.(c) <- p :: adj.(c)
+    done;
+    let rows c = vrels.(c).vrows in
+    let included = Array.make nchunks false in
+    let start = ref 0 in
+    for c = 1 to nchunks - 1 do
+      if rows c < rows !start then start := c
+    done;
+    included.(!start) <- true;
+    let acc = ref (materialize vrels.(!start)) in
+    for _ = 2 to nchunks do
+      let best = ref (-1) in
+      for c = 0 to nchunks - 1 do
+        if
+          (not included.(c))
+          && List.exists (fun n -> included.(n)) adj.(c)
+          && (!best < 0 || rows c < rows !best)
+        then best := c
+      done;
+      let c = !best in
+      let pq, axis, child_root =
+        if c > 0 && included.(parent_chunk c) then
+          let pq, axis = edge c in
+          (pq, axis, cover.Cover.chunks.(c).Cover.root)
+        else begin
+          let k =
+            List.find (fun k -> k > 0 && included.(k) && parent_chunk k = c) adj.(c)
+          in
+          let pq, axis = edge k in
+          (pq, axis, cover.Cover.chunks.(k).Cover.root)
+        end
+      in
+      let b = vrels.(c) in
+      let pred =
+        match Join.col_index !acc pq with
+        | ip ->
+            let ic = col_in b.vcols child_root in
+            fun ra rb -> Join.structural axis ra.Join.ivs.(ip) rb.Join.ivs.(ic)
+        | exception Not_found ->
+            let ip = col_in b.vcols pq and ic = Join.col_index !acc child_root in
+            fun ra rb -> Join.structural axis rb.Join.ivs.(ip) ra.Join.ivs.(ic)
+      in
+      acc :=
+        Join.merge_join_stream !acc ~cols:b.vcols
+          ~next_tid:(fun t ->
+            Cursor.seek b.vcur t;
+            Cursor.peek b.vcur)
+          ~probe:(probe b) ~pred;
+      included.(c) <- true
+    done;
+    finish_joins ~index ~corpus q ix cover !acc
+  end
+
+let run_exn ~index ~corpus ?(label_id = Fun.id) ?cache q =
   let ix = Ast.index q in
   let cover = cover_for index ix in
-  match index.Builder.scheme with
-  | Coding.Filter -> run_filter ~index ~corpus ~label_id q cover
-  | Coding.Interval | Coding.Root_split ->
+  match (index.Builder.scheme, cache) with
+  | Coding.Filter, None -> run_filter ~index ~corpus ~label_id q cover
+  | Coding.Filter, Some cache ->
+      run_filter_stream ~index ~corpus ~label_id ~cache q cover
+  | (Coding.Interval | Coding.Root_split), None ->
       run_joins ~index ~corpus ~label_id q ix cover
+  | (Coding.Interval | Coding.Root_split), Some cache ->
+      run_joins_stream ~index ~corpus ~label_id ~cache q ix cover
 
-let run ~index ~corpus ?label_id q =
-  Si_error.guard (fun () -> run_exn ~index ~corpus ?label_id q)
+let run ~index ~corpus ?label_id ?cache q =
+  Si_error.guard (fun () -> run_exn ~index ~corpus ?label_id ?cache q)

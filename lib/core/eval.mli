@@ -12,12 +12,24 @@
       group split across chunks with a member that is not a cover root —
       candidates are validated with the oracle matcher (DESIGN.md §6b).
     - {b filter}: optimalCover; chunk postings are tid sets; candidates =
-      their intersection, validated with the oracle matcher. *)
+      their intersection, validated with the oracle matcher.
+
+    Each evaluator exists in two result-identical forms.  Without [cache],
+    the materialized path: every touched posting decodes in full through
+    {!Builder.find_exn}'s memo (the reference implementation the
+    differential tests pin the streaming path against).  With [~cache],
+    the streaming path: postings are walked through {!Cursor}s, so filter
+    intersections leapfrog over the skip tables and joins stream the
+    non-driving side ({!Join.merge_join_stream}), decoding only the blocks
+    their tids land in, each through the caller's bounded {!Cache}.  The
+    streaming path never writes to shared index state, so it is safe on
+    concurrent domains over one handle (one cache per domain). *)
 
 val run :
   index:Builder.t ->
   corpus:Si_treebank.Annotated.t array ->
   ?label_id:(Si_treebank.Label.t -> int) ->
+  ?cache:Cursor.cache ->
   Si_query.Ast.t ->
   ((int * int) list, Si_error.t) result
 (** [label_id] maps process-global label ids into the index's stored id
@@ -31,6 +43,7 @@ val run_exn :
   index:Builder.t ->
   corpus:Si_treebank.Annotated.t array ->
   ?label_id:(Si_treebank.Label.t -> int) ->
+  ?cache:Cursor.cache ->
   Si_query.Ast.t ->
   (int * int) list
 (** {!run} for callers already inside an {!Si_error.guard}: raises

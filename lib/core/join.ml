@@ -76,6 +76,47 @@ let merge_join a b ~pred =
   done;
   { cols = Array.append a.cols b.cols; rows = Rows.contents out }
 
+(* Stream-side merge join: [a] is materialized and sorted by tid, the
+   other relation is reached only through [next_tid] (smallest stream tid
+   >= the argument — a skip-table seek, no decoding needed to answer) and
+   [probe] (all stream rows with exactly that tid — decodes just the
+   blocks holding them).  Emits exactly what [merge_join a b ~pred] would,
+   in the same order (a-row outer, stream-row inner), while the stream
+   side skips every block no [a] tid lands in. *)
+let merge_join_stream a ~cols ~next_tid ~probe ~pred =
+  let na = Array.length a.rows in
+  let out = Rows.create (max na 16) in
+  let i = ref 0 in
+  (try
+     while !i < na do
+       let ta = a.rows.(!i).tid in
+       match next_tid ta with
+       | None -> raise Exit
+       | Some tb ->
+           if tb > ta then
+             while !i < na && a.rows.(!i).tid < tb do
+               incr i
+             done
+           else begin
+             let brows = probe ta in
+             let i2 = ref !i in
+             while !i2 < na && a.rows.(!i2).tid = ta do
+               incr i2
+             done;
+             for x = !i to !i2 - 1 do
+               let ra = a.rows.(x) in
+               List.iter
+                 (fun rb ->
+                   if pred ra rb then
+                     Rows.push out { tid = ta; ivs = concat_ivs ra.ivs rb.ivs })
+                 brows
+             done;
+             i := !i2
+           end
+     done
+   with Exit -> ());
+  { cols = Array.append a.cols cols; rows = Rows.contents out }
+
 let filter rel f =
   let out = Rows.create (Array.length rel.rows) in
   Array.iter (fun r -> if f r then Rows.push out r) rel.rows;

@@ -21,6 +21,20 @@ val merge_join : rel -> rel -> pred:(row -> row -> bool) -> rel
 (** [merge_join a b ~pred] — columns are concatenated ([a.cols] then
     [b.cols]), rows stay sorted by tid. *)
 
+val merge_join_stream :
+  rel ->
+  cols:int array ->
+  next_tid:(int -> int option) ->
+  probe:(int -> row list) ->
+  pred:(row -> row -> bool) ->
+  rel
+(** Like {!merge_join} with the second relation behind a monotone cursor:
+    [next_tid t] is the smallest stream tid [>= t] ([None] = stream
+    exhausted; typically a {!Cursor.seek}, which answers from the skip
+    table without decoding), [probe t] the stream's rows with exactly tid
+    [t] (consumed; must only be called with ascending [t]).  Output rows
+    and order are identical to the materialized join. *)
+
 val filter : rel -> (row -> bool) -> rel
 
 val structural : Si_query.Ast.axis -> Coding.interval -> Coding.interval -> bool

@@ -6,9 +6,13 @@ type t = {
   label_id : Label.t -> int;
       (* process-global label id -> the id space the index keys were
          encoded in; raises Not_found for labels the index never saw *)
+  cache : Cursor.cache;
+      (* the handle's decoded-block cache, used by single-domain [query];
+         [query_batch] domains each get their own *)
 }
 
 let index t = t.index
+let cache_stats t = Cache.stats t.cache
 let scheme t = t.index.Builder.scheme
 let mss t = t.index.Builder.mss
 let stats t = t.index.Builder.stats
@@ -50,10 +54,11 @@ let save t prefix trees =
       "postings=" ^ string_of_int s.Builder.postings;
     ]
 
-let build ?(domains = 1) ~scheme ~mss ~trees ?prefix () =
+let build ?(domains = 1) ?cache_budget ~scheme ~mss ~trees ?prefix () =
   let corpus = Array.of_list (List.map Annotated.of_tree trees) in
   let index = Builder.build ~domains ~scheme ~mss corpus in
-  let t = { index; corpus; label_id = Fun.id } in
+  let cache = Cursor.create_cache ?budget:cache_budget () in
+  let t = { index; corpus; label_id = Fun.id; cache } in
   (try Option.iter (fun p -> save t p trees) prefix
    with Sys_error what ->
      raise (Si_error.Error (Si_error.Io { path = Option.get prefix; what })));
@@ -91,7 +96,7 @@ let check_meta prefix ~(index : Builder.t) ~ntrees =
           | _ -> ()))
     (read_lines path)
 
-let open_ prefix =
+let open_ ?cache_budget prefix =
   Si_error.guard @@ fun () ->
   let index =
     match Builder.load (prefix ^ ".idx") with
@@ -129,13 +134,68 @@ let open_ prefix =
         { index.Builder.stats with Builder.trees = Array.length corpus; nodes };
     }
   in
-  { index; corpus; label_id }
+  { index; corpus; label_id; cache = Cursor.create_cache ?budget:cache_budget () }
 
-let query_ast t q = Eval.run ~index:t.index ~corpus:t.corpus ~label_id:t.label_id q
+let query_ast t q =
+  Eval.run ~index:t.index ~corpus:t.corpus ~label_id:t.label_id ~cache:t.cache q
 
-let query t s =
+let query_with ~cache t s =
   match Si_query.Parser.parse s with
-  | Ok q -> query_ast t q
+  | Ok q -> Eval.run ~index:t.index ~corpus:t.corpus ~label_id:t.label_id ~cache q
   | Error e -> Error (Si_error.Bad_query e)
 
+let query t s = query_with ~cache:t.cache t s
+
 let oracle t q = Si_query.Matcher.corpus_roots t.corpus q
+
+(* ---- parallel batch evaluation ----------------------------------------- *)
+
+type batch = {
+  answers : ((int * int) list, Si_error.t) result array;
+  latencies_ns : float array;
+  elapsed_s : float;
+  cache : Cache.stats;
+}
+
+(* Fan the query stream across [domains] OCaml 5 domains over this one
+   handle.  The hot path takes no locks: the index slots and corpus are
+   only read (the streaming evaluator never touches the decode memo), each
+   domain evaluates through its own cache, and the result slots written
+   are disjoint per domain (static round-robin split).  The only shared
+   mutable state — the label intern table touched by query parsing — is
+   mutex-guarded. *)
+let query_batch ?(domains = 1) ?cache_budget t queries =
+  if domains < 1 then invalid_arg "Si.query_batch: domains must be >= 1";
+  let n = Array.length queries in
+  let answers = Array.make n (Ok []) in
+  let latencies = Array.make n 0. in
+  let run_range d =
+    let cache = Cursor.create_cache ?budget:cache_budget () in
+    let i = ref d in
+    while !i < n do
+      let t0 = Unix.gettimeofday () in
+      answers.(!i) <- query_with ~cache t queries.(!i);
+      latencies.(!i) <- (Unix.gettimeofday () -. t0) *. 1e9;
+      i := !i + domains
+    done;
+    Cache.stats cache
+  in
+  let t0 = Unix.gettimeofday () in
+  let stats =
+    if domains = 1 then [ run_range 0 ]
+    else begin
+      let spawned =
+        Array.init (domains - 1) (fun k ->
+            Domain.spawn (fun () -> run_range (k + 1)))
+      in
+      let first = run_range 0 in
+      first :: Array.to_list (Array.map Domain.join spawned)
+    end
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  {
+    answers;
+    latencies_ns = latencies;
+    elapsed_s;
+    cache = List.fold_left Cache.add_stats (Cache.zero_stats 0) stats;
+  }

@@ -19,6 +19,7 @@ type t
 
 val build :
   ?domains:int ->
+  ?cache_budget:int ->
   scheme:Coding.scheme ->
   mss:int ->
   trees:Si_treebank.Tree.t list ->
@@ -28,13 +29,15 @@ val build :
 (** Build in memory; when [prefix] is given, also persist the four files
     (the [.idx] atomically — see {!Builder.save}).  [domains] (default 1)
     shards construction across that many OCaml domains; the result and
-    persisted bytes are identical regardless.  Raises [Si_error.Error]
-    (an [Io] variant) if persisting fails. *)
+    persisted bytes are identical regardless.  [cache_budget] bounds the
+    handle's decoded-block cache in bytes (default 64 MiB; [0] disables
+    retention — queries still stream, nothing is kept).  Raises
+    [Si_error.Error] (an [Io] variant) if persisting fails. *)
 
 val index : t -> Builder.t
 (** The underlying key table — for tools and benchmarks. *)
 
-val open_ : string -> (t, Si_error.t) result
+val open_ : ?cache_budget:int -> string -> (t, Si_error.t) result
 (** Load an index persisted by {!build}.  Every byte is verified before it
     is trusted: the [.idx] checksums and structure ([Corrupt]), the [.dat]
     parse ([Corrupt]), unreadable files ([Io]), and the [.meta]
@@ -42,11 +45,32 @@ val open_ : string -> (t, Si_error.t) result
     [.idx] and [.dat] ([Schema_mismatch]). *)
 
 val query : t -> string -> ((int * int) list, Si_error.t) result
-(** Parse and evaluate; [(tid, node)] match pairs, sorted.  Errors:
+(** Parse and evaluate; [(tid, node)] match pairs, sorted.  Evaluates on
+    the streaming path through the handle's decoded-block cache
+    (result-identical to {!Eval.run} without a cache).  Errors:
     [Bad_query] on a syntax error, [Corrupt]/[Schema_mismatch] if posting
     decode fails during evaluation. *)
 
 val query_ast : t -> Si_query.Ast.t -> ((int * int) list, Si_error.t) result
+
+type batch = {
+  answers : ((int * int) list, Si_error.t) result array;
+      (** per query, input order *)
+  latencies_ns : float array;  (** per-query wall latency *)
+  elapsed_s : float;  (** whole-batch wall time (QPS = n / elapsed) *)
+  cache : Cache.stats;  (** summed over the per-domain caches *)
+}
+
+val query_batch : ?domains:int -> ?cache_budget:int -> t -> string array -> batch
+(** [query_batch t queries] evaluates the stream, fanned round-robin
+    across [domains] (default 1) OCaml 5 domains over this one shared
+    handle.  The hot path takes no locks: the packed index and corpus are
+    read-only, each domain evaluates through its own decoded-block cache
+    ([cache_budget] bytes each), and result slots are disjoint.  Raises
+    [Invalid_argument] if [domains < 1]. *)
+
+val cache_stats : t -> Cache.stats
+(** Counters of the handle's own cache (the one {!query} uses). *)
 
 val oracle : t -> Si_query.Ast.t -> (int * int) list
 (** The brute-force matcher over the stored corpus — the reference answer. *)

@@ -84,4 +84,36 @@ expect_exit 4 'i/o error' "$TOOL" query --prefix "$DIR/no-such-prefix" 'S(NP)(VP
 out="$("$TOOL" query --prefix "$PFX" 'S(NP)(VP)' --check-oracle)"
 grep -q 'oracle: OK' <<<"$out" || { echo "FAIL: restored index broken" >&2; exit 1; }
 
+# ---- serving path: batch query and multi-domain throughput smoke ---------
+BATCH="$DIR/batch.txt"
+{
+  echo '# serving smoke batch (200 queries)'
+  echo ''
+  for _ in $(seq 40); do printf '%s\n' "${QUERIES[@]}"; done
+} > "$BATCH"
+
+# one open, 200 oracle-checked evaluations, one answer line per query
+out="$("$TOOL" query --prefix "$PFX" --queries "$BATCH" --check-oracle 2>"$DIR/batch.err")"
+lines=$(grep -c "$(printf '\t')" <<<"$out")
+if [ "$lines" != 200 ]; then
+  echo "FAIL: batch query answered $lines/200 queries" >&2
+  exit 1
+fi
+grep -q 'oracle: OK' "$DIR/batch.err" \
+  || { echo "FAIL: batch oracle check missing" >&2; exit 1; }
+
+# the same stream through the parallel evaluator, 2 domains
+out="$("$TOOL" serve --prefix "$PFX" --batch "$BATCH" --domains 2)"
+for pat in 'queries=200' 'domains=2' 'qps=' 'latency_ns p50=' 'cache hits='; do
+  grep -q "$pat" <<<"$out" \
+    || { echo "FAIL: serve output missing '$pat': $out" >&2; exit 1; }
+done
+
+# stats surfaces the block histogram and cache counters
+out="$("$TOOL" stats --prefix "$PFX")"
+grep -q 'block histogram' <<<"$out" \
+  || { echo "FAIL: stats missing block histogram" >&2; exit 1; }
+grep -q 'cache budget=' <<<"$out" \
+  || { echo "FAIL: stats missing cache counters" >&2; exit 1; }
+
 echo "cli_test: OK"

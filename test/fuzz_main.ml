@@ -1,23 +1,27 @@
 (* fuzz_main — corruption / differential fuzzer for the index files.
 
-   Builds small pristine indexes under all three codings (SIDX2 and legacy
-   SIDX1, mss 1 and 3), then hammers them with deterministic byte
+   Builds small pristine indexes under all three codings (SIDX3, SIDX2 and
+   legacy SIDX1, mss 1 and 3), then hammers them with deterministic byte
    mutations — truncation, bit flips, splices, range fills, appends,
    deletions — asserting the crash-proofing invariant:
 
      a mutated file produces a clean [Si_error] or a correct answer —
      never an uncaught exception, never a silently wrong result.
 
-   "Correct answer" is oracle-checked: when a mutated checksummed (SIDX2)
-   index still opens, its query answers must equal the brute-force
-   matcher's.  Legacy SIDX1 files carry no checksum, so a mutation can in
-   principle decode into a *valid but different* index — those assert
-   no-crash only.
+   "Correct answer" is oracle-checked: when a mutated checksummed
+   (SIDX3/SIDX2) index still opens, its query answers must equal the
+   brute-force matcher's.  Legacy SIDX1 files carry no checksum, so a
+   mutation can in principle decode into a *valid but different* index —
+   those assert no-crash only.
 
-   Three phases, interleaved per iteration: [idx] mutates the .idx bytes,
-   [codec] feeds raw garbage to the posting decoders (must return or raise
-   [Coding.Malformed], nothing else), [sibling] mutates .dat/.labels/.meta
-   (open must return [Ok]/[Error], queries must not raise).
+   Four phases, interleaved per iteration: [idx] mutates the .idx bytes,
+   [skip] mutates bytes inside the SIDX3 postings region — the block-skip
+   tables and block bodies — then refits the region checksum so the load
+   gate passes and the decode-time structural validation is what must
+   reject the damage (cleanly, at query time), [codec] feeds raw garbage to
+   the posting decoders (must return or raise [Coding.Malformed], nothing
+   else), [sibling] mutates .dat/.labels/.meta (open must return
+   [Ok]/[Error], queries must not raise).
 
    Fully deterministic: all randomness flows from --seed through splitmix64
    (Si_grammar.Prng), so a failing run reproduces exactly. *)
@@ -112,13 +116,21 @@ let queries =
   List.map Si_query.Parser.parse_exn
     [ "S(NP)(VP)"; "NP(DT)(NN)"; "S(//NN)"; "S(NP(DT)(NN))(VP)" ]
 
+type version = V3 | V2 | V1
+
+let version_name = function V3 -> "v3" | V2 -> "v2" | V1 -> "v1"
+
 type base = {
   name : string;
   scratch : string;  (** prefix whose files are rewritten per iteration *)
   files : (string * string) list;  (** pristine bytes per extension *)
-  v2 : bool;
+  version : version;
   expected : (Si_query.Ast.t * (int * int) list) list;
 }
+
+(* checksummed containers: a mutation either fails the CRC gate or left the
+   bytes semantically intact, so surviving opens are oracle-checked *)
+let checksummed base = base.version <> V1
 
 let make_bases dir =
   let bases = ref [] in
@@ -127,23 +139,26 @@ let make_bases dir =
       List.iter
         (fun mss ->
           List.iter
-            (fun v2 ->
+            (fun version ->
               let name =
                 Printf.sprintf "%s-mss%d-%s"
                   (Coding.scheme_to_string scheme)
-                  mss
-                  (if v2 then "v2" else "v1")
+                  mss (version_name version)
               in
               let prefix = Filename.concat dir name in
               let trees =
                 Si_grammar.Generator.corpus ~seed:(100 + mss) ~n:25 ()
               in
               let si = Si.build ~scheme ~mss ~trees ~prefix () in
-              if not v2 then begin
-                match Builder.save_v1 (Si.index si) (prefix ^ ".idx") with
+              let rewrite save =
+                match save (Si.index si) (prefix ^ ".idx") with
                 | Ok () -> ()
                 | Error e -> failwith (Si_error.to_string e)
-              end;
+              in
+              (match version with
+              | V3 -> ()  (* Si.build already saved SIDX3 *)
+              | V2 -> rewrite Builder.save_v2
+              | V1 -> rewrite Builder.save_v1);
               let expected = List.map (fun q -> (q, Si.oracle si q)) queries in
               let files =
                 List.map
@@ -151,8 +166,8 @@ let make_bases dir =
                   [ ".idx"; ".dat"; ".labels"; ".meta" ]
               in
               let scratch = Filename.concat dir (name ^ "-scratch") in
-              bases := { name; scratch; files; v2; expected } :: !bases)
-            [ true; false ])
+              bases := { name; scratch; files; version; expected } :: !bases)
+            [ V3; V2; V1 ])
         [ 1; 3 ])
     [ Coding.Filter; Coding.Interval; Coding.Root_split ];
   Array.of_list (List.rev !bases)
@@ -166,6 +181,9 @@ type stats = {
   mutable idx_runs : int;
   mutable idx_rejected : int;  (** mutated .idx -> clean error *)
   mutable idx_opened : int;  (** mutated .idx still opened (oracle-checked) *)
+  mutable skip_runs : int;
+  mutable skip_rejected : int;  (** crc-refit mutation -> clean error *)
+  mutable skip_opened : int;  (** opened; queries must not crash *)
   mutable codec_runs : int;
   mutable sibling_runs : int;
 }
@@ -196,10 +214,52 @@ let fuzz_idx g bases st iter =
   | Error _ -> st.idx_rejected <- st.idx_rejected + 1
   | Ok si ->
       st.idx_opened <- st.idx_opened + 1;
-      (* v2 opened => every checksum matched => answers must be correct;
+      (* v3/v2 opened => every checksum matched => answers must be correct;
          v1 has no checksum, so only crash-freedom is asserted *)
       check_queries iter base si
-        ~oracle_checked:(base.v2 && not (String.equal mutated pristine))
+        ~oracle_checked:(checksummed base && not (String.equal mutated pristine))
+
+(* [skip] phase: damage the SIDX3 postings region — block-skip tables,
+   block bodies, posting headers — then recompute the region CRC in the
+   footer so the load-time integrity gate passes.  The structural
+   validation (skip-table bounds, block tiling, first-tid monotonicity,
+   exact-length decode) is now the only line of defense: the file may be
+   rejected at load, or open and fail cleanly at query time, or decode to
+   a valid-but-different posting — but it must never crash.  Oracle
+   equality is deliberately not asserted: a refit mutation is
+   indistinguishable from a legitimately different index. *)
+
+let u64_at s off =
+  let v = ref 0 in
+  for i = 7 downto 0 do v := (!v lsl 8) lor Char.code s.[off + i] done;
+  !v
+
+let fuzz_skip g v3_bases st iter =
+  let base = Prng.pick g v3_bases in
+  restore base;
+  let pristine = List.assoc ".idx" base.files in
+  let len = String.length pristine in
+  let keydir_len = u64_at pristine (len - 32) in
+  let postings_len = u64_at pristine (len - 24) in
+  let p_start = 8 + keydir_len in
+  if postings_len > 0 then begin
+    st.skip_runs <- st.skip_runs + 1;
+    let b = Bytes.of_string pristine in
+    for _ = 1 to 1 + Prng.int g 4 do
+      Bytes.set b (p_start + Prng.int g postings_len) (Char.chr (Prng.int g 256))
+    done;
+    let s = Bytes.to_string b in
+    let crc = Crc32.substring s p_start postings_len in
+    for i = 0 to 3 do
+      Bytes.set b (len - 8 + i) (Char.chr ((crc lsr (8 * i)) land 0xff))
+    done;
+    write_file (base.scratch ^ ".idx") (Bytes.to_string b);
+    match Si.open_ base.scratch with
+    | Error _ -> st.skip_rejected <- st.skip_rejected + 1
+    | Ok si ->
+        st.skip_opened <- st.skip_opened + 1;
+        check_queries iter base si ~oracle_checked:false
+  end
 
 let fuzz_codec g st _iter =
   st.codec_runs <- st.codec_runs + 1;
@@ -209,7 +269,14 @@ let fuzz_codec g st _iter =
   (match Coding.unpack scheme ~key_size s 0 with
   | _ -> ()
   | exception Coding.Malformed _ -> ());
-  match Coding.read scheme ~key_size s 0 with
+  (match Coding.read scheme ~key_size s 0 with
+  | _ -> ()
+  | exception Coding.Malformed _ -> ());
+  (* the v3 container decoders obey the same contract on garbage *)
+  (match Coding.unpack_v3 scheme ~key_size s 0 with
+  | _ -> ()
+  | exception Coding.Malformed _ -> ());
+  match Coding.v3_layout scheme s 0 with
   | _ -> ()
   | exception Coding.Malformed _ -> ()
 
@@ -248,23 +315,37 @@ let () =
       Unix.rmdir dir)
   @@ fun () ->
   let bases = make_bases dir in
+  let v3_bases =
+    Array.of_list
+      (List.filter (fun b -> b.version = V3) (Array.to_list bases))
+  in
   let g = Prng.create !seed in
   let st =
-    { idx_runs = 0; idx_rejected = 0; idx_opened = 0; codec_runs = 0; sibling_runs = 0 }
+    {
+      idx_runs = 0;
+      idx_rejected = 0;
+      idx_opened = 0;
+      skip_runs = 0;
+      skip_rejected = 0;
+      skip_opened = 0;
+      codec_runs = 0;
+      sibling_runs = 0;
+    }
   in
   for iter = 1 to !iters do
     let run f = try f () with e ->
       fail_iter iter "uncaught exception %s\n%s" (Printexc.to_string e)
         (Printexc.get_backtrace ())
     in
-    let phase = Prng.int g 10 in
-    if phase < 7 then run (fun () -> fuzz_idx g bases st iter)
-    else if phase < 9 then run (fun () -> fuzz_codec g st iter)
+    let phase = Prng.int g 12 in
+    if phase < 6 then run (fun () -> fuzz_idx g bases st iter)
+    else if phase < 9 then run (fun () -> fuzz_skip g v3_bases st iter)
+    else if phase < 11 then run (fun () -> fuzz_codec g st iter)
     else run (fun () -> fuzz_sibling g bases st iter)
   done;
   Printf.printf
     "fuzz: %d iterations, %d failures (idx: %d runs, %d rejected, %d survived; \
-     codec: %d; sibling: %d)\n"
-    !iters !failures st.idx_runs st.idx_rejected st.idx_opened st.codec_runs
-    st.sibling_runs;
+     skip: %d runs, %d rejected, %d survived; codec: %d; sibling: %d)\n"
+    !iters !failures st.idx_runs st.idx_rejected st.idx_opened st.skip_runs
+    st.skip_rejected st.skip_opened st.codec_runs st.sibling_runs;
   if !failures > 0 then exit 1

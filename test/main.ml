@@ -7,4 +7,5 @@ let () =
       ("query", Test_query.suite);
       ("cover", Test_cover.suite);
       ("core", Test_core.suite);
+      ("serve", Test_serve.suite);
     ]
