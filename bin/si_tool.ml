@@ -10,12 +10,51 @@ let scheme_conv =
 
 (* Every Si_error variant maps to a distinct message and exit code
    (README "failure modes"): 1 oracle mismatch, 2 bad query, 3 corrupt
-   index, 4 i/o error, 5 schema mismatch. *)
+   index, 4 i/o error, 5 schema mismatch, 6 timeout, 7 resource budget
+   exhausted, 8 internal fault. *)
 let fail_si e =
   Printf.eprintf "si_tool: %s\n" (Si_core.Si_error.to_string e);
   exit (Si_core.Si_error.exit_code e)
 
 let ok_or_fail = function Ok v -> v | Error e -> fail_si e
+
+(* ---- resource limits (query / serve) ------------------------------------ *)
+
+let limits_of deadline_ms max_steps max_decoded_bytes max_results partial =
+  Si_core.Limits.v
+    ?deadline_ns:(Option.map (fun ms -> int_of_float (ms *. 1e6)) deadline_ms)
+    ?max_decoded_bytes ?max_join_steps:max_steps ?max_results ~partial ()
+
+let limits_term =
+  let deadline_ms =
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-query wall deadline in milliseconds (monotonic clock); \
+                 exceeding it is a timeout (exit 6) unless $(b,--partial).")
+  in
+  let max_steps =
+    Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N"
+           ~doc:"Per-query budget on join/merge/validation steps; \
+                 exceeding it exhausts the resource budget (exit 7) unless \
+                 $(b,--partial).")
+  in
+  let max_decoded_bytes =
+    Arg.(value & opt (some int) None & info [ "max-decoded-bytes" ] ~docv:"BYTES"
+           ~doc:"Per-query budget on decoded posting bytes (cache hits are \
+                 free); exceeding it exhausts the resource budget (exit 7) \
+                 unless $(b,--partial).")
+  in
+  let max_results =
+    Arg.(value & opt (some int) None & info [ "max-results" ] ~docv:"N"
+           ~doc:"Keep at most N matches; a capped answer is reported as \
+                 truncated, never as an error.")
+  in
+  let partial =
+    Arg.(value & flag & info [ "partial" ]
+           ~doc:"Degrade deadline/budget overruns to a truncated result \
+                 (the matches verified so far) instead of an error.")
+  in
+  Term.(const limits_of $ deadline_ms $ max_steps $ max_decoded_bytes
+        $ max_results $ partial)
 
 (* ---- gen --------------------------------------------------------------- *)
 
@@ -48,11 +87,19 @@ let gen_cmd =
 
 (* ---- build ------------------------------------------------------------- *)
 
-let build corpus prefix scheme mss domains =
+let build corpus prefix scheme mss domains failpoints =
   if domains < 1 then begin
     Printf.eprintf "si_tool: --domains must be >= 1 (got %d)\n" domains;
     exit 2
   end;
+  (match failpoints with
+  | None -> ()
+  | Some spec -> (
+      match Si_core.Failpoint.arm spec with
+      | Ok () -> ()
+      | Error what ->
+          Printf.eprintf "si_tool: bad --failpoints spec: %s\n" what;
+          exit 2));
   let trees =
     try Si_treebank.Penn.read_file corpus with
     | Sys_error what -> fail_si (Si_core.Si_error.Io { path = corpus; what })
@@ -92,9 +139,16 @@ let build_cmd =
            ~doc:"Shard construction across N OCaml domains (output is \
                  identical to a sequential build).")
   in
+  let failpoints =
+    Arg.(value & opt (some string) None & info [ "failpoints" ] ~docv:"SPEC"
+           ~doc:"Arm fault-injection points for this run (also readable \
+                 from \\$SI_FAILPOINTS); see $(b,si_tool failpoints) for \
+                 the grammar and the known points.")
+  in
   Cmd.v
     (Cmd.info "build" ~doc:"Build a subtree index over a corpus.")
-    Term.(const build $ corpus_arg $ prefix_arg $ scheme $ mss $ domains)
+    Term.(const build $ corpus_arg $ prefix_arg $ scheme $ mss $ domains
+          $ failpoints)
 
 (* ---- query ------------------------------------------------------------- *)
 
@@ -123,21 +177,28 @@ let parse_query qstr =
   | Ok q -> q
   | Error e -> fail_si (Si_core.Si_error.Bad_query e)
 
-(* evaluate one parsed query against an open handle, with the optional
-   oracle cross-check; returns the match list *)
-let eval_checked si q ~check_oracle =
-  let matches = ok_or_fail (Si_core.Si.query_ast si q) in
+(* evaluate one query against an open handle, with the optional oracle
+   cross-check (skipped for truncated answers — a degraded prefix cannot
+   match the full oracle set); returns the outcome *)
+let eval_checked si qstr ~limits ~check_oracle =
+  let o = ok_or_fail (Si_core.Si.query_outcome ~limits si qstr) in
   if check_oracle then begin
-    let want = Si_core.Si.oracle si q in
-    if matches <> want then begin
-      Printf.eprintf "oracle MISMATCH: index %d matches, oracle %d\n"
-        (List.length matches) (List.length want);
-      exit 1
+    if o.Si_core.Limits.truncated then
+      Printf.eprintf "oracle check skipped (%s): result truncated by limits\n"
+        qstr
+    else begin
+      let want = Si_core.Si.oracle si (parse_query qstr) in
+      if o.Si_core.Limits.matches <> want then begin
+        Printf.eprintf "oracle MISMATCH: index %d matches, oracle %d\n"
+          (List.length o.Si_core.Limits.matches)
+          (List.length want);
+        exit 1
+      end
     end
   end;
-  matches
+  o
 
-let query prefix qstr queries_file sentences check_oracle =
+let query prefix qstr queries_file sentences check_oracle limits =
   let si = ok_or_fail (Si_core.Si.open_ prefix) in
   match (qstr, queries_file) with
   | None, None ->
@@ -147,34 +208,44 @@ let query prefix qstr queries_file sentences check_oracle =
       Printf.eprintf "si_tool: pass either a QUERY argument or --queries, not both\n";
       exit 2
   | Some qstr, None ->
-      (* parse once; the same AST drives both the index and the oracle *)
-      let q = parse_query qstr in
-      let matches = eval_checked si q ~check_oracle in
-      Printf.printf "%d matches\n" (List.length matches);
+      let o = eval_checked si qstr ~limits ~check_oracle in
+      let matches = o.Si_core.Limits.matches in
+      Printf.printf "%d matches%s\n" (List.length matches)
+        (if o.Si_core.Limits.truncated then " (truncated)" else "");
       if sentences then
         List.iter
           (fun (tid, node) ->
             let t = Si_core.Si.sentence si tid in
             Printf.printf "%d:%d %s\n" tid node (Si_treebank.Tree.to_string t))
           matches;
-      if check_oracle then print_endline "oracle: OK"
+      if check_oracle && not o.Si_core.Limits.truncated then
+        print_endline "oracle: OK"
   | None, Some file ->
       (* batch: one open, N evaluations over the handle's shared cache *)
       let qs = read_queries file in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Si_core.Monotonic.now_ns () in
       let total = ref 0 in
+      let truncated = ref 0 in
       Array.iter
         (fun qstr ->
-          let matches = eval_checked si (parse_query qstr) ~check_oracle in
-          total := !total + List.length matches;
-          Printf.printf "%s\t%d\n" qstr (List.length matches))
+          let o = eval_checked si qstr ~limits ~check_oracle in
+          let n = List.length o.Si_core.Limits.matches in
+          total := !total + n;
+          if o.Si_core.Limits.truncated then begin
+            incr truncated;
+            Printf.printf "%s\t%d\ttruncated\n" qstr n
+          end
+          else Printf.printf "%s\t%d\n" qstr n)
         qs;
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = Si_core.Monotonic.elapsed_s t0 in
       let cs = Si_core.Si.cache_stats si in
       Printf.eprintf
-        "evaluated %d queries (%d matches) in %.3fs over one open; cache \
+        "evaluated %d queries (%d matches%s) in %.3fs over one open; cache \
          hits=%d misses=%d evictions=%d%s\n"
-        (Array.length qs) !total dt cs.Si_core.Cache.hits cs.Si_core.Cache.misses
+        (Array.length qs) !total
+        (if !truncated > 0 then Printf.sprintf ", %d truncated" !truncated
+         else "")
+        dt cs.Si_core.Cache.hits cs.Si_core.Cache.misses
         cs.Si_core.Cache.evictions
         (if check_oracle then "; oracle: OK" else "")
 
@@ -198,7 +269,8 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate one query or a query file against a built index.")
-    Term.(const query $ prefix_arg $ qstr $ queries_file $ sentences $ check_oracle)
+    Term.(const query $ prefix_arg $ qstr $ queries_file $ sentences
+          $ check_oracle $ limits_term)
 
 (* ---- serve ------------------------------------------------------------- *)
 
@@ -206,23 +278,34 @@ let quantile sorted p =
   let n = Array.length sorted in
   if n = 0 then 0. else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
 
-let serve prefix batch_file domains cache_budget =
+(* Fault-isolated: per-slot errors are counted and reported, never
+   rethrown — one pathological or failing query must not take down the
+   batch.  Exit 0 means the batch machinery ran to completion; per-query
+   failures are visible in errors= and on stderr. *)
+let serve prefix batch_file domains cache_budget limits =
   if domains < 1 then begin
     Printf.eprintf "si_tool: --domains must be >= 1 (got %d)\n" domains;
     exit 2
   end;
   let si = ok_or_fail (Si_core.Si.open_ prefix) in
   let qs = read_queries batch_file in
-  let b = Si_core.Si.query_batch ~domains ?cache_budget si qs in
-  let total = ref 0 in
-  Array.iter
-    (function Error e -> fail_si e | Ok ms -> total := !total + List.length ms)
+  let b = Si_core.Si.query_batch ~domains ?cache_budget ~limits si qs in
+  let total = ref 0 and errors = ref 0 and truncated = ref 0 in
+  Array.iteri
+    (fun i -> function
+      | Error e ->
+          incr errors;
+          Printf.eprintf "query %d failed: %s\n" i (Si_core.Si_error.to_string e)
+      | Ok o ->
+          total := !total + List.length o.Si_core.Limits.matches;
+          if o.Si_core.Limits.truncated then incr truncated)
     b.Si_core.Si.answers;
   let lat = Array.copy b.Si_core.Si.latencies_ns in
   Array.sort compare lat;
   let n = Array.length qs in
-  Printf.printf "queries=%d domains=%d matches=%d elapsed=%.3fs qps=%.0f\n" n
-    domains !total b.Si_core.Si.elapsed_s
+  Printf.printf
+    "queries=%d domains=%d matches=%d errors=%d truncated=%d elapsed=%.3fs qps=%.0f\n"
+    n domains !total !errors !truncated b.Si_core.Si.elapsed_s
     (if b.Si_core.Si.elapsed_s > 0. then float_of_int n /. b.Si_core.Si.elapsed_s
      else 0.);
   Printf.printf "latency_ns p50=%.0f p95=%.0f p99=%.0f\n" (quantile lat 0.50)
@@ -230,7 +313,16 @@ let serve prefix batch_file domains cache_budget =
   let cs = b.Si_core.Si.cache in
   Printf.printf "cache hits=%d misses=%d evictions=%d resident=%d entries=%d\n"
     cs.Si_core.Cache.hits cs.Si_core.Cache.misses cs.Si_core.Cache.evictions
-    cs.Si_core.Cache.resident cs.Si_core.Cache.entries
+    cs.Si_core.Cache.resident cs.Si_core.Cache.entries;
+  Array.iteri
+    (fun d (st : Si_core.Si.domain_stat) ->
+      Printf.printf "domain %d: queries=%d errors=%d busy_ms=%.1f%s\n" d
+        st.Si_core.Si.queries_run st.Si_core.Si.errors
+        (float_of_int st.Si_core.Si.busy_ns /. 1e6)
+        (match st.Si_core.Si.died with
+        | None -> ""
+        | Some why -> " DIED: " ^ why))
+    b.Si_core.Si.domain_stats
 
 let serve_cmd =
   let batch_file =
@@ -249,8 +341,10 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Throughput-evaluate a query stream: batch fan-out across domains \
-             with per-query latency and cache statistics.")
-    Term.(const serve $ prefix_arg $ batch_file $ domains $ cache_budget)
+             with per-query latency and cache statistics.  Fault-isolated: \
+             a failing query poisons only its own answer slot.")
+    Term.(const serve $ prefix_arg $ batch_file $ domains $ cache_budget
+          $ limits_term)
 
 (* ---- stats ------------------------------------------------------------- *)
 
@@ -289,11 +383,37 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Print statistics of a built index.")
     Term.(const stats $ prefix_arg)
 
+(* ---- failpoints --------------------------------------------------------- *)
+
+let failpoints () =
+  Printf.printf "spec grammar: name=ACTION[@TRIGGER][;...]\n";
+  Printf.printf
+    "actions: fail | sys | exit:CODE | delay:MS | short:N   triggers: @N | @N+ | @p:PCT:SEED\n";
+  Printf.printf "armed via --failpoints (build) or $%s\n\n" Si_core.Failpoint.env_var;
+  Printf.printf "known injection points:\n";
+  List.iter
+    (fun (name, where) -> Printf.printf "  %-24s %s\n" name where)
+    Si_core.Failpoint.known
+
+let failpoints_cmd =
+  Cmd.v
+    (Cmd.info "failpoints"
+       ~doc:"List the fault-injection points and the arming spec grammar.")
+    Term.(const failpoints $ const ())
+
 let () =
+  (* fault injection armed process-wide from the environment, before any
+     subcommand touches the index files *)
+  (match Si_core.Failpoint.arm_from_env () with
+  | Ok () -> ()
+  | Error what ->
+      Printf.eprintf "si_tool: bad $%s spec: %s\n" Si_core.Failpoint.env_var what;
+      exit 2);
   let info =
     Cmd.info "si_tool" ~version:"0.1.0"
       ~doc:"Subtree index over syntactically annotated trees (PVLDB 2012)."
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ gen_cmd; build_cmd; query_cmd; serve_cmd; stats_cmd ]))
+       (Cmd.group info
+          [ gen_cmd; build_cmd; query_cmd; serve_cmd; stats_cmd; failpoints_cmd ]))

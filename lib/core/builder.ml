@@ -27,6 +27,7 @@ type t = {
   table : (string, slot) Hashtbl.t;
   stats : stats;
   origin : string;
+  file_crc : int option;
 }
 
 (* ---- shard stage ------------------------------------------------------- *)
@@ -164,6 +165,7 @@ let finalize ?block_entries ~scheme ~mss ~trees merged =
         bytes = !bytes;
       };
     origin = "<memory>";
+    file_crc = None;
   }
 
 let build ?(domains = 1) ?block_entries ~scheme ~mss docs =
@@ -258,6 +260,7 @@ let find_blocks (t : t) key =
   | Some slot -> Some (slot, slot_blocks t slot)
 
 let decode_block (t : t) key (slot : slot) (b : Coding.block) =
+  Failpoint.hit "builder.decode-block";
   guard_decode t ~offset:b.Coding.boff (fun () ->
       Coding.unpack_block t.scheme ~key_size:(Canonical.key_size key) slot.src b)
 
@@ -347,11 +350,14 @@ let common_prefix a b =
 
 (* Write-to-temporary, fsync, rename.  [f] streams the payload; on any
    [Sys_error] the temporary is removed and the previous file at [path] is
-   left untouched. *)
+   left untouched.  The four failpoints bracket each state transition of
+   the crash-atomicity protocol — the recovery harness kills the process
+   at every one of them and asserts a pre-existing index stays loadable. *)
 let with_atomic_out path f =
   let tmp = path ^ ".tmp" in
   let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
   match
+    Failpoint.hit "builder.save.tmp-open";
     let oc = open_out_bin tmp in
     let ok = ref false in
     Fun.protect
@@ -360,9 +366,12 @@ let with_atomic_out path f =
         if not !ok then cleanup ())
       (fun () ->
         f oc;
+        Failpoint.hit "builder.save.write";
         flush oc;
+        Failpoint.hit "builder.save.fsync";
         Unix.fsync (Unix.descr_of_out_channel oc);
         ok := true);
+    Failpoint.hit "builder.save.rename";
     Sys.rename tmp path
   with
   | () -> Ok ()
@@ -475,9 +484,14 @@ let save_v1 (t : t) path =
 
 let read_file path =
   let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (* armed [short:N] simulates a torn read; the checksummed loaders must
+     reject the result as Corrupt, never crash or mis-parse *)
+  Failpoint.read_transform "builder.load.read" s
 
 (* A key must begin with a root label varint followed by the root size byte
    (= node count, in [1, mss]) — validated before [Canonical.key_size] or
@@ -583,6 +597,7 @@ let load_packed ~enc path s =
     stats =
       { trees = 0; nodes = 0; keys = nkeys; postings = !postings; bytes = len };
     origin = path;
+    file_crc = Some (Crc32.string s);
   }
 
 (* SIDX1 load: the legacy format stores postings eagerly and carries no
@@ -626,6 +641,7 @@ let load_v1 path s =
     table;
     stats = { trees = 0; nodes = 0; keys = nkeys; postings = !postings; bytes = !bytes };
     origin = path;
+    file_crc = Some (Crc32.string s);
   }
 
 let is_prefix s m = String.length s < String.length m && String.equal s (String.sub m 0 (String.length s))

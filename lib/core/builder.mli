@@ -59,6 +59,12 @@ type t = {
       (** where the index came from: the [.idx] path for loaded indexes,
           ["<memory>"] for built ones — used as the [path] of corruption
           errors raised on lazy posting decode *)
+  file_crc : int option;
+      (** CRC-32 of the exact on-disk bytes for loaded indexes, [None] for
+          built ones — cross-checked against the [.meta] sidecar's
+          [idx_crc] record so a crash that leaves a new [.idx] next to old
+          sibling files (or vice versa) is caught at load, not answered
+          from silently (see {!Si.load}) *)
 }
 
 val build :

@@ -72,7 +72,7 @@ let evict_until_fits t =
         t.evictions <- t.evictions + 1
   done
 
-let find_or_add t key produce =
+let find_or_add ?charge t key produce =
   match Hashtbl.find_opt t.table key with
   | Some n ->
       t.hits <- t.hits + 1;
@@ -95,6 +95,9 @@ let find_or_add t key produce =
         t.resident <- t.resident + cost;
         evict_until_fits t
       end;
+      (* bill the caller's resource gauge after insertion: if the charge
+         trips a budget the decode work is already cached for a retry *)
+      (match charge with Some f -> f cost | None -> ());
       value
 
 let stats t =

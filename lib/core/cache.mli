@@ -29,12 +29,17 @@ val create : ?budget:int -> cost:('v -> int) -> unit -> ('k, 'v) t
 (** [budget] defaults to 64 MiB.  [cost v] is the budget charge of [v],
     evaluated once at insertion. *)
 
-val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+val find_or_add : ?charge:(int -> unit) -> ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 (** [find_or_add t k produce] returns the cached value for [k] (a hit,
     promoting [k] to most-recently-used) or calls [produce] (a miss),
     inserts the result and evicts least-recently-used entries until the
     total cost is back within budget.  Exceptions from [produce] propagate;
-    nothing is inserted. *)
+    nothing is inserted.
+
+    [charge], if given, is invoked with the value's cost on a {e miss}
+    only, after insertion — the {!Limits} decoded-bytes gauge hooks in
+    here, so cache hits are free and an over-budget charge (which raises)
+    still leaves the decoded block cached for a governed retry. *)
 
 val stats : ('k, 'v) t -> stats
 

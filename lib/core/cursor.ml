@@ -8,17 +8,18 @@ type t = {
   slot : Builder.slot;
   blocks : Coding.block array;
   cache : cache option;
+  ctx : Limits.ctx option;  (* resource gauge of the governing query *)
   mutable bi : int;  (* current block *)
   mutable ei : int;  (* entry within the current block *)
   mutable decoded : Coding.posting option;  (* decode memo for block [bi] *)
 }
 
-let create ?cache (index : Builder.t) key =
+let create ?cache ?ctx (index : Builder.t) key =
   match Builder.find_blocks index key with
   | None -> None
   | Some (slot, blocks) ->
       let bi = if slot.Builder.entries = 0 then Array.length blocks else 0 in
-      Some { index; key; slot; blocks; cache; bi; ei = 0; decoded = None }
+      Some { index; key; slot; blocks; cache; ctx; bi; ei = 0; decoded = None }
 
 let entries t = t.slot.Builder.entries
 let exhausted t = t.bi >= Array.length t.blocks
@@ -27,12 +28,21 @@ let ensure_decoded t =
   match t.decoded with
   | Some p -> p
   | None ->
+      Failpoint.hit "cursor.decode";
       let b = t.blocks.(t.bi) in
+      let charge =
+        match t.ctx with
+        | None -> None
+        | Some c -> Some (fun bytes -> Limits.charge_decode c bytes)
+      in
       let p =
         match t.cache with
-        | None -> Builder.decode_block t.index t.key t.slot b
+        | None ->
+            let p = Builder.decode_block t.index t.key t.slot b in
+            (match charge with Some f -> f (Coding.heap_bytes p) | None -> ());
+            p
         | Some c ->
-            Cache.find_or_add c (t.key, t.bi) (fun () ->
+            Cache.find_or_add ?charge c (t.key, t.bi) (fun () ->
                 Builder.decode_block t.index t.key t.slot b)
       in
       t.decoded <- Some p;
@@ -72,6 +82,8 @@ let lower_bound_tid p lo hi x =
   !lo
 
 let seek t target =
+  Failpoint.hit "cursor.seek";
+  (match t.ctx with Some c -> Limits.step c | None -> ());
   if not (exhausted t) then begin
     let already_there =
       (* cheap checks first: current tid from the decode memo or skip table *)

@@ -25,9 +25,15 @@ val create_cache : ?budget:int -> unit -> cache
 
 type t
 
-val create : ?cache:cache -> Builder.t -> string -> t option
+val create : ?cache:cache -> ?ctx:Limits.ctx -> Builder.t -> string -> t option
 (** Cursor positioned at the key's first entry; [None] if the key is
-    absent.  Raises [Si_error.Error] on corrupt container bytes. *)
+    absent.  Raises [Si_error.Error] on corrupt container bytes.
+
+    [ctx] is the governing query's resource gauge: each block decode
+    charges {!Limits.charge_decode} with the block's decoded heap bytes
+    (through the cache's miss hook, so cache hits are free) and each
+    {!seek} counts a {!Limits.step} — a governed query overruns by at
+    most one block before the limit surfaces. *)
 
 val entries : t -> int
 (** Total entries of the posting (from slot metadata, no decoding). *)

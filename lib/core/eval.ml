@@ -121,21 +121,47 @@ let tree_of ~(index : Builder.t) ~corpus tid =
          (Array.length corpus));
   corpus.(tid)
 
-(* candidate tids -> verified (tid, root) results, shared by the
-   materialized and streaming filter paths *)
-let filter_results ~index ~corpus q candidates =
-  Array.to_list candidates
-  |> List.concat_map (fun tid ->
-         List.map (fun v -> (tid, v)) (Matcher.roots (tree_of ~index ~corpus tid) q))
-  |> List.sort cmp_pair
+(* The ?ctx threaded below is the query's resource gauge (Limits.ctx):
+   steps at merge-advance / candidate-validation granularity, decoded-byte
+   charges at block (streaming) or posting (materialized) granularity, and
+   result emission for max-results capping and partial degradation. *)
 
-let run_filter ~(index : Builder.t) ~corpus ~label_id q (cover : Cover.t) =
+let step_of = function None -> fun () -> () | Some c -> fun () -> Limits.step c
+
+(* candidate tids -> verified (tid, root) results, shared by the
+   materialized and streaming filter paths; each candidate validation is a
+   governed step, each verified result an emission *)
+let filter_results ?ctx ~index ~corpus q candidates =
+  let step = step_of ctx in
+  let out = ref [] in
+  Array.iter
+    (fun tid ->
+      step ();
+      List.iter
+        (fun v ->
+          let r = (tid, v) in
+          (match ctx with Some c -> Limits.emit c r | None -> ());
+          out := r :: !out)
+        (Matcher.roots (tree_of ~index ~corpus tid) q))
+    candidates;
+  List.sort cmp_pair !out
+
+(* materialized paths bill a whole posting when they touch it (the
+   streaming paths bill per decoded block instead) *)
+let charge_posting ctx p =
+  match ctx with
+  | None -> ()
+  | Some c -> Limits.charge_decode c (Coding.heap_bytes p)
+
+let run_filter ?ctx ~(index : Builder.t) ~corpus ~label_id q (cover : Cover.t) =
   let chunk_tids (c : Cover.chunk) =
     match encodings_opt ~label_id c.Cover.fragment with
     | None -> [||]
     | Some (key, _) -> (
         match Builder.find_exn index key with
-        | Some (Coding.Filter_p tids) -> tids
+        | Some (Coding.Filter_p tids as p) ->
+            charge_posting ctx p;
+            tids
         | Some _ ->
             Si_error.raise_schema ~path:index.Builder.origin
               "filter index holds non-filter postings"
@@ -145,32 +171,37 @@ let run_filter ~(index : Builder.t) ~corpus ~label_id q (cover : Cover.t) =
   (* intersect cheapest-first: ascending posting length keeps every
      intermediate result no larger than the smallest input *)
   Array.sort (fun a b -> Int.compare (Array.length a) (Array.length b)) lists;
+  let step = step_of ctx in
   let candidates =
     if Array.length lists = 0 then [||]
     else begin
       let acc = ref lists.(0) in
       for i = 1 to Array.length lists - 1 do
+        step ();
         if Array.length !acc > 0 then acc := intersect !acc lists.(i)
       done;
       !acc
     end
   in
-  filter_results ~index ~corpus q candidates
+  filter_results ?ctx ~index ~corpus q candidates
 
 (* ---- interval / root-split -------------------------------------------- *)
 
-let chunk_rel ~(index : Builder.t) ~label_id (c : Cover.chunk) =
+let chunk_rel ?ctx ~(index : Builder.t) ~label_id (c : Cover.chunk) =
   match encodings_opt ~label_id c.Cover.fragment with
   | None -> Join.empty
   | Some (key, orders) -> (
       match Builder.find_exn index key with
       | None -> Join.empty
-      | Some (Coding.Root_p entries) ->
+      | Some p -> (
+          charge_posting ctx p;
+          match p with
+          | Coding.Root_p entries ->
           {
             Join.cols = [| c.Cover.root |];
             rows = Array.map (fun (tid, iv) -> { Join.tid; ivs = [| iv |] }) entries;
           }
-      | Some (Coding.Interval_p entries) ->
+          | Coding.Interval_p entries ->
           let cols = Array.of_list c.Cover.nodes in
           (* per alignment, the canonical position of each column's qnode *)
           let maps =
@@ -194,20 +225,20 @@ let chunk_rel ~(index : Builder.t) ~label_id (c : Cover.chunk) =
                      maps)
           in
           { Join.cols; rows = Array.of_list rows }
-      | Some (Coding.Filter_p _) ->
-          Si_error.raise_schema ~path:index.Builder.origin
-            "joinable evaluator over a filter index")
+          | Coding.Filter_p _ ->
+              Si_error.raise_schema ~path:index.Builder.origin
+                "joinable evaluator over a filter index"))
 
 (* Injectivity filtering, result projection and the root-split validation
    corner — the shared tail of the materialized and streaming join paths. *)
-let finish_joins ~(index : Builder.t) ~corpus q (ix : Ast.indexed)
+let finish_joins ?ctx ~(index : Builder.t) ~corpus q (ix : Ast.indexed)
     (cover : Cover.t) acc =
   let col_opt q =
     match Join.col_index acc q with c -> Some c | exception Not_found -> None
   in
   let pairs = cross_chunk_pairs ix cover in
   let checked =
-    Join.filter acc (fun r ->
+    Join.filter ?ctx acc (fun r ->
         List.for_all
           (fun (x, y) ->
             match (col_opt x, col_opt y) with
@@ -229,21 +260,28 @@ let finish_joins ~(index : Builder.t) ~corpus q (ix : Ast.indexed)
     index.Builder.scheme = Coding.Root_split
     && List.exists (fun (x, y) -> not (exposed x && exposed y)) pairs
   in
-  if needs_validation then
-    List.filter
-      (fun (tid, v) -> Matcher.matches_at (tree_of ~index ~corpus tid) q v)
-      results
-  else results
+  let step = step_of ctx in
+  let final =
+    if needs_validation then
+      List.filter
+        (fun (tid, v) ->
+          step ();
+          Matcher.matches_at (tree_of ~index ~corpus tid) q v)
+        results
+    else results
+  in
+  (match ctx with Some c -> List.iter (Limits.emit c) final | None -> ());
+  final
 
 (* Join order: the chunks form a tree (one cut edge per non-first chunk).
    Start from the smallest relation and repeatedly merge in the smallest
    relation adjacent to the joined set — the driving relation bounds every
    intermediate result, and connectivity guarantees exactly one cut edge
    links the new chunk to the joined set (the join predicate). *)
-let run_joins ~(index : Builder.t) ~corpus ~label_id q (ix : Ast.indexed)
+let run_joins ?ctx ~(index : Builder.t) ~corpus ~label_id q (ix : Ast.indexed)
     (cover : Cover.t) =
   let nchunks = Array.length cover.Cover.chunks in
-  let rels = Array.map (chunk_rel ~index ~label_id) cover.Cover.chunks in
+  let rels = Array.map (chunk_rel ?ctx ~index ~label_id) cover.Cover.chunks in
   if Array.exists Join.is_empty rels then []
   else begin
     let edge c =
@@ -299,10 +337,10 @@ let run_joins ~(index : Builder.t) ~corpus ~label_id q (ix : Ast.indexed)
             let ip = Join.col_index b pq and ic = Join.col_index a child_root in
             fun ra rb -> Join.structural axis rb.Join.ivs.(ip) ra.Join.ivs.(ic)
       in
-      acc := Join.merge_join a b ~pred;
+      acc := Join.merge_join ?ctx a b ~pred;
       included.(c) <- true
     done;
-    finish_joins ~index ~corpus q ix cover !acc
+    finish_joins ?ctx ~index ~corpus q ix cover !acc
   end
 
 (* ---- streaming paths (block-skip + bounded cache) ---------------------- *)
@@ -313,14 +351,14 @@ let run_joins ~(index : Builder.t) ~corpus ~label_id q (ix : Ast.indexed)
    block by block (through the caller's bounded cache) and intersections /
    joins skip the blocks their tids never land in. *)
 
-let run_filter_stream ~(index : Builder.t) ~corpus ~label_id ~cache q
+let run_filter_stream ?ctx ~(index : Builder.t) ~corpus ~label_id ~cache q
     (cover : Cover.t) =
   let cursors =
     Array.map
       (fun (c : Cover.chunk) ->
         match encodings_opt ~label_id c.Cover.fragment with
         | None -> None
-        | Some (key, _) -> Cursor.create ~cache index key)
+        | Some (key, _) -> Cursor.create ~cache ?ctx index key)
       cover.Cover.chunks
   in
   if Array.length cursors = 0 || Array.exists Option.is_none cursors then []
@@ -380,9 +418,11 @@ let run_filter_stream ~(index : Builder.t) ~corpus ~label_id ~cache q
       in
       (* leapfrog: keep seeking every stream to the running max tid; when
          all agree the tid is in the intersection *)
+      let step = step_of ctx in
       try
         let target = ref 0 in
         while true do
+          step ();
           let m = ref !target in
           let all_eq = ref true in
           for k = 0 to n - 1 do
@@ -401,7 +441,7 @@ let run_filter_stream ~(index : Builder.t) ~corpus ~label_id ~cache q
         done
       with Exit -> ()
     end;
-    filter_results ~index ~corpus q (Ibuf.contents out)
+    filter_results ?ctx ~index ~corpus q (Ibuf.contents out)
   end
 
 (* a chunk relation behind a cursor: exact row count (entries x
@@ -413,11 +453,11 @@ type vrel = {
   vexpand : Coding.posting -> int -> Join.row list;
 }
 
-let vrel_of_chunk ~(index : Builder.t) ~label_id ~cache (c : Cover.chunk) =
+let vrel_of_chunk ?ctx ~(index : Builder.t) ~label_id ~cache (c : Cover.chunk) =
   match encodings_opt ~label_id c.Cover.fragment with
   | None -> None
   | Some (key, orders) -> (
-      match Cursor.create ~cache index key with
+      match Cursor.create ~cache ?ctx index key with
       | None -> None
       | Some cur -> (
           let schema () =
@@ -476,9 +516,11 @@ let vrel_of_chunk ~(index : Builder.t) ~label_id ~cache (c : Cover.chunk) =
               Si_error.raise_schema ~path:index.Builder.origin
                 "joinable evaluator over a filter index"))
 
-let materialize (v : vrel) =
+let materialize ?ctx (v : vrel) =
+  let step = step_of ctx in
   let acc = ref [] in
   while not (Cursor.exhausted v.vcur) do
+    step ();
     let p, i = Cursor.current v.vcur in
     acc := List.rev_append (v.vexpand p i) !acc;
     Cursor.advance v.vcur
@@ -487,9 +529,11 @@ let materialize (v : vrel) =
 
 (* all stream rows with exactly tid [t]; the cursor is already at the
    first entry >= t after the caller's seek *)
-let probe (v : vrel) t =
+let probe ?ctx (v : vrel) t =
+  let step = step_of ctx in
   let acc = ref [] in
   while Cursor.peek_tid v.vcur = t do
+    step ();
     let p, i = Cursor.current v.vcur in
     acc := List.rev_append (v.vexpand p i) !acc;
     Cursor.advance v.vcur
@@ -504,10 +548,12 @@ let col_in cols q =
   in
   find 0
 
-let run_joins_stream ~(index : Builder.t) ~corpus ~label_id ~cache q
+let run_joins_stream ?ctx ~(index : Builder.t) ~corpus ~label_id ~cache q
     (ix : Ast.indexed) (cover : Cover.t) =
   let nchunks = Array.length cover.Cover.chunks in
-  let vrels = Array.map (vrel_of_chunk ~index ~label_id ~cache) cover.Cover.chunks in
+  let vrels =
+    Array.map (vrel_of_chunk ?ctx ~index ~label_id ~cache) cover.Cover.chunks
+  in
   if Array.exists (function None -> true | Some v -> v.vrows = 0) vrels then []
   else begin
     let vrels = Array.map Option.get vrels in
@@ -529,7 +575,7 @@ let run_joins_stream ~(index : Builder.t) ~corpus ~label_id ~cache q
       if rows c < rows !start then start := c
     done;
     included.(!start) <- true;
-    let acc = ref (materialize vrels.(!start)) in
+    let acc = ref (materialize ?ctx vrels.(!start)) in
     for _ = 2 to nchunks do
       let best = ref (-1) in
       for c = 0 to nchunks - 1 do
@@ -563,27 +609,63 @@ let run_joins_stream ~(index : Builder.t) ~corpus ~label_id ~cache q
             fun ra rb -> Join.structural axis rb.Join.ivs.(ip) ra.Join.ivs.(ic)
       in
       acc :=
-        Join.merge_join_stream !acc ~cols:b.vcols
+        Join.merge_join_stream ?ctx !acc ~cols:b.vcols
           ~next_tid:(fun t ->
             Cursor.seek b.vcur t;
             Cursor.peek b.vcur)
-          ~probe:(probe b) ~pred;
+          ~probe:(probe ?ctx b) ~pred;
       included.(c) <- true
     done;
-    finish_joins ~index ~corpus q ix cover !acc
+    finish_joins ?ctx ~index ~corpus q ix cover !acc
   end
 
-let run_exn ~index ~corpus ?(label_id = Fun.id) ?cache q =
+let dispatch ?ctx ~index ~corpus ~label_id ~cache q =
   let ix = Ast.index q in
   let cover = cover_for index ix in
   match (index.Builder.scheme, cache) with
-  | Coding.Filter, None -> run_filter ~index ~corpus ~label_id q cover
+  | Coding.Filter, None -> run_filter ?ctx ~index ~corpus ~label_id q cover
   | Coding.Filter, Some cache ->
-      run_filter_stream ~index ~corpus ~label_id ~cache q cover
+      run_filter_stream ?ctx ~index ~corpus ~label_id ~cache q cover
   | (Coding.Interval | Coding.Root_split), None ->
-      run_joins ~index ~corpus ~label_id q ix cover
+      run_joins ?ctx ~index ~corpus ~label_id q ix cover
   | (Coding.Interval | Coding.Root_split), Some cache ->
-      run_joins_stream ~index ~corpus ~label_id ~cache q ix cover
+      run_joins_stream ?ctx ~index ~corpus ~label_id ~cache q ix cover
 
-let run ~index ~corpus ?label_id ?cache q =
-  Si_error.guard (fun () -> run_exn ~index ~corpus ?label_id ?cache q)
+(* Degradation contract (DESIGN.md §10): an ungoverned run returns exact
+   results; a governed run either completes ([truncated = false], results
+   exact), trips max-results ([truncated = true], results are a correct
+   prefix-by-discovery subset), or — with [partial] set — converts a
+   deadline / budget trip into [truncated = true] with whatever verified
+   results had been emitted by then.  Without [partial] those trips stay
+   typed errors ({!Si_error.Timeout} / {!Si_error.Resource_exhausted}). *)
+let run_outcome_exn ~index ~corpus ?(label_id = Fun.id) ?cache
+    ?(limits = Limits.none) q =
+  (* [Limits.start] itself can raise (a deadline of 0 trips before any
+     work), so it must run inside the handled expression; the holder keeps
+     the ctx reachable from the exception branches *)
+  let holder = ref None in
+  match
+    let ctx = Limits.start limits in
+    holder := ctx;
+    dispatch ?ctx ~index ~corpus ~label_id ~cache q
+  with
+  | matches -> { Limits.matches; truncated = false }
+  | exception Limits.Truncated ->
+      (* only ctx code raises Truncated, so the holder is necessarily full *)
+      { Limits.matches = Limits.collected (Option.get !holder); truncated = true }
+  | exception Si_error.Error (Si_error.Timeout _ | Si_error.Resource_exhausted _)
+    when limits.Limits.partial ->
+      let matches =
+        match !holder with Some c -> Limits.collected c | None -> []
+      in
+      { Limits.matches; truncated = true }
+
+let run_outcome ~index ~corpus ?label_id ?cache ?limits q =
+  Si_error.guard (fun () ->
+      run_outcome_exn ~index ~corpus ?label_id ?cache ?limits q)
+
+let run_exn ~index ~corpus ?label_id ?cache ?limits q =
+  (run_outcome_exn ~index ~corpus ?label_id ?cache ?limits q).Limits.matches
+
+let run ~index ~corpus ?label_id ?cache ?limits q =
+  Si_error.guard (fun () -> run_exn ~index ~corpus ?label_id ?cache ?limits q)

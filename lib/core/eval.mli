@@ -30,6 +30,7 @@ val run :
   corpus:Si_treebank.Annotated.t array ->
   ?label_id:(Si_treebank.Label.t -> int) ->
   ?cache:Cursor.cache ->
+  ?limits:Limits.t ->
   Si_query.Ast.t ->
   ((int * int) list, Si_error.t) result
 (** [label_id] maps process-global label ids into the index's stored id
@@ -37,17 +38,49 @@ val run :
     to the identity, which is correct for an index built in this process.
     Errors: [Corrupt] if a stored posting fails to decode;
     [Schema_mismatch] if a decoded posting's coding disagrees with the
-    index scheme. *)
+    index scheme; with [limits] set, [Timeout] past the deadline and
+    [Resource_exhausted] past a byte / step budget (unless
+    [limits.partial], see {!run_outcome}).  A max-results trip silently
+    truncates here — use {!run_outcome} to observe the flag. *)
 
 val run_exn :
   index:Builder.t ->
   corpus:Si_treebank.Annotated.t array ->
   ?label_id:(Si_treebank.Label.t -> int) ->
   ?cache:Cursor.cache ->
+  ?limits:Limits.t ->
   Si_query.Ast.t ->
   (int * int) list
 (** {!run} for callers already inside an {!Si_error.guard}: raises
     [Si_error.Error] instead of returning [Error]. *)
+
+val run_outcome :
+  index:Builder.t ->
+  corpus:Si_treebank.Annotated.t array ->
+  ?label_id:(Si_treebank.Label.t -> int) ->
+  ?cache:Cursor.cache ->
+  ?limits:Limits.t ->
+  Si_query.Ast.t ->
+  (Limits.outcome, Si_error.t) result
+(** Resource-governed evaluation, the degradation contract (DESIGN.md §10):
+    [limits] is checked cooperatively at merge-advance / block-decode
+    granularity.  [truncated = false] means the match set is exact.
+    [truncated = true] means evaluation stopped early — at the max-results
+    cap, or at a deadline / budget trip under [limits.partial] — and
+    [matches] holds only the results verified before the stop (sorted,
+    duplicate-free, always a subset of the exact answer).  Without
+    [limits.partial], deadline and budget trips are [Error Timeout] /
+    [Error Resource_exhausted] instead. *)
+
+val run_outcome_exn :
+  index:Builder.t ->
+  corpus:Si_treebank.Annotated.t array ->
+  ?label_id:(Si_treebank.Label.t -> int) ->
+  ?cache:Cursor.cache ->
+  ?limits:Limits.t ->
+  Si_query.Ast.t ->
+  Limits.outcome
+(** {!run_outcome}, raising [Si_error.Error]. *)
 
 val cover_for : Builder.t -> Si_query.Ast.indexed -> Cover.t
 (** The cover [run] uses: {!Cover.min_rc} under root-split coding,

@@ -47,11 +47,20 @@ let concat_ivs (a : Coding.interval array) b =
     out
   end
 
-let merge_join a b ~pred =
+(* resource governance: [step ()] once per merge advance and per join
+   predicate evaluation — the tid-run cross products are exactly where a
+   pathological query's cost explodes, so the budget must see them *)
+let stepper = function
+  | None -> fun () -> ()
+  | Some c -> fun () -> Limits.step c
+
+let merge_join ?ctx a b ~pred =
+  let step = stepper ctx in
   let na = Array.length a.rows and nb = Array.length b.rows in
   let out = Rows.create (max na nb) in
   let i = ref 0 and j = ref 0 in
   while !i < na && !j < nb do
+    step ();
     let ta = a.rows.(!i).tid and tb = b.rows.(!j).tid in
     if ta < tb then incr i
     else if tb < ta then incr j
@@ -65,6 +74,7 @@ let merge_join a b ~pred =
       done;
       for x = !i to !i2 - 1 do
         for y = !j to !j2 - 1 do
+          step ();
           let ra = a.rows.(x) and rb = b.rows.(y) in
           if pred ra rb then
             Rows.push out { tid = ta; ivs = concat_ivs ra.ivs rb.ivs }
@@ -83,12 +93,14 @@ let merge_join a b ~pred =
    blocks holding them).  Emits exactly what [merge_join a b ~pred] would,
    in the same order (a-row outer, stream-row inner), while the stream
    side skips every block no [a] tid lands in. *)
-let merge_join_stream a ~cols ~next_tid ~probe ~pred =
+let merge_join_stream ?ctx a ~cols ~next_tid ~probe ~pred =
+  let step = stepper ctx in
   let na = Array.length a.rows in
   let out = Rows.create (max na 16) in
   let i = ref 0 in
   (try
      while !i < na do
+       step ();
        let ta = a.rows.(!i).tid in
        match next_tid ta with
        | None -> raise Exit
@@ -107,6 +119,7 @@ let merge_join_stream a ~cols ~next_tid ~probe ~pred =
                let ra = a.rows.(x) in
                List.iter
                  (fun rb ->
+                   step ();
                    if pred ra rb then
                      Rows.push out { tid = ta; ivs = concat_ivs ra.ivs rb.ivs })
                  brows
@@ -117,7 +130,12 @@ let merge_join_stream a ~cols ~next_tid ~probe ~pred =
    with Exit -> ());
   { cols = Array.append a.cols cols; rows = Rows.contents out }
 
-let filter rel f =
+let filter ?ctx rel f =
+  let step = stepper ctx in
   let out = Rows.create (Array.length rel.rows) in
-  Array.iter (fun r -> if f r then Rows.push out r) rel.rows;
+  Array.iter
+    (fun r ->
+      step ();
+      if f r then Rows.push out r)
+    rel.rows;
   { rel with rows = Rows.contents out }

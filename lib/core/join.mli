@@ -17,11 +17,15 @@ val is_empty : rel -> bool
 val col_index : rel -> int -> int
 (** Position of query node [q] in [rel.cols]; raises [Not_found]. *)
 
-val merge_join : rel -> rel -> pred:(row -> row -> bool) -> rel
+val merge_join : ?ctx:Limits.ctx -> rel -> rel -> pred:(row -> row -> bool) -> rel
 (** [merge_join a b ~pred] — columns are concatenated ([a.cols] then
-    [b.cols]), rows stay sorted by tid. *)
+    [b.cols]), rows stay sorted by tid.  [ctx] bills one {!Limits.step}
+    per merge advance and per predicate evaluation, so the tid-run cross
+    products a pathological query explodes on are governed at the
+    granularity they grow. *)
 
 val merge_join_stream :
+  ?ctx:Limits.ctx ->
   rel ->
   cols:int array ->
   next_tid:(int -> int option) ->
@@ -35,7 +39,7 @@ val merge_join_stream :
     [t] (consumed; must only be called with ascending [t]).  Output rows
     and order are identical to the materialized join. *)
 
-val filter : rel -> (row -> bool) -> rel
+val filter : ?ctx:Limits.ctx -> rel -> (row -> bool) -> rel
 
 val structural : Si_query.Ast.axis -> Coding.interval -> Coding.interval -> bool
 (** [structural axis parent child] — the edge predicate: child =

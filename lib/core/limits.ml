@@ -1,0 +1,100 @@
+type t = {
+  deadline_ns : int option;
+  max_decoded_bytes : int option;
+  max_join_steps : int option;
+  max_results : int option;
+  partial : bool;
+}
+
+let none =
+  {
+    deadline_ns = None;
+    max_decoded_bytes = None;
+    max_join_steps = None;
+    max_results = None;
+    partial = false;
+  }
+
+let v ?deadline_ns ?max_decoded_bytes ?max_join_steps ?max_results
+    ?(partial = false) () =
+  { deadline_ns; max_decoded_bytes; max_join_steps; max_results; partial }
+
+let is_none l = l = none
+
+type outcome = { matches : (int * int) list; truncated : bool }
+
+type ctx = {
+  limits : t;
+  t0_ns : int;
+  mutable decoded_bytes : int;
+  mutable join_steps : int;
+  mutable tick : int;
+  mutable emitted : (int * int) list;  (* verified results, reverse order *)
+  mutable n_emitted : int;
+}
+
+exception Truncated
+
+let check_deadline ctx =
+  match ctx.limits.deadline_ns with
+  | None -> ()
+  | Some d ->
+      let elapsed_ns = Monotonic.now_ns () - ctx.t0_ns in
+      if elapsed_ns > d then
+        raise (Si_error.Error (Si_error.Timeout { elapsed_ns; deadline_ns = d }))
+
+let start limits =
+  if is_none limits then None
+  else begin
+    let ctx =
+      {
+        limits;
+        t0_ns = Monotonic.now_ns ();
+        decoded_bytes = 0;
+        join_steps = 0;
+        tick = 0;
+        emitted = [];
+        n_emitted = 0;
+      }
+    in
+    (* a deadline of 0 must trip even for queries that touch no posting *)
+    check_deadline ctx;
+    Some ctx
+  end
+
+let exhausted what ~budget ~spent =
+  raise (Si_error.Error (Si_error.Resource_exhausted { what; budget; spent }))
+
+(* clock reads per merge advance would dominate the advance itself: check
+   the deadline every 256 steps — overruns still surface within one block
+   of work *)
+let tick_mask = 255
+
+let step ctx =
+  ctx.join_steps <- ctx.join_steps + 1;
+  (match ctx.limits.max_join_steps with
+  | Some b when ctx.join_steps > b ->
+      exhausted "join-steps" ~budget:b ~spent:ctx.join_steps
+  | _ -> ());
+  ctx.tick <- ctx.tick + 1;
+  if ctx.tick land tick_mask = 0 then check_deadline ctx
+
+let charge_decode ctx bytes =
+  ctx.decoded_bytes <- ctx.decoded_bytes + bytes;
+  (match ctx.limits.max_decoded_bytes with
+  | Some b when ctx.decoded_bytes > b ->
+      exhausted "decoded-bytes" ~budget:b ~spent:ctx.decoded_bytes
+  | _ -> ());
+  check_deadline ctx
+
+let emit ctx r =
+  (match ctx.limits.max_results with
+  | Some m when ctx.n_emitted >= m -> raise Truncated
+  | _ -> ());
+  ctx.emitted <- r :: ctx.emitted;
+  ctx.n_emitted <- ctx.n_emitted + 1
+
+let cmp_pair (a1, a2) (b1, b2) =
+  if a1 <> b1 then Int.compare a1 b1 else Int.compare (a2 : int) b2
+
+let collected ctx = List.sort_uniq cmp_pair ctx.emitted

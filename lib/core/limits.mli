@@ -1,0 +1,81 @@
+(** Cooperative per-query resource governance.
+
+    The paper's worst-case queries (high-fanout covers over heavy posting
+    lists) can cost orders of magnitude more than the median; on a serving
+    path one pathological query must not run unbounded.  A {!t} states the
+    budget; a {!ctx} (one per query evaluation) does the accounting.  The
+    evaluators, joins and cursors call {!step} at merge-advance granularity
+    and {!charge_decode} at block-decode granularity, so an overrun
+    surfaces within one block / one advance as
+    [Si_error.Timeout] or [Si_error.Resource_exhausted] — bounded,
+    predictable per-query cost in the spirit of structural self-indexes.
+
+    Degradation contract: with [partial = true] the evaluator catches the
+    overrun and returns the results verified so far with
+    [outcome.truncated = true]; results not yet verified at that point are
+    simply absent (the partial set is always a subset of the full answer).
+    [max_results] always degrades this way — a capped answer is an [Ok]
+    with the flag, never an error. *)
+
+type t = {
+  deadline_ns : int option;  (** wall budget per query, monotonic clock *)
+  max_decoded_bytes : int option;
+      (** budget on decoded posting bytes (cache hits are free — the
+          budget bounds decode {e work}, not bytes touched) *)
+  max_join_steps : int option;
+      (** budget on merge advances / join predicate evaluations /
+          validation probes *)
+  max_results : int option;  (** cap on returned matches *)
+  partial : bool;  (** degrade overruns to truncated [Ok] results *)
+}
+
+val none : t
+(** No governance — the default everywhere; evaluation pays no
+    accounting. *)
+
+val v :
+  ?deadline_ns:int ->
+  ?max_decoded_bytes:int ->
+  ?max_join_steps:int ->
+  ?max_results:int ->
+  ?partial:bool ->
+  unit ->
+  t
+
+val is_none : t -> bool
+
+type outcome = { matches : (int * int) list; truncated : bool }
+(** What a governed evaluation returns: the match list (sorted,
+    duplicate-free — identical to the ungoverned answer when [truncated]
+    is [false]) and whether any limit cut it short. *)
+
+type ctx
+(** Accounting state of one query evaluation: start time, spent budgets,
+    and the results verified so far (for partial degradation).  Not
+    thread-safe; one per query, confined to its evaluating domain. *)
+
+exception Truncated
+(** Raised by {!emit} when [max_results] is reached; the evaluator's top
+    catches it and returns {!collected} with [truncated = true]. *)
+
+val start : t -> ctx option
+(** [None] when the limits are {!none} (the zero-cost path).  Checks the
+    deadline once immediately, so a deadline of 0 times out
+    deterministically before any work. *)
+
+val step : ctx -> unit
+(** One unit of join/merge/validation work.  Always checks the step
+    budget; checks the deadline every 256 steps (a clock read per advance
+    would dominate the advance). *)
+
+val charge_decode : ctx -> int -> unit
+(** Charge [bytes] of decoded posting data; checks the byte budget and the
+    deadline.  Called once per block decode. *)
+
+val emit : ctx -> int * int -> unit
+(** Record one verified result.  Raises {!Truncated} when a result beyond
+    [max_results] arrives (the first [max_results] are kept). *)
+
+val collected : ctx -> (int * int) list
+(** The verified results so far, sorted and deduplicated — the payload of
+    a truncated outcome. *)

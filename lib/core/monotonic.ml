@@ -1,0 +1,3 @@
+external now_ns : unit -> int = "si_monotonic_now_ns" [@@noalloc]
+
+let elapsed_s t0 = float_of_int (now_ns () - t0) *. 1e-9

@@ -1,0 +1,14 @@
+(** Monotonic wall clock.
+
+    [Unix.gettimeofday] is subject to NTP steps: a clock slew mid-query
+    produces negative or wildly wrong latencies.  Every latency, deadline
+    and elapsed-time measurement on the query path uses this clock
+    instead ([clock_gettime(CLOCK_MONOTONIC)] via a C stub — no
+    allocation per call, safe across domains). *)
+
+val now_ns : unit -> int
+(** Nanoseconds from an arbitrary fixed origin; never goes backwards.
+    Only differences are meaningful. *)
+
+val elapsed_s : int -> float
+(** [elapsed_s t0] is the seconds elapsed since [t0 = now_ns ()]. *)

@@ -37,14 +37,42 @@ let read_lines path =
       in
       go [])
 
+let read_binary path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Crash protocol for the four-file set.  Every byte is staged before any
+   final name changes: the [.idx] goes to [prefix.idx.new] (itself written
+   atomically by {!Builder.save}), the siblings to [*.tmp], and only then
+   does the rename sequence publish them.  Consequences the recovery
+   harness asserts:
+
+   - a crash anywhere up to and including the "si.save.siblings" failpoint
+     leaves every published file untouched — the old index loads and
+     answers exactly as before (stale [.new]/[.tmp] staging litter is
+     ignored by [open_] and swept by the next successful save);
+   - a crash inside the rename sequence can leave a mixed old/new set, but
+     never a silently wrong one: the [.meta] records the CRC-32 of the
+     exact [.idx] bytes it was written against ([idx_crc=...]), and
+     {!open_} refuses a prefix whose [.idx] does not match it
+     ([Schema_mismatch]) instead of answering from mismatched files.
+     Re-running the save to completion repairs the prefix. *)
 let save t prefix trees =
-  (match Builder.save t.index (prefix ^ ".idx") with
+  let staged_idx = prefix ^ ".idx.new" in
+  (match Builder.save t.index staged_idx with
   | Ok () -> ()
   | Error e -> raise (Si_error.Error e));
-  Penn.write_file (prefix ^ ".dat") trees;
-  write_text (prefix ^ ".labels") (Array.to_list (Label.all ()));
+  let idx_crc = Crc32.string (read_binary staged_idx) in
+  let tmp ext = (prefix ^ ext, prefix ^ ext ^ ".tmp") in
+  let dat, dat_tmp = tmp ".dat" in
+  let labels, labels_tmp = tmp ".labels" in
+  let meta, meta_tmp = tmp ".meta" in
+  Penn.write_file dat_tmp trees;
+  write_text labels_tmp (Array.to_list (Label.all ()));
   let s = t.index.Builder.stats in
-  write_text (prefix ^ ".meta")
+  write_text meta_tmp
     [
       "scheme=" ^ Coding.scheme_to_string t.index.Builder.scheme;
       "mss=" ^ string_of_int t.index.Builder.mss;
@@ -52,7 +80,14 @@ let save t prefix trees =
       "nodes=" ^ string_of_int s.Builder.nodes;
       "keys=" ^ string_of_int s.Builder.keys;
       "postings=" ^ string_of_int s.Builder.postings;
-    ]
+      "idx_crc=" ^ string_of_int idx_crc;
+    ];
+  Failpoint.hit "si.save.siblings";
+  Sys.rename staged_idx (prefix ^ ".idx");
+  Sys.rename dat_tmp dat;
+  Sys.rename labels_tmp labels;
+  (* the .meta lands last: it names the .idx bytes it belongs to *)
+  Sys.rename meta_tmp meta
 
 let build ?(domains = 1) ?cache_budget ~scheme ~mss ~trees ?prefix () =
   let corpus = Array.of_list (List.map Annotated.of_tree trees) in
@@ -66,7 +101,8 @@ let build ?(domains = 1) ?cache_budget ~scheme ~mss ~trees ?prefix () =
 
 (* The .meta is advisory for stats but load-bearing for consistency: an
    [.idx] paired with the wrong sibling files (regenerated corpus, copied
-   prefix) must not answer queries against the wrong trees. *)
+   prefix, a crash mid-publish) must not answer queries against the wrong
+   trees. *)
 let check_meta prefix ~(index : Builder.t) ~ntrees =
   let path = prefix ^ ".meta" in
   let mismatch what = Si_error.raise_schema ~path what in
@@ -93,6 +129,19 @@ let check_meta prefix ~(index : Builder.t) ~ntrees =
                 mismatch
                   (Printf.sprintf ".meta says trees=%s but the .dat holds %d" v
                      ntrees)
+          | "idx_crc" -> (
+              (* whole-file cross-check: catches a crash that published a
+                 new .idx but died before the matching siblings (or the
+                 reverse).  Absent in pre-crc .meta files — skipped. *)
+              match (int_of_string_opt v, index.Builder.file_crc) with
+              | Some want, Some got when want <> got ->
+                  mismatch
+                    (Printf.sprintf
+                       ".meta says idx_crc=%d but the .idx hashes to %d — \
+                        mixed file set (crash mid-save?); rebuild the prefix"
+                       want got)
+              | None, _ -> mismatch ".meta idx_crc is not a number"
+              | _ -> ())
           | _ -> ()))
     (read_lines path)
 
@@ -136,26 +185,46 @@ let open_ ?cache_budget prefix =
   in
   { index; corpus; label_id; cache = Cursor.create_cache ?budget:cache_budget () }
 
-let query_ast t q =
-  Eval.run ~index:t.index ~corpus:t.corpus ~label_id:t.label_id ~cache:t.cache q
+let query_ast ?limits t q =
+  Eval.run ~index:t.index ~corpus:t.corpus ~label_id:t.label_id ~cache:t.cache
+    ?limits q
 
-let query_with ~cache t s =
+let outcome_with ~cache ?limits t s =
   match Si_query.Parser.parse s with
-  | Ok q -> Eval.run ~index:t.index ~corpus:t.corpus ~label_id:t.label_id ~cache q
+  | Ok q ->
+      Eval.run_outcome ~index:t.index ~corpus:t.corpus ~label_id:t.label_id
+        ~cache ?limits q
   | Error e -> Error (Si_error.Bad_query e)
 
-let query t s = query_with ~cache:t.cache t s
+let query_outcome ?limits t s = outcome_with ~cache:t.cache ?limits t s
+
+let query_with ~cache ?limits t s =
+  Result.map (fun (o : Limits.outcome) -> o.Limits.matches)
+    (outcome_with ~cache ?limits t s)
+
+let query ?limits t s = query_with ~cache:t.cache ?limits t s
 
 let oracle t q = Si_query.Matcher.corpus_roots t.corpus q
 
 (* ---- parallel batch evaluation ----------------------------------------- *)
 
+type domain_stat = {
+  queries_run : int;
+  errors : int;
+  busy_ns : int;
+  died : string option;
+}
+
 type batch = {
-  answers : ((int * int) list, Si_error.t) result array;
+  answers : (Limits.outcome, Si_error.t) result array;
   latencies_ns : float array;
   elapsed_s : float;
   cache : Cache.stats;
+  domain_stats : domain_stat array;
 }
+
+let slot_sentinel =
+  Error (Si_error.Internal "query slot never ran (worker domain died)")
 
 (* Fan the query stream across [domains] OCaml 5 domains over this one
    handle.  The hot path takes no locks: the index slots and corpus are
@@ -163,39 +232,74 @@ type batch = {
    domain evaluates through its own cache, and the result slots written
    are disjoint per domain (static round-robin split).  The only shared
    mutable state — the label intern table touched by query parsing — is
-   mutex-guarded. *)
-let query_batch ?(domains = 1) ?cache_budget t queries =
+   mutex-guarded.
+
+   Fault isolation: one query must never take the batch down.  Every slot
+   starts as {!slot_sentinel}; an exception escaping a single evaluation
+   (an evaluator bug, [Stack_overflow], ...) is captured as
+   [Error (Internal _)] in that slot and the domain moves on; a domain
+   that dies anyway (or fails to spawn) leaves its remaining slots as the
+   sentinel and is reported in its [domain_stat.died], never by rethrow. *)
+let query_batch ?(domains = 1) ?cache_budget ?limits t queries =
   if domains < 1 then invalid_arg "Si.query_batch: domains must be >= 1";
   let n = Array.length queries in
-  let answers = Array.make n (Ok []) in
+  let answers = Array.make n slot_sentinel in
   let latencies = Array.make n 0. in
   let run_range d =
     let cache = Cursor.create_cache ?budget:cache_budget () in
+    let ran = ref 0 and errs = ref 0 and busy = ref 0 in
     let i = ref d in
     while !i < n do
-      let t0 = Unix.gettimeofday () in
-      answers.(!i) <- query_with ~cache t queries.(!i);
-      latencies.(!i) <- (Unix.gettimeofday () -. t0) *. 1e9;
+      let t0 = Monotonic.now_ns () in
+      let r =
+        try outcome_with ~cache ?limits t queries.(!i)
+        with e -> Error (Si_error.Internal (Printexc.to_string e))
+      in
+      let dt = Monotonic.now_ns () - t0 in
+      answers.(!i) <- r;
+      latencies.(!i) <- float_of_int dt;
+      busy := !busy + dt;
+      incr ran;
+      (match r with Error _ -> incr errs | Ok _ -> ());
       i := !i + domains
     done;
-    Cache.stats cache
+    ( Cache.stats cache,
+      { queries_run = !ran; errors = !errs; busy_ns = !busy; died = None } )
   in
-  let t0 = Unix.gettimeofday () in
-  let stats =
-    if domains = 1 then [ run_range 0 ]
+  let dead what =
+    ( Cache.zero_stats 0,
+      { queries_run = 0; errors = 0; busy_ns = 0; died = Some what } )
+  in
+  let t0 = Monotonic.now_ns () in
+  let per_domain =
+    if domains = 1 then [| run_range 0 |]
     else begin
       let spawned =
         Array.init (domains - 1) (fun k ->
-            Domain.spawn (fun () -> run_range (k + 1)))
+            try Ok (Domain.spawn (fun () -> run_range (k + 1)))
+            with e -> Error (Printexc.to_string e))
       in
       let first = run_range 0 in
-      first :: Array.to_list (Array.map Domain.join spawned)
+      let joined =
+        Array.map
+          (function
+            | Ok d -> (
+                try Domain.join d
+                with e -> dead ("worker domain died: " ^ Printexc.to_string e))
+            | Error what -> dead ("Domain.spawn failed: " ^ what))
+          spawned
+      in
+      Array.append [| first |] joined
     end
   in
-  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let elapsed_s = Monotonic.elapsed_s t0 in
   {
     answers;
     latencies_ns = latencies;
     elapsed_s;
-    cache = List.fold_left Cache.add_stats (Cache.zero_stats 0) stats;
+    cache =
+      Array.fold_left
+        (fun acc (cs, _) -> Cache.add_stats acc cs)
+        (Cache.zero_stats 0) per_domain;
+    domain_stats = Array.map snd per_domain;
   }

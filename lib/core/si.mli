@@ -9,11 +9,20 @@
       root-split corner fallback and sentence output;
     - [prefix.labels] — interned label names, one per id, in id order;
     - [prefix.meta] — [key=value] text: scheme, mss, trees, nodes, keys,
-      postings.
+      postings, and [idx_crc] — the CRC-32 of the [.idx] bytes the
+      siblings were written against (the crash-consistency cross-check).
 
     A stored index is self-contained: a fresh process re-interns labels and
     resolves its ids through the stored table, so queries return the same
-    match sets as in the building process. *)
+    match sets as in the building process.
+
+    Persistence is crash-safe: all four files are staged
+    ([prefix.idx.new], [*.tmp]) before any final name changes, so a build
+    killed before the publish renames leaves a pre-existing index at the
+    same prefix byte-identical and fully loadable; a kill inside the
+    rename sequence can leave a mixed old/new set, which {!open_} detects
+    through [idx_crc] and refuses ([Schema_mismatch]) rather than
+    answering from mismatched files. *)
 
 type t
 
@@ -27,7 +36,7 @@ val build :
   unit ->
   t
 (** Build in memory; when [prefix] is given, also persist the four files
-    (the [.idx] atomically — see {!Builder.save}).  [domains] (default 1)
+    (crash-safely — see the module preamble).  [domains] (default 1)
     shards construction across that many OCaml domains; the result and
     persisted bytes are identical regardless.  [cache_budget] bounds the
     handle's decoded-block cache in bytes (default 64 MiB; [0] disables
@@ -41,33 +50,61 @@ val open_ : ?cache_budget:int -> string -> (t, Si_error.t) result
 (** Load an index persisted by {!build}.  Every byte is verified before it
     is trusted: the [.idx] checksums and structure ([Corrupt]), the [.dat]
     parse ([Corrupt]), unreadable files ([Io]), and the [.meta]
-    cross-check — scheme, mss and tree count must agree with the loaded
-    [.idx] and [.dat] ([Schema_mismatch]). *)
+    cross-check — scheme, mss, tree count and the [.idx] file CRC must
+    agree with the loaded [.idx] and [.dat] ([Schema_mismatch]). *)
 
-val query : t -> string -> ((int * int) list, Si_error.t) result
+val query : ?limits:Limits.t -> t -> string -> ((int * int) list, Si_error.t) result
 (** Parse and evaluate; [(tid, node)] match pairs, sorted.  Evaluates on
     the streaming path through the handle's decoded-block cache
     (result-identical to {!Eval.run} without a cache).  Errors:
     [Bad_query] on a syntax error, [Corrupt]/[Schema_mismatch] if posting
-    decode fails during evaluation. *)
+    decode fails during evaluation; with [limits], [Timeout] /
+    [Resource_exhausted] on a deadline or budget trip (softened to a
+    truncated result under [limits.partial] — use {!query_outcome} to see
+    the flag). *)
 
-val query_ast : t -> Si_query.Ast.t -> ((int * int) list, Si_error.t) result
+val query_outcome :
+  ?limits:Limits.t -> t -> string -> (Limits.outcome, Si_error.t) result
+(** {!query} with the resource-governance outcome exposed: [truncated]
+    tells whether the match list is exact or a degraded prefix (see
+    {!Eval.run_outcome} for the contract). *)
 
-type batch = {
-  answers : ((int * int) list, Si_error.t) result array;
-      (** per query, input order *)
-  latencies_ns : float array;  (** per-query wall latency *)
-  elapsed_s : float;  (** whole-batch wall time (QPS = n / elapsed) *)
-  cache : Cache.stats;  (** summed over the per-domain caches *)
+val query_ast :
+  ?limits:Limits.t -> t -> Si_query.Ast.t -> ((int * int) list, Si_error.t) result
+
+type domain_stat = {
+  queries_run : int;  (** slots this worker actually evaluated *)
+  errors : int;  (** of those, how many returned [Error _] *)
+  busy_ns : int;  (** summed per-query wall time (monotonic) *)
+  died : string option;
+      (** [Some reason] if the worker failed to spawn or died mid-range —
+          its unwritten slots hold the sentinel
+          [Error (Internal "query slot never ran ...")] *)
 }
 
-val query_batch : ?domains:int -> ?cache_budget:int -> t -> string array -> batch
+type batch = {
+  answers : (Limits.outcome, Si_error.t) result array;
+      (** per query, input order *)
+  latencies_ns : float array;  (** per-query wall latency (monotonic) *)
+  elapsed_s : float;  (** whole-batch wall time (QPS = n / elapsed) *)
+  cache : Cache.stats;  (** summed over the per-domain caches *)
+  domain_stats : domain_stat array;  (** per worker, domain 0 first *)
+}
+
+val query_batch :
+  ?domains:int -> ?cache_budget:int -> ?limits:Limits.t -> t -> string array -> batch
 (** [query_batch t queries] evaluates the stream, fanned round-robin
     across [domains] (default 1) OCaml 5 domains over this one shared
     handle.  The hot path takes no locks: the packed index and corpus are
     read-only, each domain evaluates through its own decoded-block cache
-    ([cache_budget] bytes each), and result slots are disjoint.  Raises
-    [Invalid_argument] if [domains < 1]. *)
+    ([cache_budget] bytes each), and result slots are disjoint.  [limits]
+    governs every query individually (each gets a fresh gauge).
+
+    Fault-isolated: an exception escaping one evaluation becomes
+    [Error (Internal _)] in that slot only; a worker domain that dies or
+    fails to spawn leaves its remaining slots as the sentinel and is
+    reported in {!domain_stat.died} — the call itself never rethrows a
+    per-query failure.  Raises [Invalid_argument] if [domains < 1]. *)
 
 val cache_stats : t -> Cache.stats
 (** Counters of the handle's own cache (the one {!query} uses). *)

@@ -3,6 +3,9 @@ type t =
   | Io of { path : string; what : string }
   | Bad_query of string
   | Schema_mismatch of { path : string; what : string }
+  | Timeout of { elapsed_ns : int; deadline_ns : int }
+  | Resource_exhausted of { what : string; budget : int; spent : int }
+  | Internal of string
 
 exception Error of t
 
@@ -13,6 +16,13 @@ let to_string = function
   | Bad_query what -> Printf.sprintf "bad query: %s" what
   | Schema_mismatch { path; what } ->
       Printf.sprintf "schema mismatch: %s: %s" path what
+  | Timeout { elapsed_ns; deadline_ns } ->
+      Printf.sprintf "timeout: query exceeded its %.3f ms deadline (%.3f ms elapsed)"
+        (float_of_int deadline_ns /. 1e6)
+        (float_of_int elapsed_ns /. 1e6)
+  | Resource_exhausted { what; budget; spent } ->
+      Printf.sprintf "resource exhausted: %s budget %d, spent %d" what budget spent
+  | Internal what -> Printf.sprintf "internal error: %s" what
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 
@@ -21,6 +31,9 @@ let exit_code = function
   | Corrupt _ -> 3
   | Io _ -> 4
   | Schema_mismatch _ -> 5
+  | Timeout _ -> 6
+  | Resource_exhausted _ -> 7
+  | Internal _ -> 8
 
 let raise_corrupt ~path ~offset what = raise (Error (Corrupt { path; offset; what }))
 let raise_io ~path what = raise (Error (Io { path; what }))

@@ -20,8 +20,20 @@ type t =
   | Bad_query of string  (** The query string does not parse. *)
   | Schema_mismatch of { path : string; what : string }
       (** The parts of a stored index disagree with each other (e.g. the
-          [.meta] scheme vs the [.idx] scheme byte), or a posting's coding
-          disagrees with the index's declared scheme. *)
+          [.meta] scheme vs the [.idx] scheme byte, or the [.meta] recorded
+          [.idx] checksum vs the file actually on disk), or a posting's
+          coding disagrees with the index's declared scheme. *)
+  | Timeout of { elapsed_ns : int; deadline_ns : int }
+      (** The query overran its cooperative {!Limits} deadline (monotonic
+          clock).  Surfaced within one posting block / merge advance of the
+          overrun. *)
+  | Resource_exhausted of { what : string; budget : int; spent : int }
+      (** The query overran a {!Limits} work budget; [what] names it
+          (["decoded-bytes"] or ["join-steps"]). *)
+  | Internal of string
+      (** An unexpected exception captured at a fault-isolation boundary
+          (one slot of {!Si.query_batch}, or an armed {!Failpoint}) — the
+          batch survives, the slot reports this. *)
 
 exception Error of t
 (** Internal control flow: decode paths deep inside the evaluator raise
@@ -36,7 +48,8 @@ val pp : Format.formatter -> t -> unit
 
 val exit_code : t -> int
 (** The [si_tool] exit code: [Bad_query] → 2, [Corrupt] → 3, [Io] → 4,
-    [Schema_mismatch] → 5.  (0 = success, 1 = oracle mismatch.) *)
+    [Schema_mismatch] → 5, [Timeout] → 6, [Resource_exhausted] → 7,
+    [Internal] → 8.  (0 = success, 1 = oracle mismatch.) *)
 
 val raise_corrupt : path:string -> offset:int -> string -> 'a
 val raise_io : path:string -> string -> 'a

@@ -109,6 +109,65 @@ for pat in 'queries=200' 'domains=2' 'qps=' 'latency_ns p50=' 'cache hits='; do
     || { echo "FAIL: serve output missing '$pat': $out" >&2; exit 1; }
 done
 
+# ---- resource governance: deadlines, budgets, truncation ------------------
+# 6 = timeout, 7 = resource exhausted; --partial degrades both to a
+# truncated (but clean, exit 0) answer
+expect_exit 6 'timeout' "$TOOL" query --prefix "$PFX" --deadline-ms 0 'S(//NP)(//NP)'
+expect_exit 7 'resource exhausted' \
+  "$TOOL" query --prefix "$PFX" --max-decoded-bytes 1 'S(NP)(VP)'
+expect_exit 7 'join-steps' \
+  "$TOOL" query --prefix "$PFX" --max-steps 1 'S(//NP)(//NP)'
+
+out="$("$TOOL" query --prefix "$PFX" --deadline-ms 0 --partial 'S(NP)(VP)')"
+grep -q '(truncated)' <<<"$out" \
+  || { echo "FAIL: --partial did not flag truncation: $out" >&2; exit 1; }
+
+# --max-results truncates at exactly N and says so (no error, no --partial)
+out="$("$TOOL" query --prefix "$PFX" --max-results 3 'S(NP)(VP)')"
+grep -q '^3 matches (truncated)' <<<"$out" \
+  || { echo "FAIL: --max-results 3 gave: $out" >&2; exit 1; }
+
+# serve under a zero deadline: fault-isolated, every slot errors, exit 0
+out="$("$TOOL" serve --prefix "$PFX" --batch "$BATCH" --deadline-ms 0 2>/dev/null)"
+grep -q 'errors=200' <<<"$out" \
+  || { echo "FAIL: serve --deadline-ms 0 expected errors=200: $out" >&2; exit 1; }
+# ... and with --partial the same batch degrades instead of erroring
+out="$("$TOOL" serve --prefix "$PFX" --batch "$BATCH" --deadline-ms 0 --partial)"
+grep -q 'errors=0 truncated=200' <<<"$out" \
+  || { echo "FAIL: serve --partial expected truncated=200: $out" >&2; exit 1; }
+
+# ---- failpoints: injected crashes must not hurt the published index -------
+# a simulated crash right before the atomic rename (exit:42) kills the
+# build, and the pre-existing index still answers with oracle equality
+expect_exit 42 'failpoint' "$TOOL" build --corpus "$DIR/corpus.penn" \
+  --prefix "$PFX" --scheme root-split --mss 3 \
+  --failpoints 'builder.save.rename=exit:42'
+out="$("$TOOL" query --prefix "$PFX" 'S(NP)(VP)' --check-oracle)"
+grep -q 'oracle: OK' <<<"$out" \
+  || { echo "FAIL: index broken after failpoint crash" >&2; exit 1; }
+
+# same through the environment variable, crashing after all four files are
+# staged but before any publish rename
+SI_FAILPOINTS='si.save.siblings=exit:42' expect_exit 42 'failpoint' \
+  "$TOOL" build --corpus "$DIR/corpus.penn" --prefix "$PFX" \
+  --scheme root-split --mss 3
+out="$("$TOOL" query --prefix "$PFX" 'S(NP)(VP)' --check-oracle)"
+grep -q 'oracle: OK' <<<"$out" \
+  || { echo "FAIL: index broken after env-armed failpoint crash" >&2; exit 1; }
+
+# a bad spec is a usage error (exit 2), armed either way
+expect_exit 2 'bad --failpoints spec' "$TOOL" build --corpus "$DIR/corpus.penn" \
+  --prefix "$PFX" --scheme root-split --mss 3 --failpoints 'nonsense'
+SI_FAILPOINTS='x=bogus' expect_exit 2 'SI_FAILPOINTS' \
+  "$TOOL" query --prefix "$PFX" 'S(NP)(VP)'
+
+# the failpoints catalogue lists every injection site used above
+out="$("$TOOL" failpoints)"
+for name in builder.save.rename si.save.siblings builder.load.read; do
+  grep -q "$name" <<<"$out" \
+    || { echo "FAIL: failpoints catalogue missing $name" >&2; exit 1; }
+done
+
 # stats surfaces the block histogram and cache counters
 out="$("$TOOL" stats --prefix "$PFX")"
 grep -q 'block histogram' <<<"$out" \

@@ -132,6 +132,22 @@ type base = {
    bytes semantically intact, so surviving opens are oracle-checked *)
 let checksummed base = base.version <> V1
 
+(* rewriting the .idx in an older format invalidates the idx_crc the .meta
+   recorded at build time (the mixed-file-set detector would reject the
+   base as a torn save) — refit it to the rewritten bytes *)
+let refit_meta prefix =
+  let crc = Crc32.string (read_file (prefix ^ ".idx")) in
+  let lines = String.split_on_char '\n' (read_file (prefix ^ ".meta")) in
+  let lines =
+    List.map
+      (fun l ->
+        if String.length l >= 8 && String.sub l 0 8 = "idx_crc=" then
+          "idx_crc=" ^ string_of_int crc
+        else l)
+      lines
+  in
+  write_file (prefix ^ ".meta") (String.concat "\n" lines)
+
 let make_bases dir =
   let bases = ref [] in
   List.iter
@@ -157,8 +173,12 @@ let make_bases dir =
               in
               (match version with
               | V3 -> ()  (* Si.build already saved SIDX3 *)
-              | V2 -> rewrite Builder.save_v2
-              | V1 -> rewrite Builder.save_v1);
+              | V2 ->
+                  rewrite Builder.save_v2;
+                  refit_meta prefix
+              | V1 ->
+                  rewrite Builder.save_v1;
+                  refit_meta prefix);
               let expected = List.map (fun q -> (q, Si.oracle si q)) queries in
               let files =
                 List.map
@@ -186,6 +206,7 @@ type stats = {
   mutable skip_opened : int;  (** opened; queries must not crash *)
   mutable codec_runs : int;
   mutable sibling_runs : int;
+  mutable failpoint_runs : int;
 }
 
 (* every query on a surviving index must come back as a result; on a
@@ -254,6 +275,9 @@ let fuzz_skip g v3_bases st iter =
       Bytes.set b (len - 8 + i) (Char.chr ((crc lsr (8 * i)) land 0xff))
     done;
     write_file (base.scratch ^ ".idx") (Bytes.to_string b);
+    (* also refit the .meta whole-file cross-check, for the same reason:
+       the decode-time validation is the layer under test, not the gates *)
+    refit_meta base.scratch;
     match Si.open_ base.scratch with
     | Error _ -> st.skip_rejected <- st.skip_rejected + 1
     | Ok si ->
@@ -293,6 +317,88 @@ let fuzz_sibling g bases st iter =
          stored oracle answers no longer apply: assert crash-freedom only *)
       check_queries iter base si ~oracle_checked:false
 
+(* [failpoint] phase: instead of mutating bytes, inject faults through the
+   {!Failpoint} registry — the same mechanism the recovery harness uses —
+   with deterministic random specs drawn from the fuzz PRNG.
+
+   Load-side: arm a read/decode-path point (torn reads, decode failures,
+   seek failures) and open + query; every outcome must be a clean
+   [Si_error] or a result — never a crash.  Save-side: arm a save-path
+   point and attempt a rebuild over the scratch prefix; the save must fail
+   cleanly (the points all sit before the publish renames) and the
+   previously published index must remain byte-intact, loadable, and
+   oracle-correct.  The registry is cleared after every iteration so no
+   armed point leaks into the byte-mutation phases. *)
+
+let load_specs g =
+  match Prng.int g 6 with
+  | 0 -> Printf.sprintf "builder.load.read=short:%d" (Prng.int g 512)
+  | 1 -> "builder.load.read=sys"
+  | 2 -> Printf.sprintf "builder.decode-block=fail@%d" (1 + Prng.int g 3)
+  | 3 -> Printf.sprintf "cursor.decode=fail@%d" (1 + Prng.int g 3)
+  | 4 -> Printf.sprintf "cursor.seek=fail@%d" (1 + Prng.int g 2)
+  | _ ->
+      Printf.sprintf "cursor.decode=fail@p:%d:%d" (10 + Prng.int g 90)
+        (Prng.int g 1_000_000)
+
+let save_specs g =
+  let name =
+    Prng.pick g
+      [|
+        "builder.save.tmp-open";
+        "builder.save.write";
+        "builder.save.fsync";
+        "builder.save.rename";
+        "si.save.siblings";
+      |]
+  in
+  Printf.sprintf "%s=%s" name (if Prng.int g 2 = 0 then "fail" else "sys")
+
+let fuzz_failpoint g bases st iter =
+  let base = Prng.pick g bases in
+  restore base;
+  st.failpoint_runs <- st.failpoint_runs + 1;
+  Fun.protect ~finally:Failpoint.clear @@ fun () ->
+  if Prng.int g 2 = 0 then begin
+    (* load-side: faults during open/query surface as clean errors *)
+    Failpoint.arm_exn (load_specs g);
+    match Si.open_ base.scratch with
+    | Error _ -> ()
+    | Ok si ->
+        (* a point armed with @N may fire on a later query — or never;
+           either way each query returns [Ok]/[Error] cleanly, so no
+           oracle check (an injected fault legitimately changes answers
+           to errors) *)
+        check_queries iter base si ~oracle_checked:false
+  end
+  else begin
+    (* save-side: every named save point precedes the publish renames, so
+       an aborted rebuild must leave the published set untouched *)
+    Failpoint.arm_exn (save_specs g);
+    let si0 =
+      match Si.open_ base.scratch with
+      | Ok si -> si
+      | Error e ->
+          failwith ("pristine scratch failed to open: " ^ Si_error.to_string e)
+    in
+    let trees = Si_grammar.Generator.corpus ~seed:iter ~n:6 () in
+    (match
+       Si.build ~scheme:(Si.scheme si0) ~mss:(Si.mss si0) ~trees
+         ~prefix:base.scratch ()
+     with
+    | _ ->
+        fail_iter iter "armed save failpoint did not abort the rebuild (%s)"
+          base.name
+    | exception Si_error.Error _ -> ()
+    | exception Sys_error _ -> ());
+    Failpoint.clear ();
+    match Si.open_ base.scratch with
+    | Error e ->
+        fail_iter iter "published index unloadable after aborted save (%s): %s"
+          base.name (Si_error.to_string e)
+    | Ok si -> check_queries iter base si ~oracle_checked:true
+  end
+
 (* ---- driver ------------------------------------------------------------- *)
 
 let () =
@@ -330,22 +436,27 @@ let () =
       skip_opened = 0;
       codec_runs = 0;
       sibling_runs = 0;
+      failpoint_runs = 0;
     }
   in
   for iter = 1 to !iters do
     let run f = try f () with e ->
+      Failpoint.clear ();
       fail_iter iter "uncaught exception %s\n%s" (Printexc.to_string e)
         (Printexc.get_backtrace ())
     in
-    let phase = Prng.int g 12 in
+    let phase = Prng.int g 14 in
     if phase < 6 then run (fun () -> fuzz_idx g bases st iter)
     else if phase < 9 then run (fun () -> fuzz_skip g v3_bases st iter)
     else if phase < 11 then run (fun () -> fuzz_codec g st iter)
-    else run (fun () -> fuzz_sibling g bases st iter)
+    else if phase < 12 then run (fun () -> fuzz_sibling g bases st iter)
+    else run (fun () -> fuzz_failpoint g bases st iter)
   done;
   Printf.printf
     "fuzz: %d iterations, %d failures (idx: %d runs, %d rejected, %d survived; \
-     skip: %d runs, %d rejected, %d survived; codec: %d; sibling: %d)\n"
+     skip: %d runs, %d rejected, %d survived; codec: %d; sibling: %d; \
+     failpoint: %d)\n"
     !iters !failures st.idx_runs st.idx_rejected st.idx_opened st.skip_runs
-    st.skip_rejected st.skip_opened st.codec_runs st.sibling_runs;
+    st.skip_rejected st.skip_opened st.codec_runs st.sibling_runs
+    st.failpoint_runs;
   if !failures > 0 then exit 1

@@ -8,4 +8,5 @@ let () =
       ("cover", Test_cover.suite);
       ("core", Test_core.suite);
       ("serve", Test_serve.suite);
+      ("limits", Test_limits.suite);
     ]

@@ -218,10 +218,13 @@ let test_batch_parallel () =
           let batch = Si.query_batch ~domains ~cache_budget:(1 lsl 16) si qarr in
           Array.iteri
             (fun i ans ->
+              let o = ok_exn "batch answer" ans in
+              Alcotest.(check bool)
+                (Printf.sprintf "batch d=%d q=%d not truncated" domains i)
+                false o.Limits.truncated;
               Alcotest.(check (list (pair int int)))
                 (Printf.sprintf "batch d=%d q=%d" domains i)
-                seq.(i)
-                (ok_exn "batch answer" ans))
+                seq.(i) o.Limits.matches)
             batch.Si.answers;
           Alcotest.(check int) "one latency per query" (Array.length qarr)
             (Array.length batch.Si.latencies_ns);
