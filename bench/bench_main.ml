@@ -362,6 +362,66 @@ let () =
         [ 1; 2 ])
     schemes;
 
+  (* the network serving layer: a live TCP server on an ephemeral port
+     under a closed-loop multi-client run; latencies are measured on the
+     client side of the socket, so they include protocol parsing, the
+     admission check, and the wire round-trip *)
+  let serve_net_entry =
+    let prefix = Filename.concat tmp "net-root-split" in
+    ignore
+      (Si_core.Si.build ~scheme:Si_core.Coding.Root_split ~mss ~trees ~prefix ());
+    let srv = ok_exn (Si_serve.Server.start (Si_serve.Server.default_config ~prefix)) in
+    let port = Si_serve.Server.port srv in
+    let clients = 2 and per_client = 200 in
+    let run_client id () =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+      let lats = Array.make per_client 0. in
+      let nq = List.length bench_queries in
+      for i = 0 to per_client - 1 do
+        let q = List.nth bench_queries ((i + id) mod nq) in
+        let t0 = Si_core.Monotonic.now_ns () in
+        output_string oc ("QUERY " ^ q ^ " count_only=1\n");
+        flush oc;
+        let rec drain () = if input_line ic <> "." then drain () in
+        drain ();
+        lats.(i) <- float_of_int (Si_core.Monotonic.now_ns () - t0)
+      done;
+      Unix.close fd;
+      lats
+    in
+    let t0 = Unix.gettimeofday () in
+    let doms = List.init clients (fun id -> Domain.spawn (run_client id)) in
+    let lats =
+      List.concat_map (fun d -> Array.to_list (Domain.join d)) doms
+      |> Array.of_list
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Si_serve.Server.stop srv;
+    Array.sort compare lats;
+    let total = clients * per_client in
+    let qps = float_of_int total /. elapsed in
+    Printf.eprintf
+      "serve_net root-split: %d clients x %d queries in %.3fs (%.0f qps), \
+       wire p50=%.1fus p95=%.1fus p99=%.1fus\n%!"
+      clients per_client elapsed qps
+      (quantile lats 0.5 /. 1e3)
+      (quantile lats 0.95 /. 1e3)
+      (quantile lats 0.99 /. 1e3);
+    J.Obj
+      [
+        ("scheme", J.Str "root-split");
+        ("clients", J.Int clients);
+        ("queries", J.Int total);
+        ("elapsed_s", J.Float elapsed);
+        ("qps", J.Float qps);
+        ("p50_ns", J.Float (quantile lats 0.5));
+        ("p95_ns", J.Float (quantile lats 0.95));
+        ("p99_ns", J.Float (quantile lats 0.99));
+      ]
+  in
+
   (* stable headline numbers: one object per coding, fixed keys, so CI and
      future PRs can diff trajectories without walking the detail arrays *)
   let summary =
@@ -405,6 +465,7 @@ let () =
         ("load", J.Arr (List.rev !load_entries));
         ("query", J.Arr (List.rev !query_entries));
         ("serve", J.Arr (List.rev !serve_entries));
+        ("serve_net", serve_net_entry);
       ]
   in
   let oc = open_out !out in

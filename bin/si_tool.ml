@@ -282,11 +282,7 @@ let quantile sorted p =
    rethrown — one pathological or failing query must not take down the
    batch.  Exit 0 means the batch machinery ran to completion; per-query
    failures are visible in errors= and on stderr. *)
-let serve prefix batch_file domains cache_budget limits =
-  if domains < 1 then begin
-    Printf.eprintf "si_tool: --domains must be >= 1 (got %d)\n" domains;
-    exit 2
-  end;
+let serve_batch prefix batch_file domains cache_budget limits =
   let si = ok_or_fail (Si_core.Si.open_ prefix) in
   let qs = read_queries batch_file in
   let b = Si_core.Si.query_batch ~domains ?cache_budget ~limits si qs in
@@ -305,7 +301,9 @@ let serve prefix batch_file domains cache_budget limits =
   let n = Array.length qs in
   Printf.printf
     "queries=%d domains=%d matches=%d errors=%d truncated=%d elapsed=%.3fs qps=%.0f\n"
-    n domains !total !errors !truncated b.Si_core.Si.elapsed_s
+    n
+    (Array.length b.Si_core.Si.domain_stats)
+    !total !errors !truncated b.Si_core.Si.elapsed_s
     (if b.Si_core.Si.elapsed_s > 0. then float_of_int n /. b.Si_core.Si.elapsed_s
      else 0.);
   Printf.printf "latency_ns p50=%.0f p95=%.0f p99=%.0f\n" (quantile lat 0.50)
@@ -324,31 +322,211 @@ let serve prefix batch_file domains cache_budget limits =
         | Some why -> " DIED: " ^ why))
     b.Si_core.Si.domain_stats
 
+(* The long-lived network mode: si_tool serve --listen PORT.  The process
+   runs until SIGTERM/SIGINT (graceful drain), or a SHUTDOWN wire request;
+   SIGHUP hot-reloads the served prefix through the zero-downtime swap
+   path (same as the SWAP verb). *)
+let serve_net prefix host port workers accept_queue cache_budget limits
+    batch_deadline_ms quota_rps quota_burst brownout shed =
+  if workers < 1 then begin
+    Printf.eprintf "si_tool: --workers must be >= 1 (got %d)\n" workers;
+    exit 2
+  end;
+  let batch_limits =
+    match batch_deadline_ms with
+    | None -> limits
+    | Some ms ->
+        Si_core.Limits.
+          { limits with deadline_ns = Some (int_of_float (ms *. 1e6)) }
+  in
+  let admission =
+    {
+      Si_serve.Admission.default_config with
+      interactive = limits;
+      batch = batch_limits;
+      quota_rps;
+      quota_burst;
+      brownout_inflight = brownout;
+      shed_inflight = shed;
+    }
+  in
+  let cfg =
+    {
+      (Si_serve.Server.default_config ~prefix) with
+      host;
+      port;
+      workers;
+      accept_queue;
+      cache_budget;
+      admission;
+    }
+  in
+  match Si_serve.Server.start cfg with
+  | Error e -> fail_si e
+  | Ok srv ->
+      Printf.printf
+        "listening on %s:%d (prefix=%s workers=%d accept_queue=%d)\n%!" host
+        (Si_serve.Server.port srv)
+        prefix workers accept_queue;
+      let stop_req = ref false and hup_req = ref false in
+      let handle r = Sys.Signal_handle (fun _ -> r := true) in
+      List.iter
+        (fun s -> try Sys.set_signal s (handle stop_req) with Invalid_argument _ -> ())
+        [ Sys.sigterm; Sys.sigint ];
+      (try Sys.set_signal Sys.sighup (handle hup_req)
+       with Invalid_argument _ -> ());
+      let rec wait () =
+        if !stop_req || Si_serve.Server.stopping srv then ()
+        else begin
+          if !hup_req then begin
+            hup_req := false;
+            match Si_serve.Server.reload srv with
+            | Ok gen ->
+                Printf.eprintf "si_tool: SIGHUP reload -> generation %d\n%!" gen
+            | Error e ->
+                Printf.eprintf "si_tool: SIGHUP reload failed: %s\n%!"
+                  (Si_core.Si_error.to_string e)
+          end;
+          (try Unix.sleepf 0.2
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          wait ()
+        end
+      in
+      wait ();
+      Si_serve.Server.stop srv;
+      let m = Si_serve.Server.metrics srv in
+      let up = Si_serve.Metrics.uptime_s m in
+      let queries = Si_serve.Metrics.queries m in
+      Printf.printf "shutdown complete: queries=%d qps=%.1f uptime_s=%.1f\n"
+        queries
+        (if up > 0. then float_of_int queries /. up else 0.)
+        up
+
+let serve prefix batch_file listen host workers accept_queue domains
+    cache_budget limits batch_deadline_ms quota_rps quota_burst brownout shed =
+  if domains < 1 then begin
+    Printf.eprintf "si_tool: --domains must be >= 1 (got %d)\n" domains;
+    exit 2
+  end;
+  match (batch_file, listen) with
+  | Some batch, None -> serve_batch prefix batch domains cache_budget limits
+  | None, Some port ->
+      serve_net prefix host port workers accept_queue cache_budget limits
+        batch_deadline_ms quota_rps quota_burst brownout shed
+  | Some _, Some _ ->
+      Printf.eprintf "si_tool: pass either --batch or --listen, not both\n";
+      exit 2
+  | None, None ->
+      Printf.eprintf "si_tool: serve needs --batch FILE or --listen PORT\n";
+      exit 2
+
 let serve_cmd =
   let batch_file =
-    Arg.(required & opt (some file) None & info [ "batch" ] ~docv:"FILE"
-           ~doc:"Query stream to evaluate (one query per line, # comments).")
+    Arg.(value & opt (some file) None & info [ "batch" ] ~docv:"FILE"
+           ~doc:"Offline mode: evaluate the query stream in FILE (one query \
+                 per line, # comments) and exit.")
+  in
+  let listen =
+    Arg.(value & opt (some int) None & info [ "listen" ] ~docv:"PORT"
+           ~doc:"Network mode: serve the newline-delimited wire protocol on \
+                 PORT (0 picks an ephemeral port) until SIGTERM or a \
+                 SHUTDOWN request; SIGHUP hot-swaps the index.")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+           ~doc:"Bind address for --listen.")
+  in
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains serving connections in --listen mode \
+                 (IO-bound, so not clamped to the core count).")
+  in
+  let accept_queue =
+    Arg.(value & opt int 64 & info [ "accept-queue" ] ~docv:"N"
+           ~doc:"Bounded accept-queue capacity; a full queue sheds new \
+                 connections with ERR overloaded instead of queueing.")
   in
   let domains =
     Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
-           ~doc:"Fan the stream across N OCaml domains over one shared \
-                 index handle (per-domain decode caches, no hot-path locks).")
+           ~doc:"Batch mode: fan the stream across N OCaml domains over one \
+                 shared index handle (clamped to the machine's recommended \
+                 domain count, with a warning).")
   in
   let cache_budget =
     Arg.(value & opt (some int) None & info [ "cache-budget" ] ~docv:"BYTES"
-           ~doc:"Per-domain decoded-block cache budget in bytes (default 64 MiB).")
+           ~doc:"Per-domain/worker decoded-block cache budget in bytes \
+                 (default 64 MiB).")
+  in
+  let batch_deadline_ms =
+    Arg.(value & opt (some float) None & info [ "batch-deadline-ms" ] ~docv:"MS"
+           ~doc:"Deadline for class=batch requests (--listen mode); they \
+                 inherit the interactive limits otherwise.")
+  in
+  let quota_rps =
+    Arg.(value & opt (some float) None & info [ "quota-rps" ] ~docv:"R"
+           ~doc:"Per-client admission quota: R requests/second (token \
+                 bucket), rejected with ERR quota_exceeded when spent.")
+  in
+  let quota_burst =
+    Arg.(value & opt float 8. & info [ "quota-burst" ] ~docv:"N"
+           ~doc:"Token-bucket capacity for --quota-rps.")
+  in
+  let brownout =
+    Arg.(value & opt (some int) None & info [ "brownout" ] ~docv:"N"
+           ~doc:"Above N in-flight queries, degrade admitted requests to \
+                 --partial with a tight deadline (brownout) instead of \
+                 letting latency grow.")
+  in
+  let shed =
+    Arg.(value & opt (some int) None & info [ "shed" ] ~docv:"N"
+           ~doc:"Above N in-flight queries, reject with ERR overloaded \
+                 (load shedding).")
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Throughput-evaluate a query stream: batch fan-out across domains \
-             with per-query latency and cache statistics.  Fault-isolated: \
-             a failing query poisons only its own answer slot.")
-    Term.(const serve $ prefix_arg $ batch_file $ domains $ cache_budget
-          $ limits_term)
+       ~doc:"Serve queries: --listen runs the long-lived network server \
+             (admission control, quotas, hot index swap via SWAP/SIGHUP, \
+             STATS/HEALTH); --batch throughput-evaluates a query file and \
+             exits.  Fault-isolated either way: a failing query poisons \
+             only its own answer.")
+    Term.(const serve $ prefix_arg $ batch_file $ listen $ host $ workers
+          $ accept_queue $ domains $ cache_budget $ limits_term
+          $ batch_deadline_ms $ quota_rps $ quota_burst $ brownout $ shed)
 
 (* ---- stats ------------------------------------------------------------- *)
 
-let stats prefix =
+(* --json emits the same "index" object the network server's STATS verb
+   returns (Si_serve.Metrics.index_json — one schema, two producers),
+   plus the offline-only histogram and cache sections. *)
+let stats_json prefix =
+  let si = ok_or_fail (Si_core.Si.open_ prefix) in
+  let open Si_serve.Jsonx in
+  let hist kvs = Arr (List.map (fun (a, b) -> Arr [ Int a; Int b ]) kvs) in
+  let cs = Si_core.Si.cache_stats si in
+  print_endline
+    (to_string
+       (Obj
+          [
+            ("index", Si_serve.Metrics.index_json si);
+            ( "posting_length_histogram",
+              hist (Si_core.Builder.length_histogram (Si_core.Si.index si)) );
+            ( "block_histogram",
+              hist (Si_core.Builder.block_histogram (Si_core.Si.index si)) );
+            ( "cache",
+              Obj
+                [
+                  ("budget", Int cs.Si_core.Cache.budget);
+                  ("hits", Int cs.Si_core.Cache.hits);
+                  ("misses", Int cs.Si_core.Cache.misses);
+                  ("evictions", Int cs.Si_core.Cache.evictions);
+                  ("resident", Int cs.Si_core.Cache.resident);
+                  ("entries", Int cs.Si_core.Cache.entries);
+                ] );
+          ]))
+
+let stats prefix json =
+  if json then stats_json prefix
+  else begin
   let si = ok_or_fail (Si_core.Si.open_ prefix) in
   let s = Si_core.Si.stats si in
   Printf.printf "scheme=%s mss=%d trees=%d nodes=%d keys=%d postings=%d idx_bytes=%d\n"
@@ -377,11 +555,17 @@ let stats prefix =
     "cache budget=%d hits=%d misses=%d evictions=%d resident=%d entries=%d\n"
     cs.Si_core.Cache.budget cs.Si_core.Cache.hits cs.Si_core.Cache.misses
     cs.Si_core.Cache.evictions cs.Si_core.Cache.resident cs.Si_core.Cache.entries
+  end
 
 let stats_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit one line of JSON; the \"index\" object is \
+                 byte-compatible with the network server's STATS verb.")
+  in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print statistics of a built index.")
-    Term.(const stats $ prefix_arg)
+    Term.(const stats $ prefix_arg $ json)
 
 (* ---- failpoints --------------------------------------------------------- *)
 

@@ -179,4 +179,8 @@ let known =
     ("builder.decode-block", "decoding one posting block");
     ("cursor.decode", "a cursor decoding its current block");
     ("cursor.seek", "a cursor skip-table seek");
+    ("serve.accept", "a connection accepted, before it is enqueued");
+    ("serve.parse", "a request line read, before it is parsed");
+    ("serve.swap.open", "a SWAP/SIGHUP about to open the new index set");
+    ("serve.swap.flip", "the new index opened, before the generation flip");
   ]

@@ -197,6 +197,7 @@ let outcome_with ~cache ?limits t s =
   | Error e -> Error (Si_error.Bad_query e)
 
 let query_outcome ?limits t s = outcome_with ~cache:t.cache ?limits t s
+let query_outcome_cached ~cache ?limits t s = outcome_with ~cache ?limits t s
 
 let query_with ~cache ?limits t s =
   Result.map (fun (o : Limits.outcome) -> o.Limits.matches)
@@ -242,6 +243,19 @@ let slot_sentinel =
    sentinel and is reported in its [domain_stat.died], never by rethrow. *)
 let query_batch ?(domains = 1) ?cache_budget ?limits t queries =
   if domains < 1 then invalid_arg "Si.query_batch: domains must be >= 1";
+  (* CPU-bound fan-out: more workers than cores is strictly slower (the
+     1-core container measures --domains 2 losing to 1, EXPERIMENTS.md),
+     so clamp and say so rather than silently oversubscribing *)
+  let domains =
+    let cores = Domain.recommended_domain_count () in
+    if domains > cores then begin
+      Printf.eprintf
+        "si: clamping batch domains %d -> %d (recommended_domain_count)\n%!"
+        domains cores;
+      cores
+    end
+    else domains
+  in
   let n = Array.length queries in
   let answers = Array.make n slot_sentinel in
   let latencies = Array.make n 0. in

@@ -69,6 +69,22 @@ val query_outcome :
     tells whether the match list is exact or a degraded prefix (see
     {!Eval.run_outcome} for the contract). *)
 
+val query_outcome_cached :
+  cache:Cursor.cache ->
+  ?limits:Limits.t ->
+  t ->
+  string ->
+  (Limits.outcome, Si_error.t) result
+(** {!query_outcome} evaluating through the caller's decoded-block cache
+    instead of the handle's own.  This is the concurrent-serving entry
+    point: the handle's packed index and corpus are read-only on this
+    path, so any number of domains may evaluate over one shared handle as
+    long as each brings its own cache ({!Cache.t} is not thread-safe).
+    The long-lived network server gives every worker domain one cache per
+    index generation — a cache must never outlive the handle it decoded
+    from, since keys are (index key, block) pairs that could collide
+    across generations. *)
+
 val query_ast :
   ?limits:Limits.t -> t -> Si_query.Ast.t -> ((int * int) list, Si_error.t) result
 
@@ -99,6 +115,12 @@ val query_batch :
     read-only, each domain evaluates through its own decoded-block cache
     ([cache_budget] bytes each), and result slots are disjoint.  [limits]
     governs every query individually (each gets a fresh gauge).
+
+    [domains] is clamped to [Domain.recommended_domain_count ()] with a
+    one-line warning on stderr: spawning more CPU-bound workers than
+    cores is strictly slower (EXPERIMENTS.md measures it), so asking for
+    more is treated as a misconfiguration, not honoured.  The clamped
+    width is observable as [Array.length batch.domain_stats].
 
     Fault-isolated: an exception escaping one evaluation becomes
     [Error (Internal _)] in that slot only; a worker domain that dies or

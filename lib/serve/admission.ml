@@ -1,0 +1,93 @@
+open Si_core
+
+type config = {
+  interactive : Limits.t;
+  batch : Limits.t;
+  quota_rps : float option;
+  quota_burst : float;
+  brownout_inflight : int option;
+  shed_inflight : int option;
+  brownout_deadline_ns : int;
+}
+
+let default_config =
+  {
+    interactive = Limits.none;
+    batch = Limits.none;
+    quota_rps = None;
+    quota_burst = 8.;
+    brownout_inflight = None;
+    shed_inflight = None;
+    brownout_deadline_ns = 50_000_000;
+  }
+
+type bucket = { mutable tokens : float; mutable last_ns : int }
+
+type t = {
+  cfg : config;
+  lock : Mutex.t;
+  buckets : (string, bucket) Hashtbl.t;
+}
+
+(* a hostile client-id stream must not grow the bucket table unboundedly;
+   past this many distinct clients the table resets (full buckets for
+   everyone — brief over-admission, bounded memory) *)
+let max_clients = 8192
+
+let create cfg = { cfg; lock = Mutex.create (); buckets = Hashtbl.create 64 }
+let config t = t.cfg
+
+let take_token t client =
+  match t.cfg.quota_rps with
+  | None -> true
+  | Some rps ->
+      Mutex.protect t.lock (fun () ->
+          if Hashtbl.length t.buckets > max_clients then Hashtbl.reset t.buckets;
+          let now = Monotonic.now_ns () in
+          let b =
+            match Hashtbl.find_opt t.buckets client with
+            | Some b -> b
+            | None ->
+                let b = { tokens = t.cfg.quota_burst; last_ns = now } in
+                Hashtbl.add t.buckets client b;
+                b
+          in
+          let dt = float_of_int (now - b.last_ns) /. 1e9 in
+          b.tokens <- Float.min t.cfg.quota_burst (b.tokens +. (dt *. rps));
+          b.last_ns <- now;
+          if b.tokens >= 1. then begin
+            b.tokens <- b.tokens -. 1.;
+            true
+          end
+          else false)
+
+type verdict =
+  | Admit of Limits.t * bool
+  | Reject_quota
+  | Reject_overloaded
+
+let admit t ~client ~inflight (opts : Protocol.query_opts) =
+  if not (take_token t client) then Reject_quota
+  else
+    match t.cfg.shed_inflight with
+    | Some shed when inflight > shed -> Reject_overloaded
+    | _ ->
+        let default =
+          match opts.Protocol.klass with
+          | `Interactive -> t.cfg.interactive
+          | `Batch -> t.cfg.batch
+        in
+        let limits = Protocol.limits_of_opts ~default opts in
+        let browned =
+          match t.cfg.brownout_inflight with
+          | Some b -> inflight > b
+          | None -> false
+        in
+        if not browned then Admit (limits, false)
+        else
+          let deadline_ns =
+            match limits.Limits.deadline_ns with
+            | Some d -> Some (min d t.cfg.brownout_deadline_ns)
+            | None -> Some t.cfg.brownout_deadline_ns
+          in
+          Admit ({ limits with Limits.deadline_ns; partial = true }, true)

@@ -1,0 +1,56 @@
+(** Admission control: deadline/budget classes, per-client quotas, and
+    load shedding (DESIGN.md §11).
+
+    Policy, in admission order:
+
+    + {b Quota} — each client id (the [client=] request option, defaulting
+      to the peer address) draws from its own token bucket
+      ([quota_rps] tokens/s, capacity [quota_burst]); an empty bucket
+      rejects with [quota_exceeded] before any work is done.
+    + {b Shedding} — with the admitted query counted, an in-flight total
+      above [shed_inflight] rejects with [overloaded]: under pressure the
+      server answers cheaply and immediately instead of queueing
+      unboundedly.
+    + {b Brownout} — between [brownout_inflight] and the shed threshold,
+      the query is admitted but degraded: [partial] is forced on and the
+      deadline is clamped to [brownout_deadline_ns], so answers get
+      truncated-but-useful instead of slow ({!Si_core.Limits} degradation
+      contract — a truncated answer is a subset of the exact one, never
+      wrong).
+    + {b Classes} — the request's [class=] picks its {!Si_core.Limits}
+      defaults: [interactive] (tight deadline) or [batch] (looser);
+      per-request options override fields individually.
+
+    Admission never blocks: every path is a few mutex-guarded loads, so
+    the accept/parse loop stays responsive under overload. *)
+
+type config = {
+  interactive : Si_core.Limits.t;  (** class default limits *)
+  batch : Si_core.Limits.t;
+  quota_rps : float option;  (** tokens per second per client; [None] = off *)
+  quota_burst : float;  (** bucket capacity (also the initial fill) *)
+  brownout_inflight : int option;  (** degrade above this many in-flight *)
+  shed_inflight : int option;  (** reject above this many in-flight *)
+  brownout_deadline_ns : int;  (** deadline forced while browned out *)
+}
+
+val default_config : config
+(** No quotas, no thresholds (admit everything exactly as asked),
+    classes [Limits.none] / [Limits.none], 50 ms brownout deadline. *)
+
+type t
+
+val create : config -> t
+
+type verdict =
+  | Admit of Si_core.Limits.t * bool
+      (** effective limits, and whether brownout degraded them *)
+  | Reject_quota
+  | Reject_overloaded
+
+val admit :
+  t -> client:string -> inflight:int -> Protocol.query_opts -> verdict
+(** [inflight] is the in-flight count {e including} the candidate (the
+    value {!Metrics.inflight_enter} returned). *)
+
+val config : t -> config

@@ -1,0 +1,21 @@
+(** Minimal JSON value and single-line emitter.
+
+    One machine-readable schema is shared by [si_tool stats --json] and
+    the server's [STATS] verb ({!Metrics}); this module is the common
+    rendering.  Emission only — the repo has no JSON consumer, and CI
+    validates the output with Python. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering.  Strings are escaped per RFC 8259;
+    floats that lost nothing to rounding print as shortest round-trip
+    ([%.17g] fallback), NaN/infinity as [null] (JSON has no spelling for
+    them). *)

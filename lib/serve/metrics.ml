@@ -1,0 +1,170 @@
+open Si_core
+
+let ring_size = 4096
+
+type t = {
+  lock : Mutex.t;
+  started_ns : int;
+  mutable conns_accepted : int;
+  mutable conns_closed : int;
+  mutable requests : int;
+  mutable bad_requests : int;
+  mutable queries_ok : int;
+  mutable queries_err : int;
+  mutable truncated : int;
+  mutable shed : int;
+  mutable quota_rejected : int;
+  mutable browned : int;
+  mutable swaps : int;
+  mutable swap_failures : int;
+  mutable inflight : int;
+  ring : float array;  (* last [ring_size] query latencies, ns *)
+  mutable ring_len : int;
+  mutable ring_pos : int;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    started_ns = Monotonic.now_ns ();
+    conns_accepted = 0;
+    conns_closed = 0;
+    requests = 0;
+    bad_requests = 0;
+    queries_ok = 0;
+    queries_err = 0;
+    truncated = 0;
+    shed = 0;
+    quota_rejected = 0;
+    browned = 0;
+    swaps = 0;
+    swap_failures = 0;
+    inflight = 0;
+    ring = Array.make ring_size 0.;
+    ring_len = 0;
+    ring_pos = 0;
+  }
+
+type counter =
+  [ `Conn_accepted
+  | `Conn_closed
+  | `Request
+  | `Bad_request
+  | `Shed
+  | `Quota
+  | `Browned
+  | `Swap
+  | `Swap_failure ]
+
+let bump t c =
+  Mutex.protect t.lock (fun () ->
+      match c with
+      | `Conn_accepted -> t.conns_accepted <- t.conns_accepted + 1
+      | `Conn_closed -> t.conns_closed <- t.conns_closed + 1
+      | `Request -> t.requests <- t.requests + 1
+      | `Bad_request -> t.bad_requests <- t.bad_requests + 1
+      | `Shed -> t.shed <- t.shed + 1
+      | `Quota -> t.quota_rejected <- t.quota_rejected + 1
+      | `Browned -> t.browned <- t.browned + 1
+      | `Swap -> t.swaps <- t.swaps + 1
+      | `Swap_failure -> t.swap_failures <- t.swap_failures + 1)
+
+let query_done t ~ok ~truncated ~latency_ns =
+  Mutex.protect t.lock (fun () ->
+      if ok then t.queries_ok <- t.queries_ok + 1
+      else t.queries_err <- t.queries_err + 1;
+      if truncated then t.truncated <- t.truncated + 1;
+      t.ring.(t.ring_pos) <- latency_ns;
+      t.ring_pos <- (t.ring_pos + 1) mod ring_size;
+      if t.ring_len < ring_size then t.ring_len <- t.ring_len + 1)
+
+let inflight_enter t =
+  Mutex.protect t.lock (fun () ->
+      t.inflight <- t.inflight + 1;
+      t.inflight)
+
+let inflight_exit t =
+  Mutex.protect t.lock (fun () -> t.inflight <- t.inflight - 1)
+
+let inflight t = Mutex.protect t.lock (fun () -> t.inflight)
+
+let uptime_s t = Monotonic.elapsed_s t.started_ns
+
+let queries t =
+  Mutex.protect t.lock (fun () -> t.queries_ok + t.queries_err)
+
+(* nearest-rank on a sorted snapshot — same estimator si_tool's offline
+   serve report uses *)
+let quantile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+
+let serving_json t ~gen ~prefix ~draining ~workers =
+  let snap =
+    Mutex.protect t.lock (fun () ->
+        (Array.sub t.ring 0 t.ring_len, { t with lock = t.lock }))
+  in
+  let lat, c = snap in
+  Array.sort compare lat;
+  let up = uptime_s t in
+  let evaluated = c.queries_ok + c.queries_err in
+  Jsonx.Obj
+    [
+      ("uptime_s", Jsonx.Float up);
+      ("qps", Jsonx.Float (if up > 0. then float_of_int evaluated /. up else 0.));
+      ("inflight", Jsonx.Int c.inflight);
+      ("draining", Jsonx.Bool draining);
+      ( "conns",
+        Jsonx.Obj
+          [
+            ("accepted", Jsonx.Int c.conns_accepted);
+            ("open", Jsonx.Int (c.conns_accepted - c.conns_closed));
+          ] );
+      ("requests", Jsonx.Int c.requests);
+      ( "queries",
+        Jsonx.Obj
+          [
+            ("ok", Jsonx.Int c.queries_ok);
+            ("error", Jsonx.Int c.queries_err);
+            ("truncated", Jsonx.Int c.truncated);
+            ("browned_out", Jsonx.Int c.browned);
+          ] );
+      ( "rejected",
+        Jsonx.Obj
+          [
+            ("overloaded", Jsonx.Int c.shed);
+            ("quota", Jsonx.Int c.quota_rejected);
+            ("bad_request", Jsonx.Int c.bad_requests);
+          ] );
+      ( "swap",
+        Jsonx.Obj
+          [
+            ("generation", Jsonx.Int gen);
+            ("prefix", Jsonx.Str prefix);
+            ("completed", Jsonx.Int c.swaps);
+            ("failed", Jsonx.Int c.swap_failures);
+          ] );
+      ( "latency_ns",
+        Jsonx.Obj
+          [
+            ("samples", Jsonx.Int (Array.length lat));
+            ("p50", Jsonx.Float (quantile lat 0.50));
+            ("p95", Jsonx.Float (quantile lat 0.95));
+            ("p99", Jsonx.Float (quantile lat 0.99));
+          ] );
+      ("workers", Jsonx.Arr workers);
+    ]
+
+let index_json si =
+  let s = Si.stats si in
+  Jsonx.Obj
+    [
+      ("scheme", Jsonx.Str (Coding.scheme_to_string (Si.scheme si)));
+      ("mss", Jsonx.Int (Si.mss si));
+      ("trees", Jsonx.Int s.Builder.trees);
+      ("nodes", Jsonx.Int s.Builder.nodes);
+      ("keys", Jsonx.Int s.Builder.keys);
+      ("postings", Jsonx.Int s.Builder.postings);
+      ("idx_bytes", Jsonx.Int s.Builder.bytes);
+    ]

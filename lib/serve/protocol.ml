@@ -1,0 +1,145 @@
+type query_opts = {
+  deadline_ms : float option;
+  max_steps : int option;
+  max_decoded_bytes : int option;
+  max_results : int option;
+  partial : bool option;
+  klass : [ `Interactive | `Batch ];
+  client : string option;
+  count_only : bool;
+}
+
+type request =
+  | Query of string * query_opts
+  | Stats
+  | Health
+  | Swap of string
+  | Quit
+  | Shutdown
+
+let default_opts =
+  {
+    deadline_ms = None;
+    max_steps = None;
+    max_decoded_bytes = None;
+    max_results = None;
+    partial = None;
+    klass = `Interactive;
+    client = None;
+    count_only = false;
+  }
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+let opt_int what v =
+  match int_of_string_opt v with
+  | Some n when n >= 0 -> Ok n
+  | _ -> Error (Printf.sprintf "option %s wants a non-negative integer, got %S" what v)
+
+let opt_bool what v =
+  match v with
+  | "0" | "false" -> Ok false
+  | "1" | "true" -> Ok true
+  | _ -> Error (Printf.sprintf "option %s wants 0|1, got %S" what v)
+
+let parse_opt opts tok =
+  match String.index_opt tok '=' with
+  | None -> Error (Printf.sprintf "malformed option %S (want k=v)" tok)
+  | Some i -> (
+      let k = String.sub tok 0 i in
+      let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+      match k with
+      | "deadline_ms" -> (
+          match float_of_string_opt v with
+          | Some f when f >= 0. -> Ok { opts with deadline_ms = Some f }
+          | _ -> Error (Printf.sprintf "option deadline_ms wants a number, got %S" v))
+      | "max_steps" ->
+          Result.map (fun n -> { opts with max_steps = Some n }) (opt_int k v)
+      | "max_decoded_bytes" ->
+          Result.map (fun n -> { opts with max_decoded_bytes = Some n }) (opt_int k v)
+      | "max_results" ->
+          Result.map (fun n -> { opts with max_results = Some n }) (opt_int k v)
+      | "partial" ->
+          Result.map (fun b -> { opts with partial = Some b }) (opt_bool k v)
+      | "count_only" ->
+          Result.map (fun b -> { opts with count_only = b }) (opt_bool k v)
+      | "client" ->
+          if v = "" then Error "option client wants a non-empty id"
+          else Ok { opts with client = Some v }
+      | "class" -> (
+          match v with
+          | "interactive" -> Ok { opts with klass = `Interactive }
+          | "batch" -> Ok { opts with klass = `Batch }
+          | _ -> Error (Printf.sprintf "unknown class %S (want interactive|batch)" v))
+      | _ -> Error (Printf.sprintf "unknown option %S" k))
+
+let parse line =
+  match tokens line with
+  | [] -> Error "empty request"
+  | verb :: rest -> (
+      match (String.uppercase_ascii verb, rest) with
+      | "QUERY", pattern :: opts ->
+          let rec fold acc = function
+            | [] -> Ok (Query (pattern, acc))
+            | tok :: rest -> (
+                match parse_opt acc tok with
+                | Ok acc -> fold acc rest
+                | Error _ as e -> e)
+          in
+          fold default_opts opts
+      | "QUERY", [] -> Error "QUERY wants a pattern"
+      | "STATS", [] -> Ok Stats
+      | "HEALTH", [] -> Ok Health
+      | "SWAP", [ prefix ] -> Ok (Swap prefix)
+      | "SWAP", _ -> Error "SWAP wants exactly one index prefix"
+      | "QUIT", [] -> Ok Quit
+      | "SHUTDOWN", [] -> Ok Shutdown
+      | ("STATS" | "HEALTH" | "QUIT" | "SHUTDOWN"), _ :: _ ->
+          Error (Printf.sprintf "%s takes no arguments" (String.uppercase_ascii verb))
+      | v, _ -> Error (Printf.sprintf "unknown verb %S" v))
+
+let limits_of_opts ~default:(d : Si_core.Limits.t) o =
+  let pick over inherit_ = match over with Some _ as s -> s | None -> inherit_ in
+  Si_core.Limits.
+    {
+      deadline_ns =
+        pick
+          (Option.map (fun ms -> int_of_float (ms *. 1e6)) o.deadline_ms)
+          d.deadline_ns;
+      max_decoded_bytes = pick o.max_decoded_bytes d.max_decoded_bytes;
+      max_join_steps = pick o.max_steps d.max_join_steps;
+      max_results = pick o.max_results d.max_results;
+      partial = Option.value o.partial ~default:d.partial;
+    }
+
+(* ---- responses ---------------------------------------------------------- *)
+
+let ok_query ~n ~truncated ~gen ~us =
+  Printf.sprintf "OK n=%d truncated=%d gen=%d us=%.1f\n" n
+    (if truncated then 1 else 0)
+    gen us
+
+let match_line buf (tid, node) =
+  Buffer.add_char buf 'M';
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (string_of_int tid);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (string_of_int node);
+  Buffer.add_char buf '\n'
+
+let terminator = ".\n"
+
+let err_code : Si_core.Si_error.t -> string = function
+  | Corrupt _ -> "corrupt"
+  | Io _ -> "io"
+  | Bad_query _ -> "bad_query"
+  | Schema_mismatch _ -> "schema_mismatch"
+  | Timeout _ -> "timeout"
+  | Resource_exhausted _ -> "resource_exhausted"
+  | Internal _ -> "internal"
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let err ~code detail = Printf.sprintf "ERR %s %s\n" code (one_line detail)

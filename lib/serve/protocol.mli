@@ -1,0 +1,75 @@
+(** The wire protocol of the network serving layer (DESIGN.md §11).
+
+    Newline-delimited text, one request per line, ASCII verbs.  Query
+    patterns contain no whitespace (the Penn-style pattern grammar), so a
+    request line splits on spaces unambiguously:
+
+    {v
+    QUERY <pattern> [k=v ...]      evaluate; options override the
+                                   server's per-class defaults
+    STATS                          one-line JSON (the stats --json schema)
+    HEALTH                         one-line key=value liveness summary
+    SWAP <prefix>                  hot-swap to the index at <prefix>
+    QUIT                           close this connection
+    SHUTDOWN                       begin graceful server drain
+    v}
+
+    [QUERY] options: [deadline_ms=F], [max_steps=N],
+    [max_decoded_bytes=N], [max_results=N], [partial=0|1],
+    [class=interactive|batch], [client=ID] (admission quota key),
+    [count_only=0|1] (suppress the match body).
+
+    Responses: [QUERY] answers with a status line
+    [OK n=<matches> truncated=<0|1> gen=<generation> us=<latency>]
+    followed by [n] lines [M <tid> <node>] (unless [count_only=1]) and a
+    lone [.] terminator.  Every other verb answers with a single line —
+    [OK ...] or [ERR <code> <detail>]; error codes are the
+    {!Si_error.t} taxonomy plus the admission outcomes ([overloaded],
+    [quota_exceeded], [shutting_down], [bad_request]). *)
+
+type query_opts = {
+  deadline_ms : float option;
+  max_steps : int option;
+  max_decoded_bytes : int option;
+  max_results : int option;
+  partial : bool option;  (** [None]: inherit the class default *)
+  klass : [ `Interactive | `Batch ];
+  client : string option;  (** quota key; default: the peer address *)
+  count_only : bool;
+}
+
+type request =
+  | Query of string * query_opts  (** pattern, options *)
+  | Stats
+  | Health
+  | Swap of string  (** index prefix to open *)
+  | Quit
+  | Shutdown
+
+val parse : string -> (request, string) result
+(** Parse one request line (without its terminating newline).  [Error]
+    carries a human-readable reason, answered as [ERR bad_request _]. *)
+
+val limits_of_opts :
+  default:Si_core.Limits.t -> query_opts -> Si_core.Limits.t
+(** The effective per-request limits: each option overrides its field of
+    the class default; unset options inherit. *)
+
+(** {1 Response rendering} — every writer below emits the trailing
+    newline itself. *)
+
+val ok_query :
+  n:int -> truncated:bool -> gen:int -> us:float -> string
+(** The [QUERY] status line. *)
+
+val match_line : Buffer.t -> int * int -> unit
+(** Append one [M <tid> <node>] body line. *)
+
+val terminator : string
+(** The body terminator line ["."]. *)
+
+val err_code : Si_core.Si_error.t -> string
+(** The wire code of a typed error ([bad_query], [timeout], ...). *)
+
+val err : code:string -> string -> string
+(** [ERR <code> <detail>] — [detail] is flattened to one line. *)

@@ -1,0 +1,448 @@
+open Si_core
+
+type config = {
+  prefix : string;
+  host : string;
+  port : int;
+  workers : int;
+  accept_queue : int;
+  cache_budget : int option;
+  admission : Admission.config;
+  idle_tick_s : float;
+}
+
+let default_config ~prefix =
+  {
+    prefix;
+    host = "127.0.0.1";
+    port = 0;
+    workers = 2;
+    accept_queue = 64;
+    cache_budget = None;
+    admission = Admission.default_config;
+    idle_tick_s = 0.2;
+  }
+
+(* per-worker counters, written by the owning worker only; STATS reads
+   them racily from another domain — individual fields are plain words,
+   so a read is at worst slightly stale, never torn across a field *)
+type wstat = {
+  mutable w_queries : int;
+  mutable w_errors : int;
+  mutable w_busy_ns : int;
+  mutable w_cache : Cache.stats;
+}
+
+type t = {
+  cfg : config;
+  lsock : Unix.file_descr;
+  bound_port : int;
+  sw : Swap.t;
+  adm : Admission.t;
+  m : Metrics.t;
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  queue : (Unix.file_descr * string) Queue.t;  (* fd, peer address *)
+  mutable stop_flag : bool;
+  wstats : wstat array;
+  mutable domains : unit Domain.t list;
+}
+
+let port t = t.bound_port
+let metrics t = t.m
+
+let stopping t = Mutex.protect t.qlock (fun () -> t.stop_flag)
+
+let begin_shutdown t =
+  Mutex.protect t.qlock (fun () ->
+      t.stop_flag <- true;
+      Condition.broadcast t.qcond)
+
+let swap t prefix =
+  match Swap.swap t.sw ?cache_budget:t.cfg.cache_budget prefix with
+  | Ok _ as ok ->
+      Metrics.bump t.m `Swap;
+      ok
+  | Error _ as e ->
+      Metrics.bump t.m `Swap_failure;
+      e
+
+let reload t = swap t (Swap.current_prefix t.sw)
+
+(* ---- connection plumbing ------------------------------------------------ *)
+
+(* the peer vanished (reset, broken pipe, runaway line): abandon the
+   connection, never the worker *)
+exception Conn_lost
+
+let max_line = 1 lsl 16
+
+let write_all fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    match Unix.write_substring fd s !pos (len - !pos) with
+    | 0 -> raise Conn_lost
+    | n -> pos := !pos + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        raise Conn_lost
+  done
+
+(* Read one LF-terminated line, polling at [tick] so a drain closes idle
+   connections promptly.  [None] on EOF or drain.  A CR before the LF is
+   stripped (telnet-friendly). *)
+let read_line t fd pending =
+  let chunk = Bytes.create 4096 in
+  let take i =
+    let line = String.sub !pending 0 i in
+    pending := String.sub !pending (i + 1) (String.length !pending - i - 1);
+    let line =
+      if line <> "" && line.[String.length line - 1] = '\r' then
+        String.sub line 0 (String.length line - 1)
+      else line
+    in
+    Some line
+  in
+  let rec go () =
+    match String.index_opt !pending '\n' with
+    | Some i -> take i
+    | None ->
+        if stopping t then None
+        else if String.length !pending > max_line then raise Conn_lost
+        else begin
+          match Unix.select [ fd ] [] [] t.cfg.idle_tick_s with
+          | [], _, _ -> go ()
+          | _ -> (
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> None
+              | n ->
+                  pending := !pending ^ Bytes.sub_string chunk 0 n;
+                  go ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+              | exception
+                  Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+                  None)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        end
+  in
+  go ()
+
+(* ---- request handling --------------------------------------------------- *)
+
+let handle_query t (ws : wstat) cache_ref fd peer pattern
+    (opts : Protocol.query_opts) =
+  let client = Option.value opts.Protocol.client ~default:peer in
+  let inflight = Metrics.inflight_enter t.m in
+  let finish_rejected counter code detail =
+    Metrics.inflight_exit t.m;
+    Metrics.bump t.m counter;
+    write_all fd (Protocol.err ~code detail)
+  in
+  match Admission.admit t.adm ~client ~inflight opts with
+  | Reject_quota ->
+      finish_rejected `Quota "quota_exceeded"
+        (Printf.sprintf "client %s is over its request quota" client)
+  | Reject_overloaded ->
+      finish_rejected `Shed "overloaded" "server is shedding load, retry later"
+  | Admit (limits, browned) ->
+      if browned then Metrics.bump t.m `Browned;
+      let g = Swap.acquire t.sw in
+      Fun.protect
+        ~finally:(fun () ->
+          Swap.release t.sw g;
+          Metrics.inflight_exit t.m)
+        (fun () ->
+          (* decoded blocks are keyed per index: a swap invalidates the
+             worker's cache wholesale (generation id carried alongside) *)
+          let cache =
+            match !cache_ref with
+            | Some (gid, c) when gid = Swap.gen_id g -> c
+            | _ ->
+                let c = Cursor.create_cache ?budget:t.cfg.cache_budget () in
+                cache_ref := Some (Swap.gen_id g, c);
+                c
+          in
+          let t0 = Monotonic.now_ns () in
+          let r = Si.query_outcome_cached ~cache ~limits (Swap.si g) pattern in
+          let dt = Monotonic.now_ns () - t0 in
+          ws.w_queries <- ws.w_queries + 1;
+          ws.w_busy_ns <- ws.w_busy_ns + dt;
+          ws.w_cache <- Cache.stats cache;
+          match r with
+          | Ok o ->
+              Metrics.query_done t.m ~ok:true ~truncated:o.Limits.truncated
+                ~latency_ns:(float_of_int dt);
+              let matches = o.Limits.matches in
+              let buf = Buffer.create 256 in
+              Buffer.add_string buf
+                (Protocol.ok_query
+                   ~n:(List.length matches)
+                   ~truncated:o.Limits.truncated ~gen:(Swap.gen_id g)
+                   ~us:(float_of_int dt /. 1e3));
+              if not opts.Protocol.count_only then
+                List.iter (Protocol.match_line buf) matches;
+              Buffer.add_string buf Protocol.terminator;
+              write_all fd (Buffer.contents buf)
+          | Error e ->
+              ws.w_errors <- ws.w_errors + 1;
+              Metrics.query_done t.m ~ok:false ~truncated:false
+                ~latency_ns:(float_of_int dt);
+              write_all fd
+                (Protocol.err ~code:(Protocol.err_code e)
+                   (Si_error.to_string e)))
+
+let worker_json t =
+  Array.to_list
+    (Array.mapi
+       (fun i ws ->
+         let c = ws.w_cache in
+         Jsonx.Obj
+           [
+             ("worker", Jsonx.Int i);
+             ("queries", Jsonx.Int ws.w_queries);
+             ("errors", Jsonx.Int ws.w_errors);
+             ("busy_ms", Jsonx.Float (float_of_int ws.w_busy_ns /. 1e6));
+             ( "cache",
+               Jsonx.Obj
+                 [
+                   ("hits", Jsonx.Int c.Cache.hits);
+                   ("misses", Jsonx.Int c.Cache.misses);
+                   ("evictions", Jsonx.Int c.Cache.evictions);
+                   ("resident", Jsonx.Int c.Cache.resident);
+                   ("entries", Jsonx.Int c.Cache.entries);
+                 ] );
+           ])
+       t.wstats)
+
+let stats_json t =
+  let g = Swap.acquire t.sw in
+  Fun.protect
+    ~finally:(fun () -> Swap.release t.sw g)
+    (fun () ->
+      Jsonx.Obj
+        [
+          ("index", Metrics.index_json (Swap.si g));
+          ( "serving",
+            Metrics.serving_json t.m ~gen:(Swap.gen_id g)
+              ~prefix:(Swap.current_prefix t.sw) ~draining:(stopping t)
+              ~workers:(worker_json t) );
+        ])
+
+let handle_request t ws cache_ref fd peer line =
+  Metrics.bump t.m `Request;
+  match
+    Si_error.guard (fun () -> Failpoint.hit "serve.parse")
+  with
+  | Error e ->
+      write_all fd (Protocol.err ~code:(Protocol.err_code e) (Si_error.to_string e));
+      `Continue
+  | exception Sys_error what ->
+      write_all fd (Protocol.err ~code:"io" what);
+      `Continue
+  | Ok () -> (
+      match Protocol.parse line with
+      | Error reason ->
+          Metrics.bump t.m `Bad_request;
+          write_all fd (Protocol.err ~code:"bad_request" reason);
+          `Continue
+      | Ok (Query (pattern, opts)) ->
+          if stopping t then
+            write_all fd
+              (Protocol.err ~code:"shutting_down" "server is draining")
+          else handle_query t ws cache_ref fd peer pattern opts;
+          `Continue
+      | Ok Stats ->
+          write_all fd ("OK " ^ Jsonx.to_string (stats_json t) ^ "\n");
+          `Continue
+      | Ok Health ->
+          write_all fd
+            (Printf.sprintf "OK gen=%d uptime_s=%.1f inflight=%d draining=%d\n"
+               (Swap.current_id t.sw) (Metrics.uptime_s t.m)
+               (Metrics.inflight t.m)
+               (if stopping t then 1 else 0));
+          `Continue
+      | Ok (Swap prefix) ->
+          (match swap t prefix with
+          | Ok gen ->
+              write_all fd (Printf.sprintf "OK gen=%d prefix=%s\n" gen prefix)
+          | Error e ->
+              write_all fd
+                (Protocol.err ~code:(Protocol.err_code e) (Si_error.to_string e)));
+          `Continue
+      | Ok Quit ->
+          write_all fd "OK bye\n";
+          `Close
+      | Ok Shutdown ->
+          write_all fd "OK draining\n";
+          begin_shutdown t;
+          `Continue)
+
+let handle_conn t ws fd peer =
+  let pending = ref "" in
+  let cache_ref = ref None in
+  let rec loop () =
+    match read_line t fd pending with
+    | None -> ()
+    | Some line -> (
+        match handle_request t ws cache_ref fd peer line with
+        | `Continue -> loop ()
+        | `Close -> ())
+  in
+  (try loop () with
+  | Conn_lost -> ()
+  | Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Metrics.bump t.m `Conn_closed
+
+(* ---- the domains -------------------------------------------------------- *)
+
+let worker_loop t i =
+  let ws = t.wstats.(i) in
+  let pop () =
+    Mutex.protect t.qlock (fun () ->
+        let rec wait () =
+          if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+          else if t.stop_flag then None
+          else begin
+            Condition.wait t.qcond t.qlock;
+            wait ()
+          end
+        in
+        wait ())
+  in
+  let rec go () =
+    match pop () with
+    | None -> ()
+    | Some (fd, peer) ->
+        handle_conn t ws fd peer;
+        go ()
+  in
+  go ()
+
+let acceptor_loop t =
+  let rec go () =
+    if stopping t then ()
+    else begin
+      (match Unix.select [ t.lsock ] [] [] t.cfg.idle_tick_s with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept t.lsock with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | fd, addr -> (
+              let peer =
+                match addr with
+                | Unix.ADDR_INET (a, _) -> Unix.string_of_inet_addr a
+                | Unix.ADDR_UNIX p -> p
+              in
+              Metrics.bump t.m `Conn_accepted;
+              match Si_error.guard (fun () -> Failpoint.hit "serve.accept") with
+              | Error _ | (exception Sys_error _) ->
+                  (* injected accept fault: this connection is refused,
+                     the acceptor lives on *)
+                  (try Unix.close fd with Unix.Unix_error _ -> ());
+                  Metrics.bump t.m `Conn_closed
+              | Ok () ->
+                  let enqueued =
+                    Mutex.protect t.qlock (fun () ->
+                        if
+                          Queue.length t.queue >= t.cfg.accept_queue
+                          || t.stop_flag
+                        then false
+                        else begin
+                          Queue.push (fd, peer) t.queue;
+                          Condition.signal t.qcond;
+                          true
+                        end)
+                  in
+                  if not enqueued then begin
+                    (* bounded queue is full: shed at the door with a
+                       cheap, immediate answer instead of queueing *)
+                    Metrics.bump t.m `Shed;
+                    Unix.set_nonblock fd;
+                    (try
+                       ignore
+                         (Unix.write_substring fd
+                            "ERR overloaded accept queue full\n" 0 33)
+                     with Unix.Unix_error _ -> ());
+                    (try Unix.close fd with Unix.Unix_error _ -> ());
+                    Metrics.bump t.m `Conn_closed
+                  end))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ()
+    end
+  in
+  go ();
+  (try Unix.close t.lsock with Unix.Unix_error _ -> ());
+  (* wake any worker still parked on an empty queue *)
+  Mutex.protect t.qlock (fun () -> Condition.broadcast t.qcond)
+
+(* ---- lifecycle ---------------------------------------------------------- *)
+
+let start cfg =
+  if cfg.workers < 1 then invalid_arg "Server.start: workers must be >= 1";
+  if cfg.accept_queue < 1 then
+    invalid_arg "Server.start: accept_queue must be >= 1";
+  match Swap.create ?cache_budget:cfg.cache_budget cfg.prefix with
+  | Error _ as e -> e
+  | Ok sw -> (
+      (* a peer closing mid-response must be an EPIPE on the write, not a
+         fatal signal *)
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ -> ());
+      let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match
+        Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+        Unix.bind lsock
+          (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+        Unix.listen lsock 128;
+        Unix.getsockname lsock
+      with
+      | exception Unix.Unix_error (err, _, _) ->
+          (try Unix.close lsock with Unix.Unix_error _ -> ());
+          Error
+            (Si_error.Io
+               {
+                 path = Printf.sprintf "%s:%d" cfg.host cfg.port;
+                 what = "bind/listen: " ^ Unix.error_message err;
+               })
+      | addr ->
+          let bound_port =
+            match addr with Unix.ADDR_INET (_, p) -> p | _ -> cfg.port
+          in
+          let t =
+            {
+              cfg;
+              lsock;
+              bound_port;
+              sw;
+              adm = Admission.create cfg.admission;
+              m = Metrics.create ();
+              qlock = Mutex.create ();
+              qcond = Condition.create ();
+              queue = Queue.create ();
+              stop_flag = false;
+              wstats =
+                Array.init cfg.workers (fun _ ->
+                    {
+                      w_queries = 0;
+                      w_errors = 0;
+                      w_busy_ns = 0;
+                      w_cache = Cache.zero_stats 0;
+                    });
+              domains = [];
+            }
+          in
+          let workers =
+            List.init cfg.workers (fun i ->
+                Domain.spawn (fun () -> worker_loop t i))
+          in
+          let acceptor = Domain.spawn (fun () -> acceptor_loop t) in
+          t.domains <- acceptor :: workers;
+          Ok t)
+
+let join t = List.iter Domain.join t.domains
+
+let stop t =
+  begin_shutdown t;
+  join t

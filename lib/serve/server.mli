@@ -1,0 +1,77 @@
+(** The long-lived network serving layer: a concurrent TCP line-protocol
+    server over one swappable index (DESIGN.md §11).
+
+    Shape: the acceptor (its own domain) takes connections off the listen
+    socket and pushes them onto a {e bounded} queue; [workers] worker
+    domains pop connections and serve their request streams.  A full
+    queue sheds at accept time — the connection is answered
+    [ERR overloaded] and closed immediately rather than queued
+    unboundedly.  Every admitted query evaluates on the streaming read
+    path through a per-worker decoded-block cache
+    ({!Si_core.Si.query_outcome_cached}), so the hot path takes no locks
+    over the shared index handle; per-request {!Si_core.Limits} come
+    from the {!Admission} policy.
+
+    Hot swap: {!swap} (the [SWAP] wire verb and SIGHUP both route here)
+    opens the new index set, verifies it, and flips generations with
+    in-flight queries draining on the old one ({!Swap}); a worker
+    notices the new generation on its next query and replaces its cache
+    (cache entries are keyed per index and must not survive a swap).
+
+    Shutdown ({!begin_shutdown}, the [SHUTDOWN] verb, SIGTERM): the
+    acceptor stops accepting and closes the listen socket; workers
+    finish the request they are evaluating, write its response, and
+    close their connections; {!join} returns once every domain exited.
+    In-flight requests are never cut off mid-response.
+
+    Failpoints on the serving paths: [serve.accept] (connection
+    accepted, before enqueue), [serve.parse] (request line read, before
+    parsing), and the two swap points documented in {!Swap} — a fired
+    [fail]/[sys] action is absorbed as an error response on that one
+    connection or swap, never a server crash. *)
+
+type config = {
+  prefix : string;  (** index set to open as generation 1 *)
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  workers : int;  (** worker domains (IO-bound, so not clamped to cores) *)
+  accept_queue : int;  (** bounded accept-queue capacity *)
+  cache_budget : int option;  (** per-worker decode cache, bytes *)
+  admission : Admission.config;
+  idle_tick_s : float;
+      (** granularity at which blocked reads recheck the drain flag *)
+}
+
+val default_config : prefix:string -> config
+(** Port 0, 2 workers, queue of 64, default admission (admit all). *)
+
+type t
+
+val start : config -> (t, Si_core.Si_error.t) result
+(** Open the index, bind and listen, spawn the acceptor and workers.
+    Ignores [SIGPIPE] process-wide (a peer closing mid-response must
+    surface as [EPIPE] on the write, not kill the server). *)
+
+val port : t -> int
+(** The bound port — the actual one when [config.port] was 0. *)
+
+val metrics : t -> Metrics.t
+
+val swap : t -> string -> (int, Si_core.Si_error.t) result
+(** Swap to the index set at [prefix]; on error the old generation keeps
+    serving.  Same path as the [SWAP] verb. *)
+
+val reload : t -> (int, Si_core.Si_error.t) result
+(** {!swap} to the currently-served prefix — the SIGHUP handler. *)
+
+val begin_shutdown : t -> unit
+(** Start the graceful drain; returns immediately. *)
+
+val stopping : t -> bool
+
+val join : t -> unit
+(** Block until the acceptor and all workers have exited (after
+    {!begin_shutdown}, or a [SHUTDOWN] wire request). *)
+
+val stop : t -> unit
+(** [begin_shutdown] + [join]. *)

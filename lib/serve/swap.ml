@@ -1,0 +1,90 @@
+open Si_core
+
+type generation = {
+  id : int;
+  prefix : string;
+  g_si : Si.t;
+  mutable refs : int;
+  mutable retiring : bool;
+}
+
+type gen = generation
+
+let si g = g.g_si
+let gen_id g = g.id
+
+type t = {
+  lock : Mutex.t;
+  swap_lock : Mutex.t;  (* serializes swaps; never held with [lock] waits *)
+  mutable current : generation;
+  mutable old : generation list;  (* retiring, refs > 0 *)
+}
+
+let open_set ?cache_budget prefix =
+  (* [Si.open_] guards Si_error.Error; a raw Sys_error (e.g. an injected
+     [sys] failpoint) maps to the Io variant here *)
+  match Si.open_ ?cache_budget prefix with
+  | (Ok _ | Error _) as r -> r
+  | exception Sys_error what -> Error (Si_error.Io { path = prefix; what })
+
+let create ?cache_budget prefix =
+  Result.map
+    (fun s ->
+      {
+        lock = Mutex.create ();
+        swap_lock = Mutex.create ();
+        current = { id = 1; prefix; g_si = s; refs = 0; retiring = false };
+        old = [];
+      })
+    (open_set ?cache_budget prefix)
+
+let acquire t =
+  Mutex.protect t.lock (fun () ->
+      let g = t.current in
+      g.refs <- g.refs + 1;
+      g)
+
+let release t g =
+  Mutex.protect t.lock (fun () ->
+      g.refs <- g.refs - 1;
+      if g.retiring && g.refs = 0 then
+        (* last in-flight reference gone: the generation is retired and
+           simply forgotten — the GC frees the index *)
+        t.old <- List.filter (fun o -> o != g) t.old)
+
+let swap t ?cache_budget prefix =
+  Mutex.protect t.swap_lock (fun () ->
+      match
+        Si_error.guard (fun () ->
+            Failpoint.hit "serve.swap.open";
+            match open_set ?cache_budget prefix with
+            | Ok s -> s
+            | Error e -> raise (Si_error.Error e))
+      with
+      | Error _ as e -> e
+      | exception Sys_error what -> Error (Si_error.Io { path = prefix; what })
+      | Ok s -> (
+          match Si_error.guard (fun () -> Failpoint.hit "serve.swap.flip") with
+          | Error _ as e -> e
+          | exception Sys_error what ->
+              Error (Si_error.Io { path = prefix; what })
+          | Ok () ->
+              Mutex.protect t.lock (fun () ->
+                  let prev = t.current in
+                  let next =
+                    {
+                      id = prev.id + 1;
+                      prefix;
+                      g_si = s;
+                      refs = 0;
+                      retiring = false;
+                    }
+                  in
+                  prev.retiring <- true;
+                  if prev.refs > 0 then t.old <- prev :: t.old;
+                  t.current <- next;
+                  Ok next.id)))
+
+let current_id t = Mutex.protect t.lock (fun () -> t.current.id)
+let current_prefix t = Mutex.protect t.lock (fun () -> t.current.prefix)
+let draining t = Mutex.protect t.lock (fun () -> List.length t.old)

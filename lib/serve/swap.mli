@@ -1,0 +1,57 @@
+(** Zero-downtime index swap: refcounted generation lifecycle.
+
+    The server holds one {!t}; every request {!acquire}s the current
+    generation (a loaded {!Si_core.Si.t} plus its generation number),
+    evaluates against it, and {!release}s it.  {!swap} opens a {e new}
+    multi-file index set — every byte verified by {!Si_core.Si.open_},
+    including the [idx_crc] torn-set detector, so a half-published
+    prefix is refused and the old generation keeps serving — then flips
+    the current pointer under the lock.  In-flight requests drain
+    against the old generation through their refcounts; when the last
+    reference goes, the retired generation is dropped and the GC frees
+    it.  No request ever observes a half-swapped state: a request's
+    whole evaluation, including match rendering, happens against the one
+    generation it acquired.
+
+    State machine of a generation (DESIGN.md §11):
+
+    {v Active --swap--> Draining --last release--> Retired (freed) v}
+
+    Failpoints: [serve.swap.open] fires before the new set is opened,
+    [serve.swap.flip] after a successful open but before the pointer
+    flip — both abort the swap with the old generation intact (the
+    integration test arms them to kill a swap mid-flight). *)
+
+type gen
+(** One acquired reference to a loaded index generation. *)
+
+val si : gen -> Si_core.Si.t
+val gen_id : gen -> int
+(** Generations count from 1 (the set the server started on). *)
+
+type t
+
+val create : ?cache_budget:int -> string -> (t, Si_core.Si_error.t) result
+(** Open the index at [prefix] as generation 1. *)
+
+val acquire : t -> gen
+(** The current generation, reference counted.  Pair with exactly one
+    {!release}; {!Fun.protect} around the evaluation is the intended
+    shape. *)
+
+val release : t -> gen -> unit
+
+val swap : t -> ?cache_budget:int -> string -> (int, Si_core.Si_error.t) result
+(** [swap t prefix] — open the set at [prefix] (any failure, including a
+    fired failpoint, leaves the current generation serving and returns
+    the error) and flip; returns the new generation number.  The
+    previous generation starts draining.  Serialized: concurrent swaps
+    run one at a time. *)
+
+val current_id : t -> int
+val current_prefix : t -> string
+(** Prefix of the serving generation — the SIGHUP reload target. *)
+
+val draining : t -> int
+(** Retired-but-still-referenced generations (0 once drained — the
+    integration test asserts the drain completes). *)

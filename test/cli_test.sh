@@ -102,12 +102,20 @@ fi
 grep -q 'oracle: OK' "$DIR/batch.err" \
   || { echo "FAIL: batch oracle check missing" >&2; exit 1; }
 
-# the same stream through the parallel evaluator, 2 domains
-out="$("$TOOL" serve --prefix "$PFX" --batch "$BATCH" --domains 2)"
-for pat in 'queries=200' 'domains=2' 'qps=' 'latency_ns p50=' 'cache hits='; do
+# the same stream through the parallel evaluator, 2 domains (clamped to
+# the core count on small machines — the reported width is the actual one)
+cores=$(nproc 2>/dev/null || echo 1)
+want_domains=$(( cores < 2 ? cores : 2 ))
+out="$("$TOOL" serve --prefix "$PFX" --batch "$BATCH" --domains 2 2>/dev/null)"
+for pat in 'queries=200' "domains=$want_domains" 'qps=' 'latency_ns p50=' 'cache hits='; do
   grep -q "$pat" <<<"$out" \
     || { echo "FAIL: serve output missing '$pat': $out" >&2; exit 1; }
 done
+
+# asking for far more domains than cores is clamped with a warning
+err="$("$TOOL" serve --prefix "$PFX" --batch "$BATCH" --domains 64 2>&1 >/dev/null)"
+grep -q 'clamping batch domains 64' <<<"$err" \
+  || { echo "FAIL: no clamp warning for --domains 64: $err" >&2; exit 1; }
 
 # ---- resource governance: deadlines, budgets, truncation ------------------
 # 6 = timeout, 7 = resource exhausted; --partial degrades both to a
@@ -174,5 +182,18 @@ grep -q 'block histogram' <<<"$out" \
   || { echo "FAIL: stats missing block histogram" >&2; exit 1; }
 grep -q 'cache budget=' <<<"$out" \
   || { echo "FAIL: stats missing cache counters" >&2; exit 1; }
+
+# stats --json emits the machine-readable schema the server's STATS verb
+# shares (an "index" object with the same fields)
+out="$("$TOOL" stats --prefix "$PFX" --json)"
+for key in '"index"' '"scheme":"root-split"' '"mss":3' '"trees":1000' \
+           '"postings"' '"posting_length_histogram"' '"block_histogram"' '"cache"'; do
+  grep -qF "$key" <<<"$out" \
+    || { echo "FAIL: stats --json missing $key: $out" >&2; exit 1; }
+done
+if command -v python3 >/dev/null; then
+  python3 -c 'import json,sys; json.loads(sys.stdin.read())' <<<"$out" \
+    || { echo "FAIL: stats --json is not valid JSON" >&2; exit 1; }
+fi
 
 echo "cli_test: OK"

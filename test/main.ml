@@ -9,4 +9,5 @@ let () =
       ("core", Test_core.suite);
       ("serve", Test_serve.suite);
       ("limits", Test_limits.suite);
+      ("serve-net", Test_serve_net.suite);
     ]

@@ -1,0 +1,183 @@
+#!/usr/bin/env bash
+# Client-driven acceptance test of the network serving layer (ISSUE 6):
+# a real `si_tool serve --listen` process exercised over TCP with bash
+# /dev/tcp clients.  Covers: query + admin verbs, concurrent queries
+# racing a live SWAP (zero drops, every answer from exactly one
+# generation), per-client quota rejection, deadline-exceeded responses
+# and their --partial degradation, a failpoint-killed swap leaving the
+# old index serving, SIGHUP reload, and graceful drain on SHUTDOWN.
+set -euo pipefail
+
+TOOL="$1"
+DIR="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+  [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null
+  wait 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() { echo "serve_net_test FAIL: $*" >&2; exit 1; }
+
+# ---- fixtures: two index generations with distinguishable answers --------
+"$TOOL" gen -n 300 --seed 2012 -o "$DIR/a.penn" 2>/dev/null
+"$TOOL" gen -n 300 --seed 99   -o "$DIR/b.penn" 2>/dev/null
+"$TOOL" build --corpus "$DIR/a.penn" --prefix "$DIR/ixA" --scheme root-split --mss 3 >/dev/null
+"$TOOL" build --corpus "$DIR/b.penn" --prefix "$DIR/ixB" --scheme root-split --mss 3 >/dev/null
+
+Q='S(NP(DT)(NN))(VP)'
+CA=$("$TOOL" query --prefix "$DIR/ixA" "$Q" | head -1 | cut -f1 | awk '{print $1}')
+CB=$("$TOOL" query --prefix "$DIR/ixB" "$Q" | head -1 | cut -f1 | awk '{print $1}')
+[ "$CA" != "$CB" ] || fail "fixture counts identical ($CA) — cannot attribute generations"
+
+# ---- start the server on an ephemeral port -------------------------------
+start_server() { # start_server [extra flags...]
+  "$TOOL" serve --prefix "$DIR/ixA" --listen 0 "$@" >"$DIR/server.log" 2>&1 &
+  SRV_PID=$!
+  PORT=""
+  for _ in $(seq 100); do
+    PORT=$(sed -n 's/.*listening on [^:]*:\([0-9][0-9]*\).*/\1/p' "$DIR/server.log" | head -1)
+    [ -n "$PORT" ] && break
+    kill -0 "$SRV_PID" 2>/dev/null || fail "server died on startup: $(cat "$DIR/server.log")"
+    sleep 0.05
+  done
+  [ -n "$PORT" ] || fail "server never reported its port: $(cat "$DIR/server.log")"
+}
+
+stop_server() {
+  if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
+    kill "$SRV_PID" 2>/dev/null || true
+    wait "$SRV_PID" 2>/dev/null || true
+  fi
+  SRV_PID=""
+}
+
+# one request per connection; prints every response line
+req() { # req "REQUEST LINE"
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT" || fail "connect to port $PORT"
+  printf '%s\nQUIT\n' "$1" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+
+start_server
+
+# ---- basic verbs ---------------------------------------------------------
+out=$(req "HEALTH")
+grep -q 'OK .*gen=1' <<<"$out" || fail "HEALTH: $out"
+
+out=$(req "QUERY $Q count_only=1")
+grep -q "OK n=$CA truncated=0 gen=1" <<<"$out" || fail "QUERY gen1: $out"
+
+out=$(req "STATS")
+grep -qF '"index"'   <<<"$out" || fail "STATS missing index: $out"
+grep -qF '"serving"' <<<"$out" || fail "STATS missing serving: $out"
+grep -qF '"generation":1' <<<"$out" || fail "STATS generation: $out"
+
+# the STATS payload is the same schema stats --json emits for the index
+idx_wire=$(req "STATS" | grep -o '"index":{[^}]*}')
+idx_cli=$("$TOOL" stats --prefix "$DIR/ixA" --json | grep -o '"index":{[^}]*}')
+[ "$idx_wire" = "$idx_cli" ] || fail "STATS/stats --json schema drift: $idx_wire vs $idx_cli"
+
+out=$(req "NO_SUCH_VERB")
+grep -q '^ERR bad_request' <<<"$out" || fail "unknown verb: $out"
+
+out=$(req "QUERY S((NP)")
+grep -q '^ERR bad_query' <<<"$out" || fail "syntax error: $out"
+
+# ---- deadline-exceeded and partial degradation ---------------------------
+out=$(req "QUERY S(//NP)(//NP) deadline_ms=0")
+grep -q '^ERR timeout' <<<"$out" || fail "deadline: $out"
+
+out=$(req "QUERY S(//NP)(//NP) deadline_ms=0 partial=1")
+grep -q 'OK n=[0-9]* truncated=1' <<<"$out" || fail "partial degradation: $out"
+
+# ---- concurrent queries racing a live SWAP -------------------------------
+# Two client loops hammer the server while the index is swapped under
+# them.  Zero drops allowed; every answer must be (CA, gen 1) or (CB,
+# gen 2) — i.e. from exactly one generation, never a torn mix.
+client_loop() { # client_loop OUTFILE
+  local i
+  for i in $(seq 40); do
+    req "QUERY $Q count_only=1 client=loop$$" >>"$1" || true
+  done
+}
+: >"$DIR/c1.out"; : >"$DIR/c2.out"
+client_loop "$DIR/c1.out" & C1=$!
+client_loop "$DIR/c2.out" & C2=$!
+sleep 0.15
+out=$(req "SWAP $DIR/ixB")
+grep -q 'OK gen=2' <<<"$out" || fail "SWAP: $out"
+wait "$C1" "$C2"
+
+answers=$(grep -h '^OK n=' "$DIR/c1.out" "$DIR/c2.out" | wc -l)
+[ "$answers" = 80 ] || fail "dropped requests during swap: $answers/80 answered"
+bad=$(grep -h '^OK n=' "$DIR/c1.out" "$DIR/c2.out" \
+  | grep -v -e "n=$CA truncated=0 gen=1" -e "n=$CB truncated=0 gen=2" || true)
+[ -z "$bad" ] || fail "torn generation answer(s): $bad"
+
+# both generations actually served during the race, and post-swap traffic
+# is on generation 2
+out=$(req "QUERY $Q count_only=1")
+grep -q "OK n=$CB truncated=0 gen=2" <<<"$out" || fail "post-swap answer: $out"
+
+# ---- failpoint-killed swap: old index keeps serving ----------------------
+out=$(req "SWAP $DIR/no-such-prefix")
+grep -q '^ERR io' <<<"$out" || fail "swap to missing prefix: $out"
+out=$(req "QUERY $Q count_only=1")
+grep -q 'gen=2' <<<"$out" || fail "failed swap disturbed serving: $out"
+
+# ---- SIGHUP reload: re-opens the current prefix as a new generation ------
+kill -HUP "$SRV_PID"
+for _ in $(seq 100); do
+  grep -q 'SIGHUP reload -> generation 3' "$DIR/server.log" && break
+  sleep 0.05
+done
+grep -q 'SIGHUP reload -> generation 3' "$DIR/server.log" \
+  || fail "SIGHUP reload missing: $(cat "$DIR/server.log")"
+out=$(req "QUERY $Q count_only=1")
+grep -q "OK n=$CB truncated=0 gen=3" <<<"$out" || fail "post-HUP answer: $out"
+
+# ---- graceful drain on SHUTDOWN ------------------------------------------
+out=$(req "SHUTDOWN")
+grep -q '^OK draining' <<<"$out" || fail "SHUTDOWN ack: $out"
+wait "$SRV_PID" || fail "server exited non-zero after SHUTDOWN"
+SRV_PID=""
+grep -q 'shutdown complete: queries=' "$DIR/server.log" || fail "no shutdown summary"
+qps=$(sed -n 's/.*qps=\([0-9.]*\).*/\1/p' "$DIR/server.log" | head -1)
+awk -v q="$qps" 'BEGIN{exit !(q > 0)}' || fail "shutdown summary qps=$qps not positive"
+
+# ---- a swap killed mid-flight by a failpoint -----------------------------
+# serve.swap.open=fail@1 aborts the FIRST swap attempt; the server stays
+# up on generation 1 and the second attempt (failpoint spent) succeeds.
+SI_FAILPOINTS='serve.swap.open=fail@1' start_server
+out=$(req "SWAP $DIR/ixB")
+grep -q '^ERR internal' <<<"$out" || fail "armed swap should abort: $out"
+out=$(req "QUERY $Q count_only=1")
+grep -q "OK n=$CA truncated=0 gen=1" <<<"$out" || fail "old index not serving after aborted swap: $out"
+out=$(req "SWAP $DIR/ixB")
+grep -q 'OK gen=2' <<<"$out" || fail "second swap (failpoint spent): $out"
+out=$(req "QUERY $Q count_only=1")
+grep -q "OK n=$CB truncated=0 gen=2" <<<"$out" || fail "post-retry answer: $out"
+stop_server
+
+# ---- per-client quota rejection ------------------------------------------
+start_server --quota-rps 0.000001 --quota-burst 2
+ok=0; rejected=0
+for i in 1 2 3; do
+  out=$(req "QUERY $Q count_only=1 client=alice")
+  if grep -q '^OK n=' <<<"$out"; then ok=$((ok+1)); fi
+  if grep -q '^ERR quota_exceeded' <<<"$out"; then rejected=$((rejected+1)); fi
+done
+[ "$ok" = 2 ] || fail "quota burst 2 admitted $ok"
+[ "$rejected" = 1 ] || fail "quota burst 2 rejected $rejected"
+# a different client id draws from its own bucket
+out=$(req "QUERY $Q count_only=1 client=bob")
+grep -q '^OK n=' <<<"$out" || fail "quota leaked across clients: $out"
+# rejections are visible in the metrics
+out=$(req "STATS")
+grep -qF '"quota":1' <<<"$out" || fail "STATS quota counter: $out"
+stop_server
+
+echo "serve_net_test: OK"
