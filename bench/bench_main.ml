@@ -218,9 +218,11 @@ let () =
     (fun scheme ->
       let b = Hashtbl.find built scheme in
       let name = Si_core.Coding.scheme_to_string scheme in
+      let p4 = Filename.concat tmp (name ^ ".v4.idx") in
       let p3 = Filename.concat tmp (name ^ ".idx") in
       let p2 = Filename.concat tmp (name ^ ".v2.idx") in
       let p1 = Filename.concat tmp (name ^ ".v1.idx") in
+      ok_exn (Si_core.Builder.save_v4 b p4);
       ok_exn (Si_core.Builder.save b p3);
       ok_exn (Si_core.Builder.save_v2 b p2);
       ok_exn (Si_core.Builder.save_v1 b p1);
@@ -232,6 +234,7 @@ let () =
             ("scheme", J.Str name);
             ("keys", J.Int s.Si_core.Builder.keys);
             ("postings", J.Int s.Si_core.Builder.postings);
+            ("bytes_sidx4", J.Int (file_size p4));
             ("bytes_sidx3", J.Int (file_size p3));
             ("bytes_sidx2", J.Int (file_size p2));
             ("bytes_sidx1", J.Int (file_size p1));
@@ -240,8 +243,8 @@ let () =
       let _, t3 = time_best ~repeat:5 (fun () -> ok_exn (Si_core.Builder.load p3)) in
       let _, t1 = time_best ~repeat:5 (fun () -> ok_exn (Si_core.Builder.load p1)) in
       Printf.eprintf
-        "size %-10s: sidx3=%d sidx2=%d sidx1=%d bytes; load lazy=%.4fs eager=%.4fs\n%!"
-        name (file_size p3) (file_size p2) (file_size p1) t3 t1;
+        "size %-10s: sidx4=%d sidx3=%d sidx2=%d sidx1=%d bytes; load lazy=%.4fs eager=%.4fs\n%!"
+        name (file_size p4) (file_size p3) (file_size p2) (file_size p1) t3 t1;
       load_entries :=
         J.Obj
           [
@@ -251,6 +254,108 @@ let () =
           ]
         :: !load_entries)
     schemes;
+
+  (* open latency, SIDX1/2/3/4 x coding: the raw .idx parse/map at the
+     Builder layer, and the end-to-end [Si.open_] (siblings included —
+     the .dat parse SIDX3 pays, the .trees map SIDX4 pays instead) for
+     the two formats [Si.save] can persist.  The warm-battery p50 beside
+     it is the query-latency guard: the mapped backend must stay within
+     sight of the heap one once caches are warm. *)
+  let open_entries = ref [] in
+  List.iter
+    (fun scheme ->
+      let name = Si_core.Coding.scheme_to_string scheme in
+      let idx v = Filename.concat tmp (name ^ v) in
+      let load_ms p =
+        let _, t = time_best ~repeat:5 (fun () -> ok_exn (Si_core.Builder.load p)) in
+        1000. *. t
+      in
+      let full3 = Filename.concat tmp (name ^ "-full3") in
+      let full4 = Filename.concat tmp (name ^ "-full4") in
+      ignore (Si_core.Si.build ~scheme ~mss ~trees ~prefix:full3 ());
+      ignore (Si_core.Si.build ~format:`Sidx4 ~scheme ~mss ~trees ~prefix:full4 ());
+      let open3, t3 = time_best ~repeat:5 (fun () -> ok_exn (Si_core.Si.open_ full3)) in
+      let open4, t4 = time_best ~repeat:5 (fun () -> ok_exn (Si_core.Si.open_ full4)) in
+      let battery si () =
+        List.iter (fun q -> ignore (ok_exn (Si_core.Si.query si q))) bench_queries
+      in
+      battery open3 ();  (* warm both handles' caches before sampling *)
+      battery open4 ();
+      let _, p50_3, _, _ =
+        latency_quantiles ~quota ~name:(name ^ "/battery3") (battery open3)
+      in
+      let _, p50_4, _, _ =
+        latency_quantiles ~quota ~name:(name ^ "/battery4") (battery open4)
+      in
+      Printf.eprintf
+        "open %-10s: idx v1=%.2fms v2=%.2fms v3=%.2fms v4=%.2fms; \
+         full open sidx3=%.2fms sidx4=%.2fms (%.0fx); warm battery p50 \
+         sidx3=%.0fus sidx4=%.0fus\n%!"
+        name
+        (load_ms (idx ".v1.idx"))
+        (load_ms (idx ".v2.idx"))
+        (load_ms (idx ".idx"))
+        (load_ms (idx ".v4.idx"))
+        (1000. *. t3) (1000. *. t4)
+        (if t4 > 0. then t3 /. t4 else Float.nan)
+        (p50_3 /. 1e3) (p50_4 /. 1e3);
+      open_entries :=
+        J.Obj
+          [
+            ("scheme", J.Str name);
+            ("sidx1_idx_ms", J.Float (load_ms (idx ".v1.idx")));
+            ("sidx2_idx_ms", J.Float (load_ms (idx ".v2.idx")));
+            ("sidx3_idx_ms", J.Float (load_ms (idx ".idx")));
+            ("sidx4_idx_ms", J.Float (load_ms (idx ".v4.idx")));
+            ("open_sidx3_ms", J.Float (1000. *. t3));
+            ("open_sidx4_ms", J.Float (1000. *. t4));
+            ( "open_speedup",
+              J.Float (if t4 > 0. then t3 /. t4 else Float.nan) );
+            ("warm_battery_p50_sidx3_ns", J.Float p50_3);
+            ("warm_battery_p50_sidx4_ns", J.Float p50_4);
+          ]
+        :: !open_entries)
+    schemes;
+
+  (* post-validation micro-bench: materializing every tree of the corpus
+     from the mapped .trees store (offset read + BP scan) vs re-parsing
+     the .dat Penn bracketing — the cost filter/root-split validation and
+     --sentences output pay per candidate tree *)
+  let post_validate_entry =
+    let prefix = Filename.concat tmp "interval-full4" in
+    let store_path = prefix ^ ".trees" in
+    let dat_path = Filename.concat tmp "interval-full3" ^ ".dat" in
+    let _, t_store =
+      time_best ~repeat:3 (fun () ->
+          let st = Si_core.Treestore.open_ ~relabel:Fun.id store_path in
+          for tid = 0 to Si_core.Treestore.length st - 1 do
+            ignore (Si_core.Treestore.get st tid)
+          done)
+    in
+    let _, t_parse =
+      time_best ~repeat:3 (fun () ->
+          List.iter
+            (fun t -> ignore (Si_treebank.Annotated.of_tree t))
+            (Si_treebank.Penn.read_file dat_path))
+    in
+    Printf.eprintf
+      "post_validate: store decode %.1fus/tree, penn re-parse %.1fus/tree \
+       (%.1fx) over %d trees\n%!"
+      (1e6 *. t_store /. float_of_int n)
+      (1e6 *. t_parse /. float_of_int n)
+      (if t_store > 0. then t_parse /. t_store else Float.nan)
+      n;
+    J.Obj
+      [
+        ("trees", J.Int n);
+        ("store_seconds", J.Float t_store);
+        ("reparse_seconds", J.Float t_parse);
+        ("store_ns_per_tree", J.Float (1e9 *. t_store /. float_of_int n));
+        ("reparse_ns_per_tree", J.Float (1e9 *. t_parse /. float_of_int n));
+        ( "speedup",
+          J.Float (if t_store > 0. then t_parse /. t_store else Float.nan) );
+      ]
+  in
 
   (* query latency quantiles per scheme, over a freshly loaded lazy index:
      the serving path (block-skip streaming, warm bounded cache) is the
@@ -267,14 +372,14 @@ let () =
       List.iter
         (fun qstr ->
           let q = Si_query.Parser.parse_exn qstr in
-          let matches = Si_core.Eval.run_exn ~index ~corpus:docs ~cache q in
+          let matches = Si_core.Eval.run_exn ~index ~corpus:(Si_core.Corpus.of_array docs) ~cache q in
           let samples, p50, p95, p99 =
             latency_quantiles ~quota ~name:(name ^ "/" ^ qstr) (fun () ->
-                Si_core.Eval.run_exn ~index ~corpus:docs ~cache q)
+                Si_core.Eval.run_exn ~index ~corpus:(Si_core.Corpus.of_array docs) ~cache q)
           in
           let _, p50_full, _, _ =
             latency_quantiles ~quota ~name:(name ^ "/full/" ^ qstr) (fun () ->
-                Si_core.Eval.run_exn ~index ~corpus:docs q)
+                Si_core.Eval.run_exn ~index ~corpus:(Si_core.Corpus.of_array docs) q)
           in
           let push tbl v =
             Hashtbl.replace tbl scheme
@@ -314,6 +419,13 @@ let () =
     let nq = List.length bench_queries in
     Array.init 400 (fun i -> List.nth bench_queries (i mod nq))
   in
+  (* on a single-core machine a "2-domain" run would be silently clamped
+     to 1 by [query_batch] — skip it and say so in the summary rather
+     than report a 1-domain number under a 2-domain label *)
+  let cores = Domain.recommended_domain_count () in
+  let serve_domains = if cores >= 2 then [ 1; 2 ] else [ 1 ] in
+  if cores < 2 then
+    Printf.eprintf "serve: single core, skipping the 2-domain runs\n%!";
   List.iter
     (fun scheme ->
       let name = Si_core.Coding.scheme_to_string scheme in
@@ -359,7 +471,7 @@ let () =
                 ("cache_evictions", J.Int cs.Si_core.Cache.evictions);
               ]
             :: !serve_entries)
-        [ 1; 2 ])
+        serve_domains)
     schemes;
 
   (* the network serving layer: a live TCP server on an ephemeral port
@@ -441,7 +553,10 @@ let () =
                  ( "p99_query_ns",
                    J.Float (median (Hashtbl.find query_p99s scheme)) );
                  ("qps", J.Float (Hashtbl.find qps_1d scheme));
-                 ("qps_domains2", J.Float (Hashtbl.find qps_2d scheme));
+                 ( "qps_domains2",
+                   match Hashtbl.find_opt qps_2d scheme with
+                   | Some qps -> J.Float qps
+                   | None -> J.Str "skipped_single_core" );
                ] ))
          schemes)
   in
@@ -463,6 +578,8 @@ let () =
         ("build", J.Arr (List.rev !build_entries));
         ("index", J.Arr (List.rev !index_entries));
         ("load", J.Arr (List.rev !load_entries));
+        ("open_latency", J.Arr (List.rev !open_entries));
+        ("post_validate", post_validate_entry);
         ("query", J.Arr (List.rev !query_entries));
         ("serve", J.Arr (List.rev !serve_entries));
         ("serve_net", serve_net_entry);

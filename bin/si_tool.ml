@@ -87,7 +87,18 @@ let gen_cmd =
 
 (* ---- build ------------------------------------------------------------- *)
 
-let build corpus prefix scheme mss domains failpoints =
+let format_conv =
+  let parse = function
+    | "sidx3" -> Ok `Sidx3
+    | "sidx4" -> Ok `Sidx4
+    | s -> Error (`Msg (Printf.sprintf "unknown format %S (want sidx3 or sidx4)" s))
+  in
+  let print ppf f =
+    Format.pp_print_string ppf (match f with `Sidx3 -> "sidx3" | `Sidx4 -> "sidx4")
+  in
+  Arg.conv (parse, print)
+
+let build corpus prefix scheme mss domains format failpoints =
   if domains < 1 then begin
     Printf.eprintf "si_tool: --domains must be >= 1 (got %d)\n" domains;
     exit 2
@@ -108,13 +119,14 @@ let build corpus prefix scheme mss domains failpoints =
   in
   let t0 = Unix.gettimeofday () in
   let si =
-    try Si_core.Si.build ~domains ~scheme ~mss ~trees ~prefix ()
+    try Si_core.Si.build ~domains ~format ~scheme ~mss ~trees ~prefix ()
     with Si_core.Si_error.Error e -> fail_si e
   in
   let dt = Unix.gettimeofday () -. t0 in
   let s = Si_core.Si.stats si in
   Printf.printf
-    "built %s index: mss=%d domains=%d trees=%d nodes=%d keys=%d postings=%d idx_bytes=%d (%.2fs)\n"
+    "built %s %s index: mss=%d domains=%d trees=%d nodes=%d keys=%d postings=%d idx_bytes=%d (%.2fs)\n"
+    (match format with `Sidx3 -> "sidx3" | `Sidx4 -> "sidx4")
     (Si_core.Coding.scheme_to_string scheme)
     mss domains s.Si_core.Builder.trees s.Si_core.Builder.nodes
     s.Si_core.Builder.keys s.Si_core.Builder.postings s.Si_core.Builder.bytes dt
@@ -139,6 +151,12 @@ let build_cmd =
            ~doc:"Shard construction across N OCaml domains (output is \
                  identical to a sequential build).")
   in
+  let format =
+    Arg.(value & opt format_conv `Sidx3 & info [ "format" ] ~docv:"FMT"
+           ~doc:"On-disk container: $(b,sidx3) (default, eager checksummed \
+                 load) or $(b,sidx4) (mmap-resident, O(1) open, writes the \
+                 PREFIX.trees corpus store alongside).")
+  in
   let failpoints =
     Arg.(value & opt (some string) None & info [ "failpoints" ] ~docv:"SPEC"
            ~doc:"Arm fault-injection points for this run (also readable \
@@ -148,7 +166,7 @@ let build_cmd =
   Cmd.v
     (Cmd.info "build" ~doc:"Build a subtree index over a corpus.")
     Term.(const build $ corpus_arg $ prefix_arg $ scheme $ mss $ domains
-          $ failpoints)
+          $ format $ failpoints)
 
 (* ---- query ------------------------------------------------------------- *)
 
@@ -495,6 +513,47 @@ let serve_cmd =
 
 (* ---- stats ------------------------------------------------------------- *)
 
+(* Per-region CRC state of a mapped handle: the .idx regions from
+   Builder.mapped_stats plus the .trees regions from Treestore.crc_state,
+   each tagged with the file it lives in.  [None] for heap handles. *)
+let mmap_regions si =
+  match Si_core.Builder.mapped_stats (Si_core.Si.index si) with
+  | None -> None
+  | Some m ->
+      let idx =
+        List.map
+          (fun (r : Si_core.Builder.region_state) ->
+            ("idx", r.Si_core.Builder.rname, r.Si_core.Builder.rbytes,
+             r.Si_core.Builder.rverified))
+          m.Si_core.Builder.regions
+      in
+      let store = Si_core.Corpus.store (Si_core.Si.corpus si) in
+      let trees =
+        match store with
+        | None -> []
+        | Some st ->
+            List.map
+              (fun (name, bytes, verified) -> ("trees", name, bytes, verified))
+              (Si_core.Treestore.crc_state st)
+      in
+      let store_mapped, store_resident =
+        match store with
+        | None -> (0, 0)
+        | Some st ->
+            let body =
+              List.fold_left
+                (fun acc (_, b, v) -> if v then acc + b else acc)
+                0
+                (Si_core.Treestore.crc_state st)
+            in
+            (* header + footer always fault in at open; bodies on first CRC *)
+            (Si_core.Treestore.mapped_bytes st, 52 + body)
+      in
+      Some
+        ( m.Si_core.Builder.mapped_bytes + store_mapped,
+          m.Si_core.Builder.resident_estimate + store_resident,
+          idx @ trees )
+
 (* --json emits the same "index" object the network server's STATS verb
    returns (Si_serve.Metrics.index_json — one schema, two producers),
    plus the offline-only histogram and cache sections. *)
@@ -503,10 +562,35 @@ let stats_json prefix =
   let open Si_serve.Jsonx in
   let hist kvs = Arr (List.map (fun (a, b) -> Arr [ Int a; Int b ]) kvs) in
   let cs = Si_core.Si.cache_stats si in
+  let mmap_section =
+    match mmap_regions si with
+    | None -> []
+    | Some (mapped_bytes, resident, regions) ->
+        [
+          ( "mmap",
+            Obj
+              [
+                ("mapped_bytes", Int mapped_bytes);
+                ("resident_estimate", Int resident);
+                ( "regions",
+                  Arr
+                    (List.map
+                       (fun (file, name, bytes, verified) ->
+                         Obj
+                           [
+                             ("file", Str file);
+                             ("name", Str name);
+                             ("bytes", Int bytes);
+                             ("verified", Bool verified);
+                           ])
+                       regions) );
+              ] );
+        ]
+  in
   print_endline
     (to_string
        (Obj
-          [
+          ([
             ("index", Si_serve.Metrics.index_json si);
             ( "posting_length_histogram",
               hist (Si_core.Builder.length_histogram (Si_core.Si.index si)) );
@@ -522,17 +606,30 @@ let stats_json prefix =
                   ("resident", Int cs.Si_core.Cache.resident);
                   ("entries", Int cs.Si_core.Cache.entries);
                 ] );
-          ]))
+          ]
+          @ mmap_section)))
 
 let stats prefix json =
   if json then stats_json prefix
   else begin
   let si = ok_or_fail (Si_core.Si.open_ prefix) in
   let s = Si_core.Si.stats si in
-  Printf.printf "scheme=%s mss=%d trees=%d nodes=%d keys=%d postings=%d idx_bytes=%d\n"
+  Printf.printf "scheme=%s mss=%d backend=%s trees=%d nodes=%d keys=%d postings=%d idx_bytes=%d\n"
     (Si_core.Coding.scheme_to_string (Si_core.Si.scheme si))
-    (Si_core.Si.mss si) s.Si_core.Builder.trees s.Si_core.Builder.nodes
+    (Si_core.Si.mss si)
+    (match Si_core.Si.format si with `Sidx4 -> "mapped" | `Sidx3 -> "heap")
+    s.Si_core.Builder.trees s.Si_core.Builder.nodes
     s.Si_core.Builder.keys s.Si_core.Builder.postings s.Si_core.Builder.bytes;
+  (match mmap_regions si with
+  | None -> ()
+  | Some (mapped_bytes, resident, regions) ->
+      Printf.printf "mmap mapped_bytes=%d resident_estimate=%d\n" mapped_bytes
+        resident;
+      List.iter
+        (fun (file, name, bytes, verified) ->
+          Printf.printf "  region %s/%-8s %10d bytes crc=%s\n" file name bytes
+            (if verified then "verified" else "lazy"))
+        regions);
   (* posting-length histogram: keys per power-of-two entry-count bucket,
      computed from slot metadata without decoding any posting *)
   print_endline "posting-length histogram (entries <= bucket : keys):";
@@ -567,6 +664,63 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Print statistics of a built index.")
     Term.(const stats $ prefix_arg $ json)
 
+(* ---- openbench ---------------------------------------------------------- *)
+
+(* Open-latency measurement for the mmap-smoke CI gate and the bench
+   harness: time [Si.open_] end to end, [repeat] times, on whatever
+   container lives at the prefix.  With a QUERY, the last handle also
+   evaluates it once (the first-touch cost an O(1) open defers). *)
+let openbench prefix repeat query =
+  if repeat < 1 then begin
+    Printf.eprintf "si_tool: --repeat must be >= 1 (got %d)\n" repeat;
+    exit 2
+  end;
+  let times = Array.make repeat 0. in
+  let last = ref None in
+  for i = 0 to repeat - 1 do
+    let t0 = Si_core.Monotonic.now_ns () in
+    let si = ok_or_fail (Si_core.Si.open_ prefix) in
+    times.(i) <- float_of_int (Si_core.Monotonic.now_ns () - t0) /. 1e6;
+    last := Some si
+  done;
+  let si = Option.get !last in
+  let sorted = Array.copy times in
+  Array.sort compare sorted;
+  let mean = Array.fold_left ( +. ) 0. times /. float_of_int repeat in
+  let s = Si_core.Si.stats si in
+  Printf.printf
+    "open_ms_min=%.3f open_ms_p50=%.3f open_ms_mean=%.3f open_ms_max=%.3f \
+     repeat=%d backend=%s trees=%d keys=%d\n"
+    sorted.(0)
+    (quantile sorted 0.50)
+    mean
+    sorted.(repeat - 1)
+    repeat
+    (match Si_core.Si.format si with `Sidx4 -> "mapped" | `Sidx3 -> "heap")
+    s.Si_core.Builder.trees s.Si_core.Builder.keys;
+  match query with
+  | None -> ()
+  | Some qstr ->
+      let t0 = Si_core.Monotonic.now_ns () in
+      let matches = ok_or_fail (Si_core.Si.query si qstr) in
+      let dt = float_of_int (Si_core.Monotonic.now_ns () - t0) /. 1e6 in
+      Printf.printf "first_query_ms=%.3f matches=%d\n" dt (List.length matches)
+
+let openbench_cmd =
+  let repeat =
+    Arg.(value & opt int 5 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Open the prefix N times and report the latency spread.")
+  in
+  let query =
+    Arg.(value & opt (some string) None & info [ "query" ] ~docv:"QUERY"
+           ~doc:"After the last open, evaluate QUERY once and report the \
+                 first-touch latency (the cost an O(1) open defers).")
+  in
+  Cmd.v
+    (Cmd.info "openbench"
+       ~doc:"Measure index open latency (the mmap-smoke CI gate).")
+    Term.(const openbench $ prefix_arg $ repeat $ query)
+
 (* ---- failpoints --------------------------------------------------------- *)
 
 let failpoints () =
@@ -600,4 +754,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; build_cmd; query_cmd; serve_cmd; stats_cmd; failpoints_cmd ]))
+          [ gen_cmd; build_cmd; query_cmd; serve_cmd; stats_cmd; openbench_cmd;
+            failpoints_cmd ]))

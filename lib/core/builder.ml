@@ -5,20 +5,51 @@ type stats = { trees : int; nodes : int; keys : int; postings : int; bytes : int
 
 (* Which container encoding the slot's bytes use: [V3] is the block-skip
    container (built indexes and SIDX3 files), [V2] the flat SIDX2 body
-   (kept decodable so old files load without a rebuild). *)
-type enc = V2 | V3
+   (kept decodable so old files load without a rebuild), [V4] the SIDX4
+   interval container whose entries are (tid, pre) names resolved against
+   the corpus store at decode time. *)
+type enc = V2 | V3 | V4
 
 (* A slot holds the packed bytes of one posting — a slice of [src] — and
    memoizes its decoded form on first access.  [src] is either a
-   per-posting string (after build) or the whole index file (after load),
-   so loading shares one backing buffer across every slot. *)
+   per-posting string (after build), the whole index file (after an
+   SIDX1-3 load), or the mapped SIDX4 file, so loading shares one backing
+   buffer across every slot. *)
 type slot = {
-  src : string;
+  src : Coding.src;
   off : int;
   len : int;
   entries : int;
   enc : enc;
   mutable decoded : Coding.posting option;
+}
+
+(* The mapped SIDX4 backend: regions of one read-only mapping consumed in
+   place.  [find] binary-searches the key index over the mapped bytes —
+   no load-time table is ever built ([table] stays empty).  Region CRCs
+   are verified lazily and memoized: the key index + directory pair on the
+   first [find], the postings on the first decode.  The flags only ever
+   flip to [true] and verification is idempotent, so cross-domain races
+   are benign. *)
+type mapped = {
+  map : Coding.bigstring;
+  msrc : Coding.src;
+  m_nkeys : int;
+  kblock : int;  (* keys per key-directory block *)
+  kindex_off : int;
+  kindex_len : int;
+  keydir_off : int;
+  keydir_len : int;
+  post_off : int;
+  post_len : int;
+  crc_kindex : int;
+  crc_keydir : int;
+  crc_postings : int;
+  mutable dir_verified : bool;
+  mutable post_verified : bool;
+  mutable resolve : (int -> int -> Coding.interval) option;
+      (* (tid, pre) -> interval against the corpus store; attached by
+         [Si.open_] once the [.trees] sibling is mapped *)
 }
 
 type t = {
@@ -28,6 +59,7 @@ type t = {
   stats : stats;
   origin : string;
   file_crc : int option;
+  mapped : mapped option;
 }
 
 (* ---- shard stage ------------------------------------------------------- *)
@@ -130,7 +162,7 @@ let slot_of_posting ?block_entries p =
   Coding.pack_v3 ?block_entries buf p;
   let src = Buffer.contents buf in
   {
-    src;
+    src = Coding.str src;
     off = 0;
     len = String.length src;
     entries = Coding.entries p;
@@ -166,6 +198,7 @@ let finalize ?block_entries ~scheme ~mss ~trees merged =
       };
     origin = "<memory>";
     file_crc = None;
+    mapped = None;
   }
 
 let build ?(domains = 1) ?block_entries ~scheme ~mss docs =
@@ -190,6 +223,46 @@ let build ?(domains = 1) ?block_entries ~scheme ~mss docs =
   in
   finalize ?block_entries ~scheme ~mss ~trees:n merged
 
+(* ---- format constants --------------------------------------------------- *)
+
+let magic_v4 = "SIDX4\n"
+let magic_v3 = "SIDX3\n"
+let magic = "SIDX2\n"
+let magic_v1 = "SIDX1\n"
+let header_len = 8
+let footer_magic = "SI2F"
+let footer_len = 32
+let footer_magic_v4 = "SI4F"
+let footer_len_v4 = 72
+let default_key_block = 64
+
+let scheme_byte = function
+  | Coding.Filter -> 'F'
+  | Coding.Interval -> 'I'
+  | Coding.Root_split -> 'R'
+
+let scheme_of_byte path = function
+  | 'F' -> Coding.Filter
+  | 'I' -> Coding.Interval
+  | 'R' -> Coding.Root_split
+  | c ->
+      Si_error.raise_corrupt ~path ~offset:(String.length magic)
+        (Printf.sprintf "bad scheme byte %C (want F, I or R)" c)
+
+(* A key must begin with a root label varint followed by the root size byte
+   (= node count, in [1, mss]) — validated before [Canonical.key_size] or
+   the posting decoder ever consume it. *)
+let checked_key_size path ~offset ~mss key =
+  let corrupt what = Si_error.raise_corrupt ~path ~offset what in
+  match Varint.read key 0 with
+  | exception Invalid_argument _ -> corrupt "malformed key (bad root label varint)"
+  | _, o ->
+      if o >= String.length key then corrupt "malformed key (missing root size byte)";
+      let ks = Char.code key.[o] in
+      if ks < 1 || ks > mss then
+        corrupt (Printf.sprintf "key size %d outside 1..mss=%d" ks mss);
+      ks
+
 (* ---- access ------------------------------------------------------------ *)
 
 (* Run a decoding thunk, mapping codec failures to [Corrupt] against the
@@ -201,14 +274,210 @@ let guard_decode (t : t) ~offset f =
   | Invalid_argument what ->
       Si_error.raise_corrupt ~path:t.origin ~offset ("malformed posting: " ^ what)
 
+let resolve_exn (t : t) =
+  match t.mapped with
+  | Some { resolve = Some r; _ } -> r
+  | _ ->
+      Si_error.raise_schema ~path:t.origin
+        "SIDX4 interval postings need a corpus store to resolve intervals \
+         (open the index through Si, not Builder.load alone)"
+
+(* Lazy region verification.  The 72-byte footer and 8-byte header were
+   checked at open; the three body regions are vouched for on first
+   touch — directory regions before the first key lookup, postings before
+   the first decode. *)
+let ensure_dir_verified (t : t) (m : mapped) =
+  if not m.dir_verified then begin
+    if Crc32.bigsub m.map m.kindex_off m.kindex_len <> m.crc_kindex then
+      Si_error.raise_corrupt ~path:t.origin ~offset:m.kindex_off
+        "key index checksum mismatch";
+    if Crc32.bigsub m.map m.keydir_off m.keydir_len <> m.crc_keydir then
+      Si_error.raise_corrupt ~path:t.origin ~offset:m.keydir_off
+        "key directory checksum mismatch";
+    m.dir_verified <- true
+  end
+
+let ensure_post_verified (t : t) (m : mapped) =
+  if not m.post_verified then begin
+    if Crc32.bigsub m.map m.post_off m.post_len <> m.crc_postings then
+      Si_error.raise_corrupt ~path:t.origin ~offset:m.post_off
+        "postings checksum mismatch";
+    m.post_verified <- true
+  end
+
+let ensure_postings_readable (t : t) (slot : slot) =
+  match (slot.src, t.mapped) with
+  | Coding.Map _, Some m -> ensure_post_verified t m
+  | _ -> ()
+
+let mapped_enc (t : t) = if t.scheme = Coding.Interval then V4 else V3
+
+(* kindex entry of key-block [b]: offsets of its first key record (relative
+   to the key directory) and first posting (relative to the postings
+   region). *)
+let mapped_block_start (t : t) (m : mapped) b =
+  let at = m.kindex_off + (16 * b) in
+  let koff = Mmap.u64 ~path:t.origin m.map at in
+  let poff = Mmap.u64 ~path:t.origin m.map (at + 8) in
+  if koff >= m.keydir_len then
+    Si_error.raise_corrupt ~path:t.origin ~offset:at
+      "key-block offset outside the key directory";
+  if poff > m.post_len then
+    Si_error.raise_corrupt ~path:t.origin ~offset:(at + 8)
+      "key-block posting offset outside the postings region";
+  (koff, poff)
+
+(* One key-directory record at [off]: block-first records store the whole
+   key, the rest front-code against the previous key in the block. *)
+let mapped_record (t : t) (m : mapped) ~first ~prev off =
+  let limit = m.keydir_off + m.keydir_len in
+  let corrupt what = Si_error.raise_corrupt ~path:t.origin ~offset:off what in
+  let vread o = Coding.checked_varint ~limit m.msrc o in
+  let lcp, o = if first then (0, off) else vread off in
+  let slen, o = vread o in
+  if lcp > String.length prev then
+    corrupt "front-coded prefix longer than the previous key";
+  if slen > limit - o then corrupt "key suffix overruns the key directory";
+  let key =
+    if lcp = 0 then Coding.src_sub m.msrc o slen
+    else String.sub prev 0 lcp ^ Coding.src_sub m.msrc o slen
+  in
+  let o = o + slen in
+  let entries, o = vread o in
+  let plen, o = vread o in
+  if plen < 1 then corrupt "zero-length posting";
+  (key, entries, plen, o)
+
+(* first key of key-block [b] — stored without front coding *)
+let mapped_first_key (t : t) (m : mapped) b =
+  let koff, _ = mapped_block_start t m b in
+  let limit = m.keydir_off + m.keydir_len in
+  let off = m.keydir_off + koff in
+  let slen, o = Coding.checked_varint ~limit m.msrc off in
+  if slen > limit - o then
+    Si_error.raise_corrupt ~path:t.origin ~offset:off
+      "key suffix overruns the key directory";
+  Coding.src_sub m.msrc o slen
+
+(* O(log nblocks) probes + one in-block front-coded scan; never touches the
+   postings region, so a miss stays inside the directory pages. *)
+let mapped_find_slot (t : t) (m : mapped) key =
+  if m.m_nkeys = 0 then None
+  else begin
+    ensure_dir_verified t m;
+    guard_decode t ~offset:m.keydir_off (fun () ->
+        let nblocks = (m.m_nkeys + m.kblock - 1) / m.kblock in
+        if String.compare (mapped_first_key t m 0) key > 0 then None
+        else begin
+          (* greatest block whose first key <= key *)
+          let lo = ref 0 and hi = ref (nblocks - 1) in
+          while !lo < !hi do
+            let mid = (!lo + !hi + 1) lsr 1 in
+            if String.compare (mapped_first_key t m mid) key <= 0 then lo := mid
+            else hi := mid - 1
+          done;
+          let b = !lo in
+          let koff, poff = mapped_block_start t m b in
+          let nrec = min m.kblock (m.m_nkeys - (b * m.kblock)) in
+          let off = ref (m.keydir_off + koff) in
+          let post = ref poff in
+          let prev = ref "" in
+          let result = ref None in
+          (try
+             for i = 0 to nrec - 1 do
+               let k, entries, plen, o =
+                 mapped_record t m ~first:(i = 0) ~prev:!prev !off
+               in
+               if i > 0 && String.compare k !prev <= 0 then
+                 Si_error.raise_corrupt ~path:t.origin ~offset:!off
+                   "keys not in strictly increasing order";
+               if plen > m.post_len - !post then
+                 Si_error.raise_corrupt ~path:t.origin ~offset:!off
+                   "posting overruns the postings region";
+               let c = String.compare k key in
+               if c = 0 then begin
+                 result :=
+                   Some
+                     {
+                       src = m.msrc;
+                       off = m.post_off + !post;
+                       len = plen;
+                       entries;
+                       enc = mapped_enc t;
+                       decoded = None;
+                     };
+                 raise Exit
+               end
+               else if c > 0 then raise Exit;
+               post := !post + plen;
+               prev := k;
+               off := o
+             done
+           with Exit -> ());
+          !result
+        end)
+  end
+
+(* Sequential sorted walk of every mapped key record, cross-checking the
+   key index at each block boundary and the region tilings at the end —
+   the moral equivalent of the SIDX3 load-time pass, run only by the
+   tools/save paths that genuinely need every key. *)
+let mapped_iter_slots (t : t) (m : mapped) f =
+  ensure_dir_verified t m;
+  guard_decode t ~offset:m.keydir_off (fun () ->
+      let corrupt offset what = Si_error.raise_corrupt ~path:t.origin ~offset what in
+      let enc = mapped_enc t in
+      let off = ref m.keydir_off in
+      let post = ref 0 in
+      let prev = ref "" in
+      for i = 0 to m.m_nkeys - 1 do
+        let first = i mod m.kblock = 0 in
+        if first then begin
+          let koff, poff = mapped_block_start t m (i / m.kblock) in
+          if koff <> !off - m.keydir_off || poff <> !post then
+            corrupt !off "key index disagrees with the key directory records"
+        end;
+        let k, entries, plen, o = mapped_record t m ~first ~prev:!prev !off in
+        if i > 0 && String.compare k !prev <= 0 then
+          corrupt !off "keys not in strictly increasing order";
+        ignore (checked_key_size t.origin ~offset:!off ~mss:t.mss k);
+        if plen > m.post_len - !post then
+          corrupt !off "posting overruns the postings region";
+        f k
+          {
+            src = m.msrc;
+            off = m.post_off + !post;
+            len = plen;
+            entries;
+            enc;
+            decoded = None;
+          };
+        post := !post + plen;
+        prev := k;
+        off := o
+      done;
+      if !off <> m.keydir_off + m.keydir_len then
+        corrupt !off "trailing bytes in the key directory";
+      if !post <> m.post_len then
+        corrupt m.post_off "posting lengths do not cover the postings region")
+
+let find_slot (t : t) key =
+  match t.mapped with
+  | None -> Hashtbl.find_opt t.table key
+  | Some m -> mapped_find_slot t m key
+
 let decode_slot (t : t) key (slot : slot) =
+  ensure_postings_readable t slot;
   let finish = slot.off + slot.len in
   let p, consumed =
     guard_decode t ~offset:slot.off (fun () ->
         let key_size = Canonical.key_size key in
         match slot.enc with
         | V2 -> Coding.unpack t.scheme ~key_size ~limit:finish slot.src slot.off
-        | V3 -> Coding.unpack_v3 t.scheme ~key_size ~limit:finish slot.src slot.off)
+        | V3 -> Coding.unpack_v3 t.scheme ~key_size ~limit:finish slot.src slot.off
+        | V4 ->
+            Coding.unpack_v4 ~key_size ~resolve:(resolve_exn t) ~limit:finish
+              slot.src slot.off)
   in
   if consumed <> finish then
     Si_error.raise_corrupt ~path:t.origin ~offset:consumed
@@ -216,7 +485,7 @@ let decode_slot (t : t) key (slot : slot) =
   p
 
 let find_exn (t : t) key =
-  match Hashtbl.find_opt t.table key with
+  match find_slot t key with
   | None -> None
   | Some slot -> (
       match slot.decoded with
@@ -229,13 +498,14 @@ let find_exn (t : t) key =
 (* ---- block access (the streaming read path) ----------------------------- *)
 
 (* Layout of a slot as decodable blocks.  A V2 slot's body after the count
-   varint is exactly a flat v3 block, so both encodings present uniformly
-   to the cursor layer. *)
+   varint is exactly a flat v3 block, and the v4 container reuses the v3
+   framing, so all encodings present uniformly to the cursor layer. *)
 let slot_blocks (t : t) (slot : slot) =
+  ensure_postings_readable t slot;
   let finish = slot.off + slot.len in
   guard_decode t ~offset:slot.off (fun () ->
       match slot.enc with
-      | V3 ->
+      | V3 | V4 ->
           let count, blocks =
             Coding.v3_layout t.scheme ~limit:finish slot.src slot.off
           in
@@ -255,37 +525,59 @@ let slot_blocks (t : t) (slot : slot) =
           |])
 
 let find_blocks (t : t) key =
-  match Hashtbl.find_opt t.table key with
+  match find_slot t key with
   | None -> None
   | Some slot -> Some (slot, slot_blocks t slot)
 
 let decode_block (t : t) key (slot : slot) (b : Coding.block) =
   Failpoint.hit "builder.decode-block";
+  ensure_postings_readable t slot;
   guard_decode t ~offset:b.Coding.boff (fun () ->
-      Coding.unpack_block t.scheme ~key_size:(Canonical.key_size key) slot.src b)
+      let key_size = Canonical.key_size key in
+      match slot.enc with
+      | V4 -> Coding.unpack_block_v4 ~key_size ~resolve:(resolve_exn t) slot.src b
+      | V2 | V3 -> Coding.unpack_block t.scheme ~key_size slot.src b)
 
 let find (t : t) key = Si_error.guard (fun () -> find_exn t key)
 
 let posting_entries (t : t) key =
-  Option.map (fun (s : slot) -> s.entries) (Hashtbl.find_opt t.table key)
+  Option.map (fun (s : slot) -> s.entries) (find_slot t key)
 
-let n_keys (t : t) = Hashtbl.length t.table
+let n_keys (t : t) =
+  match t.mapped with None -> Hashtbl.length t.table | Some m -> m.m_nkeys
+
+(* Every (key, slot) pair in sorted key order — the backbone of the tools
+   and save paths.  Heap indexes sort their table; mapped ones walk the
+   key directory (already sorted, fully cross-checked). *)
+let slots_sorted (t : t) =
+  match t.mapped with
+  | None ->
+      List.map
+        (fun k -> (k, Hashtbl.find t.table k))
+        (List.sort String.compare (Hashtbl.fold (fun k _ a -> k :: a) t.table []))
+  | Some m ->
+      let acc = ref [] in
+      mapped_iter_slots t m (fun k s -> acc := (k, s) :: !acc);
+      List.rev !acc
+
+let sorted_keys (t : t) = List.map fst (slots_sorted t)
 
 let iter (t : t) f =
-  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] in
   List.iter
-    (fun k -> f k (Option.get (find_exn t k)))
-    (List.sort String.compare keys)
+    (fun (k, (s : slot)) ->
+      let p = match s.decoded with Some p -> p | None -> decode_slot t k s in
+      f k p)
+    (slots_sorted t)
 
 let length_histogram (t : t) =
   (* power-of-two buckets: count of keys whose posting has <= 2^i entries *)
   let buckets = Array.make 31 0 in
-  Hashtbl.iter
-    (fun _ (slot : slot) ->
+  List.iter
+    (fun (_, (slot : slot)) ->
       let rec bucket i = if slot.entries <= 1 lsl i then i else bucket (i + 1) in
       let b = bucket 0 in
       buckets.(b) <- buckets.(b) + 1)
-    t.table;
+    (slots_sorted t);
   let last = ref 0 in
   Array.iteri (fun i c -> if c > 0 then last := i) buckets;
   Array.to_list (Array.init (!last + 1) (fun i -> (1 lsl i, buckets.(i))))
@@ -293,11 +585,11 @@ let length_histogram (t : t) =
 let block_histogram (t : t) =
   (* nblocks -> number of keys; parses container headers only *)
   let counts = Hashtbl.create 16 in
-  Hashtbl.iter
-    (fun _ slot ->
+  List.iter
+    (fun (_, slot) ->
       let n = Array.length (slot_blocks t slot) in
       Hashtbl.replace counts n (1 + Option.value ~default:0 (Hashtbl.find_opt counts n)))
-    t.table;
+    (slots_sorted t);
   List.sort compare (Hashtbl.fold (fun n c acc -> (n, c) :: acc) counts [])
 
 (* ---- flattened file ---------------------------------------------------- *)
@@ -318,30 +610,29 @@ let block_histogram (t : t) =
    handles both.  [save] writes to [path ^ ".tmp"], fsyncs, then renames —
    a crash mid-save never clobbers an existing index.  [load] verifies
    magic, region lengths and all three checksums before parsing a single
-   record. *)
+   record.
 
-let magic_v3 = "SIDX3\n"
-let magic = "SIDX2\n"
-let magic_v1 = "SIDX1\n"
-let header_len = 8
-let footer_magic = "SI2F"
-let footer_len = 32
+   SIDX4 layout (mmap-resident, see DESIGN.md §12):
 
-let scheme_byte = function
-  | Coding.Filter -> 'F'
-  | Coding.Interval -> 'I'
-  | Coding.Root_split -> 'R'
+     header    "SIDX4\n"  scheme byte  mss byte                  (8 bytes)
+     kindex    per key-block a fixed 16-byte record:
+                 u64le first-key offset (relative to keydir)
+                 u64le first-posting offset (relative to postings)
+     keydir    blocks of [key_block] keys; the block-first record stores
+               the whole key (varint slen, bytes), the rest front-code
+               against the previous key (varint lcp, varint slen, suffix);
+               every record ends with varint entries, varint plen
+     postings  interval postings as v4 containers ({!Coding.pack_v4} —
+               (tid, pre) names, resolved against the .trees store);
+               filter / root-split postings stay v3 containers
+     footer    u64le nkeys | u64le key_block | u64le kindex_len
+               u64le keydir_len | u64le postings_len | u64le reserved(0)
+               u32le crc32(header) | u32le crc32(kindex) | u32le crc32(keydir)
+               u32le crc32(postings) | u32le crc32(footer before this field)
+               "SI4F"                                            (72 bytes)
 
-let scheme_of_byte path = function
-  | 'F' -> Coding.Filter
-  | 'I' -> Coding.Interval
-  | 'R' -> Coding.Root_split
-  | c ->
-      Si_error.raise_corrupt ~path ~offset:(String.length magic)
-        (Printf.sprintf "bad scheme byte %C (want F, I or R)" c)
-
-let sorted_keys (t : t) =
-  List.sort String.compare (Hashtbl.fold (fun k _ a -> k :: a) t.table [])
+   Open verifies only the footer and header CRCs (O(1)); kindex + keydir
+   verify on the first find, postings on the first decode. *)
 
 let common_prefix a b =
   let n = min (String.length a) (String.length b) in
@@ -388,16 +679,20 @@ let converted ~want (t : t) key (slot : slot) =
       match slot.decoded with Some p -> p | None -> decode_slot t key slot
     in
     let buf = Buffer.create (slot.len + 16) in
-    (match want with V2 -> Coding.pack buf p | V3 -> Coding.pack_v3 buf p);
+    (match want with
+    | V2 -> Coding.pack buf p
+    | V3 -> Coding.pack_v3 buf p
+    | V4 -> Coding.pack_v4 buf p);
     Some (Buffer.contents buf)
   end
 
 (* Streams records straight to the channel through a small per-record
    scratch buffer — peak extra memory is one record, not the whole index
-   (plus the re-encoded postings when saving across container versions). *)
+   (plus the re-encoded postings when saving across container versions,
+   and a copied-out postings region when saving a mapped index). *)
 let save_as ~magic ~want (t : t) path =
   with_atomic_out path (fun oc ->
-      let keys = sorted_keys t in
+      let slots = slots_sorted t in
       (* cross-version saves need each posting's final length already in the
          key directory pass, so conversions are computed once and kept *)
       let conv = Hashtbl.create 16 in
@@ -406,10 +701,16 @@ let save_as ~magic ~want (t : t) path =
         | Some s -> (s, 0, String.length s)
         | None -> (
             match converted ~want t key slot with
-            | None -> (slot.src, slot.off, slot.len)
             | Some s ->
                 Hashtbl.replace conv key s;
-                (s, 0, String.length s))
+                (s, 0, String.length s)
+            | None -> (
+                match slot.src with
+                | Coding.Str s -> (s, slot.off, slot.len)
+                | Coding.Map _ ->
+                    let s = Coding.src_sub slot.src slot.off slot.len in
+                    Hashtbl.replace conv key s;
+                    (s, 0, String.length s)))
       in
       let header =
         Printf.sprintf "%s%c%c" magic (scheme_byte t.scheme) (Char.chr t.mss)
@@ -426,12 +727,11 @@ let save_as ~magic ~want (t : t) path =
         keydir_len := !keydir_len + String.length s;
         Buffer.clear scratch
       in
-      Varint.write scratch (Hashtbl.length t.table);
+      Varint.write scratch (List.length slots);
       emit ();
       let prev = ref "" in
       List.iter
-        (fun key ->
-          let slot = Hashtbl.find t.table key in
+        (fun (key, slot) ->
           let _, _, plen = bytes_of key slot in
           (* front-coded key: shared prefix with the previous sorted key *)
           let lcp = common_prefix !prev key in
@@ -441,18 +741,17 @@ let save_as ~magic ~want (t : t) path =
           Varint.write scratch plen;
           emit ();
           prev := key)
-        keys;
+        slots;
       (* postings region *)
       let crc_postings = ref Crc32.empty in
       let postings_len = ref 0 in
       List.iter
-        (fun key ->
-          let slot = Hashtbl.find t.table key in
+        (fun (key, slot) ->
           let src, off, plen = bytes_of key slot in
           output_substring oc src off plen;
           crc_postings := Crc32.feed_substring !crc_postings src off plen;
           postings_len := !postings_len + plen)
-        keys;
+        slots;
       (* footer *)
       Buffer.add_int64_le scratch (Int64.of_int !keydir_len);
       Buffer.add_int64_le scratch (Int64.of_int !postings_len);
@@ -471,7 +770,7 @@ let save_v1 (t : t) path =
       output_char oc (scheme_byte t.scheme);
       output_char oc (Char.chr t.mss);
       let scratch = Buffer.create 256 in
-      Varint.write scratch (Hashtbl.length t.table);
+      Varint.write scratch (n_keys t);
       Buffer.output_buffer oc scratch;
       List.iter
         (fun key ->
@@ -481,6 +780,74 @@ let save_v1 (t : t) path =
           Coding.write scratch (Option.get (find_exn t key));
           Buffer.output_buffer oc scratch)
         (sorted_keys t))
+
+(* the slot's posting as SIDX4 postings-region bytes: v4 containers for
+   interval postings, v3 containers otherwise *)
+let v4_bytes (t : t) key (slot : slot) =
+  let want = mapped_enc t in
+  match converted ~want t key slot with
+  | Some s -> s
+  | None -> (
+      match slot.src with
+      | Coding.Str s when slot.off = 0 && slot.len = String.length s -> s
+      | _ -> Coding.src_sub slot.src slot.off slot.len)
+
+let save_v4 ?(key_block = default_key_block) (t : t) path =
+  if key_block < 1 then invalid_arg "Builder.save_v4: key_block must be >= 1";
+  with_atomic_out path (fun oc ->
+      let slots = slots_sorted t in
+      let nkeys = List.length slots in
+      let header =
+        Printf.sprintf "%s%c%c" magic_v4 (scheme_byte t.scheme) (Char.chr t.mss)
+      in
+      (* the three regions are buffered whole: the key index needs every
+         block's offsets before anything can be streamed *)
+      let kindex = Buffer.create (16 * ((nkeys / key_block) + 1)) in
+      let keydir = Buffer.create 4096 in
+      let postings = Buffer.create 65536 in
+      let prev = ref "" in
+      List.iteri
+        (fun i (key, slot) ->
+          let body = v4_bytes t key slot in
+          if i mod key_block = 0 then begin
+            Buffer.add_int64_le kindex (Int64.of_int (Buffer.length keydir));
+            Buffer.add_int64_le kindex (Int64.of_int (Buffer.length postings));
+            (* the block-first key is stored whole: binary-search probes
+               and block scans never need the previous block's last key *)
+            Varint.write keydir (String.length key);
+            Buffer.add_string keydir key
+          end
+          else begin
+            let lcp = common_prefix !prev key in
+            Varint.write keydir lcp;
+            Varint.write keydir (String.length key - lcp);
+            Buffer.add_substring keydir key lcp (String.length key - lcp)
+          end;
+          Varint.write keydir slot.entries;
+          Varint.write keydir (String.length body);
+          Buffer.add_string postings body;
+          prev := key)
+        slots;
+      output_string oc header;
+      Buffer.output_buffer oc kindex;
+      Buffer.output_buffer oc keydir;
+      Buffer.output_buffer oc postings;
+      let footer = Buffer.create footer_len_v4 in
+      Buffer.add_int64_le footer (Int64.of_int nkeys);
+      Buffer.add_int64_le footer (Int64.of_int key_block);
+      Buffer.add_int64_le footer (Int64.of_int (Buffer.length kindex));
+      Buffer.add_int64_le footer (Int64.of_int (Buffer.length keydir));
+      Buffer.add_int64_le footer (Int64.of_int (Buffer.length postings));
+      Buffer.add_int64_le footer 0L;
+      Buffer.add_int32_le footer (Int32.of_int (Crc32.string header));
+      Buffer.add_int32_le footer (Int32.of_int (Crc32.string (Buffer.contents kindex)));
+      Buffer.add_int32_le footer (Int32.of_int (Crc32.string (Buffer.contents keydir)));
+      Buffer.add_int32_le footer
+        (Int32.of_int (Crc32.string (Buffer.contents postings)));
+      Buffer.add_int32_le footer
+        (Int32.of_int (Crc32.string (Buffer.contents footer)));
+      Buffer.add_string footer footer_magic_v4;
+      Buffer.output_buffer oc footer)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -492,20 +859,6 @@ let read_file path =
   (* armed [short:N] simulates a torn read; the checksummed loaders must
      reject the result as Corrupt, never crash or mis-parse *)
   Failpoint.read_transform "builder.load.read" s
-
-(* A key must begin with a root label varint followed by the root size byte
-   (= node count, in [1, mss]) — validated before [Canonical.key_size] or
-   the posting decoder ever consume it. *)
-let checked_key_size path ~offset ~mss key =
-  let corrupt what = Si_error.raise_corrupt ~path ~offset what in
-  match Varint.read key 0 with
-  | exception Invalid_argument _ -> corrupt "malformed key (bad root label varint)"
-  | _, o ->
-      if o >= String.length key then corrupt "malformed key (missing root size byte)";
-      let ks = Char.code key.[o] in
-      if ks < 1 || ks > mss then
-        corrupt (Printf.sprintf "key size %d outside 1..mss=%d" ks mss);
-      ks
 
 let u32_at s off = Int32.to_int (String.get_int32_le s off) land 0xffffffff
 
@@ -550,7 +903,8 @@ let load_packed ~enc path s =
   (* key directory: every varint bounded by the region end, keys strictly
      sorted, posting lengths tiling the postings region exactly *)
   let kd_end = p_start in
-  let vread off = Coding.checked_varint ~limit:kd_end s off in
+  let sv = Coding.str s in
+  let vread off = Coding.checked_varint ~limit:kd_end sv off in
   let nkeys, off0 = vread kd_start in
   if nkeys > keydir_len then corrupt kd_start "key count exceeds key directory size";
   let table = Hashtbl.create (2 * (nkeys + 1)) in
@@ -577,12 +931,12 @@ let load_packed ~enc path s =
     let slot_off = p_start + !post_off in
     let entries =
       match enc with
-      | V2 -> Coding.packed_entries ~limit:(slot_off + plen) s slot_off
-      | V3 -> Coding.packed_entries_v3 ~limit:(slot_off + plen) s slot_off
+      | V2 | V4 -> Coding.packed_entries ~limit:(slot_off + plen) sv slot_off
+      | V3 -> Coding.packed_entries_v3 ~limit:(slot_off + plen) sv slot_off
     in
     postings := !postings + entries;
     Hashtbl.replace table key
-      { src = s; off = slot_off; len = plen; entries; enc; decoded = None };
+      { src = sv; off = slot_off; len = plen; entries; enc; decoded = None };
     post_off := !post_off + plen;
     off := o;
     prev := key
@@ -598,6 +952,7 @@ let load_packed ~enc path s =
       { trees = 0; nodes = 0; keys = nkeys; postings = !postings; bytes = len };
     origin = path;
     file_crc = Some (Crc32.string s);
+    mapped = None;
   }
 
 (* SIDX1 load: the legacy format stores postings eagerly and carries no
@@ -610,7 +965,8 @@ let load_v1 path s =
   let scheme = scheme_of_byte path s.[6] in
   let mss = Char.code s.[7] in
   if mss < 1 then corrupt 7 "mss byte must be >= 1";
-  let vread off = Coding.checked_varint ~limit:len s off in
+  let sv = Coding.str s in
+  let vread off = Coding.checked_varint ~limit:len sv off in
   let nkeys, off0 = vread 8 in
   if nkeys > len then corrupt 8 "key count exceeds file size";
   let table = Hashtbl.create (2 * (nkeys + 1)) in
@@ -626,7 +982,7 @@ let load_v1 path s =
     if String.compare key !prev <= 0 then
       corrupt rec_start "keys not in strictly increasing order";
     let key_size = checked_key_size path ~offset:rec_start ~mss key in
-    let posting, o = Coding.read scheme ~key_size ~limit:len s (o + klen) in
+    let posting, o = Coding.read scheme ~key_size ~limit:len sv (o + klen) in
     off := o;
     prev := key;
     let slot = slot_of_posting posting in
@@ -642,35 +998,183 @@ let load_v1 path s =
     stats = { trees = 0; nodes = 0; keys = nkeys; postings = !postings; bytes = !bytes };
     origin = path;
     file_crc = Some (Crc32.string s);
+    mapped = None;
+  }
+
+(* SIDX4 load: O(1) — map the file, verify the 72-byte footer and 8-byte
+   header CRCs, validate the region table.  No key table is built; finds
+   binary-search the mapped key index, and the body region CRCs verify
+   lazily on first touch. *)
+let load_v4 path =
+  Failpoint.hit "builder.load.map";
+  let map = Mmap.map_ro path in
+  let len = Bigarray.Array1.dim map in
+  let corrupt offset what = Si_error.raise_corrupt ~path ~offset what in
+  if len < header_len + footer_len_v4 then
+    corrupt len
+      (Printf.sprintf "truncated: %d bytes cannot hold an SIDX4 header and footer"
+         len);
+  if not (String.equal (Mmap.bytes_at map (len - 4) 4) footer_magic_v4) then
+    corrupt (len - 4) "missing SIDX4 footer magic";
+  if Crc32.bigsub map (len - footer_len_v4) (footer_len_v4 - 8) <> Mmap.u32 map (len - 8)
+  then corrupt (len - footer_len_v4) "footer checksum mismatch";
+  let nkeys = Mmap.u64 ~path map (len - 72) in
+  let kblock = Mmap.u64 ~path map (len - 64) in
+  let kindex_len = Mmap.u64 ~path map (len - 56) in
+  let keydir_len = Mmap.u64 ~path map (len - 48) in
+  let postings_len = Mmap.u64 ~path map (len - 40) in
+  if kblock < 1 then corrupt (len - 64) "key-block size must be >= 1";
+  if nkeys > keydir_len then corrupt (len - 72) "key count exceeds key directory size";
+  let nblocks = (nkeys + kblock - 1) / kblock in
+  if kindex_len <> 16 * nblocks
+     || header_len + kindex_len + keydir_len + postings_len + footer_len_v4 <> len
+  then
+    corrupt (len - 72)
+      (Printf.sprintf
+         "recorded regions (%d keys, %d + %d + %d bytes) disagree with the \
+          %d-byte file"
+         nkeys kindex_len keydir_len postings_len len);
+  if not (String.equal (Mmap.bytes_at map 0 (String.length magic_v4)) magic_v4) then
+    corrupt 0 "bad magic (want SIDX4)";
+  if Crc32.bigsub map 0 header_len <> Mmap.u32 map (len - 24) then
+    corrupt 0 "header checksum mismatch";
+  let scheme = scheme_of_byte path (Bigarray.Array1.get map 6) in
+  let mss = Char.code (Bigarray.Array1.get map 7) in
+  if mss < 1 then corrupt 7 "mss byte must be >= 1";
+  {
+    scheme;
+    mss;
+    table = Hashtbl.create 1;
+    (* trees/nodes/postings are not stored (Si restores them from .meta);
+       bytes is the mapped file size *)
+    stats = { trees = 0; nodes = 0; keys = nkeys; postings = 0; bytes = len };
+    origin = path;
+    file_crc = None;
+    mapped =
+      Some
+        {
+          map;
+          msrc = Coding.map_src map;
+          m_nkeys = nkeys;
+          kblock;
+          kindex_off = header_len;
+          kindex_len;
+          keydir_off = header_len + kindex_len;
+          keydir_len;
+          post_off = header_len + kindex_len + keydir_len;
+          post_len = postings_len;
+          crc_kindex = Mmap.u32 map (len - 20);
+          crc_keydir = Mmap.u32 map (len - 16);
+          crc_postings = Mmap.u32 map (len - 12);
+          dir_verified = false;
+          post_verified = false;
+          resolve = None;
+        };
   }
 
 let is_prefix s m = String.length s < String.length m && String.equal s (String.sub m 0 (String.length s))
 
+(* the first bytes of the file, to pick the loader: SIDX4 must be mapped,
+   not slurped, so sniffing precedes any full read *)
+let sniff path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = min (in_channel_length ic) (String.length magic_v4) in
+      really_input_string ic n)
+
 let load path =
-  match read_file path with
+  match sniff path with
   | exception Sys_error what -> Error (Si_error.Io { path; what })
-  | s -> (
-      let corrupt offset what = Si_error.raise_corrupt ~path ~offset what in
-      let mlen = String.length magic in
-      match
-        let len = String.length s in
-        let has m = len >= mlen && String.equal (String.sub s 0 mlen) m in
-        if len = 0 then corrupt 0 "empty file"
-        else if has magic_v3 then load_packed ~enc:V3 path s
-        else if has magic then load_packed ~enc:V2 path s
-        else if has magic_v1 then load_v1 path s
-        else if is_prefix s magic_v3 || is_prefix s magic || is_prefix s magic_v1
-        then
-          corrupt 0
-            (Printf.sprintf "truncated header: %d bytes, shorter than the magic" len)
-        else corrupt 0 "not an si index file (bad magic; want SIDX1, SIDX2 or SIDX3)"
-      with
+  | head when String.equal head magic_v4 -> (
+      match load_v4 path with
       | t -> Ok t
       | exception Si_error.Error e -> Error e
+      | exception Sys_error what -> Error (Si_error.Io { path; what })
       | exception Coding.Malformed { offset; what } ->
           Error (Si_error.Corrupt { path; offset; what })
-      (* safety net: no decoding slip may escape as a crash *)
       | exception Invalid_argument what ->
           Error (Si_error.Corrupt { path; offset = 0; what = "malformed: " ^ what })
       | exception Failure what ->
           Error (Si_error.Corrupt { path; offset = 0; what }))
+  | _ -> (
+      match read_file path with
+      | exception Sys_error what -> Error (Si_error.Io { path; what })
+      | s -> (
+          let corrupt offset what = Si_error.raise_corrupt ~path ~offset what in
+          let mlen = String.length magic in
+          match
+            let len = String.length s in
+            let has m = len >= mlen && String.equal (String.sub s 0 mlen) m in
+            if len = 0 then corrupt 0 "empty file"
+            else if has magic_v3 then load_packed ~enc:V3 path s
+            else if has magic then load_packed ~enc:V2 path s
+            else if has magic_v1 then load_v1 path s
+            else if
+              is_prefix s magic_v4 || is_prefix s magic_v3 || is_prefix s magic
+              || is_prefix s magic_v1
+            then
+              corrupt 0
+                (Printf.sprintf "truncated header: %d bytes, shorter than the magic"
+                   len)
+            else
+              corrupt 0
+                "not an si index file (bad magic; want SIDX1, SIDX2, SIDX3 or SIDX4)"
+          with
+          | t -> Ok t
+          | exception Si_error.Error e -> Error e
+          | exception Coding.Malformed { offset; what } ->
+              Error (Si_error.Corrupt { path; offset; what })
+          (* safety net: no decoding slip may escape as a crash *)
+          | exception Invalid_argument what ->
+              Error (Si_error.Corrupt { path; offset = 0; what = "malformed: " ^ what })
+          | exception Failure what ->
+              Error (Si_error.Corrupt { path; offset = 0; what })))
+
+(* ---- mapped introspection ------------------------------------------------ *)
+
+type region_state = { rname : string; rbytes : int; rverified : bool }
+
+type mapped_stats = {
+  mapped_bytes : int;
+  resident_estimate : int;
+  regions : region_state list;
+}
+
+let is_mapped (t : t) = t.mapped <> None
+
+let mapped_stats (t : t) =
+  match t.mapped with
+  | None -> None
+  | Some m ->
+      let regions =
+        [
+          { rname = "kindex"; rbytes = m.kindex_len; rverified = m.dir_verified };
+          { rname = "keydir"; rbytes = m.keydir_len; rverified = m.dir_verified };
+          { rname = "postings"; rbytes = m.post_len; rverified = m.post_verified };
+        ]
+      in
+      (* a CRC pass touches every page of its region, so verified regions
+         count as resident in full; unverified ones only cost the pages a
+         find or decode actually walked — approximated as zero *)
+      let resident =
+        header_len + footer_len_v4
+        + List.fold_left (fun a r -> if r.rverified then a + r.rbytes else a) 0 regions
+      in
+      Some
+        {
+          mapped_bytes = Bigarray.Array1.dim m.map;
+          resident_estimate = resident;
+          regions;
+        }
+
+let verify_mapped (t : t) =
+  match t.mapped with
+  | None -> ()
+  | Some m ->
+      ensure_dir_verified t m;
+      ensure_post_verified t m
+
+let set_resolve (t : t) resolve =
+  match t.mapped with None -> () | Some m -> m.resolve <- Some resolve

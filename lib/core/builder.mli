@@ -36,13 +36,15 @@ type stats = {
   bytes : int;  (** flattened size of keys + packed postings *)
 }
 
-type enc = V2 | V3
+type enc = V2 | V3 | V4
 (** Container encoding of a slot's bytes: [V3] the block-skip container
     ({!Coding.pack_v3} — built indexes and SIDX3 files), [V2] the flat
-    SIDX2 body (loaded from old files, still fully decodable). *)
+    SIDX2 body (loaded from old files, still fully decodable), [V4] the
+    SIDX4 interval container ({!Coding.pack_v4} — (tid, pre) names,
+    resolved against the corpus store at decode time). *)
 
 type slot = {
-  src : string;  (** backing buffer holding the packed posting bytes *)
+  src : Coding.src;  (** backing buffer holding the packed posting bytes *)
   off : int;
   len : int;
   entries : int;  (** posting entry count (readable without decoding) *)
@@ -50,10 +52,17 @@ type slot = {
   mutable decoded : Coding.posting option;  (** memoized decode *)
 }
 
+type mapped
+(** The mmap-resident SIDX4 backend: the whole [.idx] consumed in place
+    through {!Coding.src} views, key lookups binary-searching the mapped
+    key index.  Region CRCs verify lazily (directory on first find,
+    postings on first decode). *)
+
 type t = {
   scheme : Coding.scheme;
   mss : int;
-  table : (string, slot) Hashtbl.t;  (** key bytes -> packed posting *)
+  table : (string, slot) Hashtbl.t;
+      (** key bytes -> packed posting; empty for mapped indexes *)
   stats : stats;
   origin : string;
       (** where the index came from: the [.idx] path for loaded indexes,
@@ -61,10 +70,12 @@ type t = {
           errors raised on lazy posting decode *)
   file_crc : int option;
       (** CRC-32 of the exact on-disk bytes for loaded indexes, [None] for
-          built ones — cross-checked against the [.meta] sidecar's
-          [idx_crc] record so a crash that leaves a new [.idx] next to old
-          sibling files (or vice versa) is caught at load, not answered
-          from silently (see {!Si.load}) *)
+          built ones {e and} for mapped SIDX4 indexes (whose integrity is
+          the footer + per-region CRCs) — cross-checked against the
+          [.meta] sidecar's [idx_crc] record so a crash that leaves a new
+          [.idx] next to old sibling files (or vice versa) is caught at
+          load, not answered from silently (see {!Si.load}) *)
+  mapped : mapped option;  (** [Some] iff the index is a mapped SIDX4 *)
 }
 
 val build :
@@ -141,6 +152,20 @@ val save_v1 : t -> string -> (unit, Si_error.t) result
     for the size baseline in the bench harness and the migration test.
     Atomic like {!save}. *)
 
+val default_key_block : int
+(** Keys per SIDX4 key-directory block (64). *)
+
+val save_v4 : ?key_block:int -> t -> string -> (unit, Si_error.t) result
+(** SIDX4 writer: header, fixed-stride key index (one 16-byte record per
+    key-directory block of [key_block] keys), front-coded key directory
+    with embedded entry counts and posting lengths, postings (interval
+    postings re-encoded as {!Coding.pack_v4} (tid, pre)-name containers;
+    filter / root-split postings stay v3), and a 72-byte footer with one
+    CRC-32 per region.  The result is designed to be consumed in place by
+    {!load} via [mmap]; interval postings additionally require the
+    [.trees] corpus store sibling that {!Si.save} writes.  Atomic like
+    {!save}. *)
+
 val load : string -> (t, Si_error.t) result
 (** Inverse of {!save}: verifies the footer (magic, region lengths, all
     three checksums) before parsing, then builds the key → offset table in
@@ -152,4 +177,40 @@ val load : string -> (t, Si_error.t) result
     cannot be read; [Corrupt] for an empty file, a truncated header, a bad
     magic, a footer/checksum mismatch, or any malformed record.  The
     [trees]/[nodes] stats are not stored and read back as 0; [Si] restores
-    them from the [.meta]. *)
+    them from the [.meta].
+
+    SIDX4 files take a different path entirely: the file is mapped, only
+    the footer and header CRCs are verified (O(1) in the index size), and
+    no key table is built — {!find} binary-searches the mapped key index,
+    verifying the directory region CRCs on the first lookup and the
+    postings CRC on the first decode.  Interval postings cannot decode
+    until {!set_resolve} attaches the corpus store ({!Si.open_} does);
+    without it they raise [Schema_mismatch]. *)
+
+(** {2 Mapped (SIDX4) introspection} *)
+
+type region_state = {
+  rname : string;
+  rbytes : int;
+  rverified : bool;  (** CRC checked (lazily) since open *)
+}
+
+type mapped_stats = {
+  mapped_bytes : int;  (** size of the mapping = the whole [.idx] *)
+  resident_estimate : int;
+      (** bytes plausibly faulted in: header + footer + every region whose
+          CRC pass has run (a CRC touches all its pages) *)
+  regions : region_state list;  (** kindex / keydir / postings *)
+}
+
+val is_mapped : t -> bool
+val mapped_stats : t -> mapped_stats option
+
+val verify_mapped : t -> unit
+(** Force the lazy region CRC verification now (all three regions).
+    Raises [Si_error.Error] [Corrupt].  No-op on heap indexes. *)
+
+val set_resolve : t -> (int -> int -> Coding.interval) -> unit
+(** Attach the [(tid, pre) -> interval] resolver backing V4 posting
+    decode — a closure over the [.trees] corpus store.  No-op on heap
+    indexes. *)

@@ -41,6 +41,36 @@ let heap_bytes = function
   | Interval_p a ->
       Array.fold_left (fun acc (_, ivs) -> acc + 40 + (40 * Array.length ivs)) 24 a
 
+(* ---- byte sources ------------------------------------------------------- *)
+
+(* Every decode path reads through [src]: either an in-heap string (SIDX1-3
+   load slurps the file) or a memory-mapped byte view (SIDX4 consumes the
+   file in place).  The per-byte loops are specialised per constructor so
+   the string hot path keeps its exact pre-mmap code shape. *)
+
+type bigstring = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type src = Str of string | Map of bigstring
+
+let str s = Str s
+let map_src m = Map m
+
+let src_length = function
+  | Str s -> String.length s
+  | Map m -> Bigarray.Array1.dim m
+
+let src_get src i =
+  match src with
+  | Str s -> String.unsafe_get s i
+  | Map m -> Bigarray.Array1.unsafe_get m i
+
+let src_sub src off len =
+  if off < 0 || len < 0 || off > src_length src - len then
+    invalid_arg "Coding.src_sub";
+  match src with
+  | Str s -> String.sub s off len
+  | Map m -> String.init len (fun i -> Bigarray.Array1.unsafe_get m (off + i))
+
 (* ---- defensive primitives ---------------------------------------------- *)
 
 exception Malformed of { offset : int; what : string }
@@ -50,7 +80,7 @@ let malformed offset what = raise (Malformed { offset; what })
 (* Like [Varint.read] but bounded by an explicit [limit] (the end of the
    posting's byte slice, not of the whole backing buffer — a decode must
    never stray into the neighbouring posting) and failing with an offset. *)
-let checked_varint ~limit s off =
+let checked_varint_str ~limit s off =
   let limit = min limit (String.length s) in
   let rec go o shift acc =
     if o >= limit then malformed o "truncated varint";
@@ -62,6 +92,24 @@ let checked_varint ~limit s off =
   in
   if off < 0 then malformed off "negative offset";
   go off 0 0
+
+let checked_varint_map ~limit (m : bigstring) off =
+  let limit = min limit (Bigarray.Array1.dim m) in
+  let rec go o shift acc =
+    if o >= limit then malformed o "truncated varint";
+    if shift > 56 then malformed o "overlong varint";
+    let b = Char.code (Bigarray.Array1.unsafe_get m o) in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if acc < 0 then malformed o "varint overflow";
+    if b land 0x80 = 0 then (acc, o + 1) else go (o + 1) (shift + 7) acc
+  in
+  if off < 0 then malformed off "negative offset";
+  go off 0 0
+
+let checked_varint ~limit src off =
+  match src with
+  | Str s -> checked_varint_str ~limit s off
+  | Map m -> checked_varint_map ~limit m off
 
 (* ---- pack-time validation ---------------------------------------------- *)
 
@@ -351,7 +399,7 @@ let pack buf p =
   pack_slice buf p 0 (entries p)
 
 let clamp_limit limit s =
-  match limit with None -> String.length s | Some l -> min l (String.length s)
+  match limit with None -> src_length s | Some l -> min l (src_length s)
 
 let unpack scheme ~key_size ?limit s off =
   let limit = clamp_limit limit s in
@@ -532,6 +580,129 @@ let unpack_v3 scheme ~key_size ?limit s off =
 let packed_entries_v3 ?limit s off =
   let limit = clamp_limit limit s in
   fst (checked_varint ~limit s off) lsr 1
+
+(* ---- SIDX4 interval slices: structure shared with the corpus store ----- *)
+
+(* The v2/v3 interval slice spends three varints per node (pre, size, level)
+   even though the corpus already knows every node's (pre, post, level).  In
+   an SIDX4 file the tree structure lives once, succinctly, in the mapped
+   corpus store, so an interval posting only needs to *name* nodes: tid plus
+   preorder ranks.  Decoding takes a [resolve] closure (tid -> pre ->
+   interval, backed by the store) that reconstructs the exact intervals the
+   v3 coding would have carried — byte-identical query results, ~3x fewer
+   posting bytes per node.
+
+   Container framing (header, skip table, blocks) is exactly the v3 layout,
+   so [v3_layout] parses v4 postings unchanged; only the slice bytes differ:
+
+     entry:  varint dtid                    as in v2/v3
+             varint dpre                    root pre, delta within a tid run
+             (key_size - 1) x varint dpre   node pre - root pre
+
+   Filter and root-split postings gain nothing from resolution (they carry
+   no redundant structure), so SIDX4 stores them as plain v3 bytes. *)
+
+let pack_v4_slice buf p lo n =
+  match p with
+  | Filter_p _ | Root_p _ -> invalid_arg "Coding.pack_v4: interval postings only"
+  | Interval_p a ->
+      let prev_tid = ref (-1) in
+      let prev_pre = ref 0 in
+      for i = lo to lo + n - 1 do
+        let tid, ivs = a.(i) in
+        let root = ivs.(0) in
+        Varint.write buf (tid - max !prev_tid 0);
+        let base = if !prev_tid = tid then !prev_pre else 0 in
+        Varint.write buf (root.pre - base);
+        Array.iteri
+          (fun k iv -> if k > 0 then Varint.write buf (iv.pre - root.pre))
+          ivs;
+        prev_tid := tid;
+        prev_pre := root.pre
+      done
+
+let pack_v4 ?(block_entries = default_block_entries) buf p =
+  if block_entries < 1 then invalid_arg "Coding.pack_v4: block_entries must be >= 1";
+  validate p;
+  let count = entries p in
+  if count <= block_entries then begin
+    Varint.write buf (count lsl 1);
+    pack_v4_slice buf p 0 count
+  end
+  else begin
+    Varint.write buf ((count lsl 1) lor 1);
+    Varint.write buf block_entries;
+    let nblocks = (count + block_entries - 1) / block_entries in
+    let bodies =
+      Array.init nblocks (fun b ->
+          let lo = b * block_entries in
+          let scratch = Buffer.create 512 in
+          pack_v4_slice scratch p lo (min block_entries (count - lo));
+          Buffer.contents scratch)
+    in
+    let prev = ref 0 in
+    Array.iteri
+      (fun b body ->
+        let ft = tid_at p (b * block_entries) in
+        Varint.write buf (ft - !prev);
+        prev := ft;
+        Varint.write buf (String.length body))
+      bodies;
+    Array.iter (Buffer.add_string buf) bodies
+  end
+
+(* decode [count] v4-slice entries; [resolve tid pre] supplies the interval
+   from the corpus store (and is the bounds authority for both arguments —
+   a corrupt tid or pre must surface as its error, never as a crash) *)
+let unpack_v4_slice ~key_size ~resolve ~count ~limit s off =
+  if key_size < 1 then malformed off "key size must be >= 1";
+  check_count ~count ~per_entry:(1 + key_size) ~remaining:(limit - off) off;
+  let a = Array.make count (0, [||]) in
+  let off = ref off in
+  let prev_tid = ref 0 in
+  let prev_pre = ref 0 in
+  for i = 0 to count - 1 do
+    let at = !off in
+    let dtid, o = checked_varint ~limit s at in
+    let tid = if i = 0 then dtid else !prev_tid + dtid in
+    let base = if i > 0 && dtid = 0 then !prev_pre else 0 in
+    let dpre, o = checked_varint ~limit s o in
+    let root_pre = base + dpre in
+    if tid < 0 || root_pre < 0 then malformed at "instance root out of range";
+    let root : interval = resolve tid root_pre in
+    let ivs = Array.make key_size root in
+    off := o;
+    for k = 1 to key_size - 1 do
+      let dpre, o = checked_varint ~limit s !off in
+      let pre = root_pre + dpre in
+      if pre < 0 then malformed !off "instance node out of range";
+      ivs.(k) <- resolve tid pre;
+      off := o
+    done;
+    a.(i) <- (tid, ivs);
+    prev_tid := tid;
+    prev_pre := root_pre
+  done;
+  (Interval_p a, !off)
+
+let unpack_block_v4 ~key_size ~resolve s (b : block) =
+  let finish = b.boff + b.blen in
+  let p, off = unpack_v4_slice ~key_size ~resolve ~count:b.bentries ~limit:finish s b.boff in
+  if off <> finish then malformed off "block shorter than its recorded length";
+  if b.first_tid >= 0 && b.bentries > 0 && tid_at p 0 <> b.first_tid then
+    malformed b.boff "block first tid disagrees with the skip table";
+  p
+
+let unpack_v4 ~key_size ~resolve ?limit s off =
+  let limit = clamp_limit limit s in
+  let count, blocks = v3_layout Interval ~limit s off in
+  let parts = Array.map (unpack_block_v4 ~key_size ~resolve s) blocks in
+  let finish =
+    let b = blocks.(Array.length blocks - 1) in
+    b.boff + b.blen
+  in
+  if Array.length parts = 1 then (parts.(0), finish)
+  else (concat_parts Interval ~count blocks parts, finish)
 
 (* ---- SIDX1 legacy codec ------------------------------------------------ *)
 

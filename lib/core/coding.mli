@@ -43,15 +43,40 @@ val heap_bytes : posting -> int
 (** Estimated decoded heap footprint in bytes, the {!Cache} cost of a
     decoded posting or block. *)
 
+(** {1 Byte sources}
+
+    Decoding reads through {!src}: an in-heap string (SIDX1-3 loads slurp
+    the file) or a memory-mapped byte view (SIDX4 consumes the file in
+    place, zero-copy).  The per-byte loops are specialised per constructor,
+    so the string path keeps its pre-mmap performance. *)
+
+type bigstring = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The element type of [Unix.map_file] with [Bigarray.char]. *)
+
+type src = Str of string | Map of bigstring
+
+val str : string -> src
+val map_src : bigstring -> src
+
+val src_length : src -> int
+
+val src_get : src -> int -> char
+(** Unchecked byte access — callers bound offsets themselves. *)
+
+val src_sub : src -> int -> int -> string
+(** [src_sub src off len] copies [len] bytes out as a string (bounds
+    checked; raises [Invalid_argument]).  Used for key bytes, never for
+    posting regions — postings decode in place. *)
+
 exception Malformed of { offset : int; what : string }
 (** Raised by every decoding function on bytes that are not a well-formed
     posting: truncated or overlong varints, entry counts exceeding the
     remaining bytes, negative or overflowing values.  {!Builder} maps it to
     {!Si_error.Corrupt} with the file path attached. *)
 
-val checked_varint : limit:int -> string -> int -> int * int
+val checked_varint : limit:int -> src -> int -> int * int
 (** [checked_varint ~limit s off] is [(value, next_off)], reading strictly
-    below [limit] (clamped to [String.length s]); raises {!Malformed}
+    below [limit] (clamped to [src_length s]); raises {!Malformed}
     instead of [Invalid_argument], with the failing offset.  The shared
     primitive of the defensive decode paths ({!Builder.load} uses it for
     the key directory as well). *)
@@ -60,7 +85,7 @@ val write : Buffer.t -> posting -> unit
 (** Legacy SIDX1 flattening: delta-varint tids, raw [(pre, post, level)]
     varints per interval. *)
 
-val read : scheme -> key_size:int -> ?limit:int -> string -> int -> posting * int
+val read : scheme -> key_size:int -> ?limit:int -> src -> int -> posting * int
 (** [read scheme ~key_size s off] parses one posting written by {!write}
     ([key_size] nodes per interval-coded instance); returns the posting and
     the next offset.  Raises {!Malformed} on bad bytes; never reads at or
@@ -82,12 +107,12 @@ val pack : Buffer.t -> posting -> unit
     [Invalid_argument] with a clear message rather than encoding bytes that
     would decode to a different posting. *)
 
-val unpack : scheme -> key_size:int -> ?limit:int -> string -> int -> posting * int
+val unpack : scheme -> key_size:int -> ?limit:int -> src -> int -> posting * int
 (** Inverse of {!pack}; same contract as {!read}: bounds-checked against
     [limit], validates the entry count against the remaining bytes before
     allocating, raises {!Malformed} on bad bytes. *)
 
-val packed_entries : ?limit:int -> string -> int -> int
+val packed_entries : ?limit:int -> src -> int -> int
 (** [packed_entries s off] is the entry count of the packed posting at
     [off] — the leading varint, without decoding the posting.  Raises
     {!Malformed} on a truncated or overflowing count. *)
@@ -120,7 +145,7 @@ val pack_v3 : ?block_entries:int -> Buffer.t -> posting -> unit
 (** Pack with the v3 container.  Validates like {!pack}; raises
     [Invalid_argument] if [block_entries < 1]. *)
 
-val v3_layout : scheme -> ?limit:int -> string -> int -> int * block array
+val v3_layout : scheme -> ?limit:int -> src -> int -> int * block array
 (** [v3_layout scheme s off] parses only the container header and skip
     table: [(count, blocks)].  A flat posting yields one block with
     [first_tid = -1].  Validates [B >= 1], that a blocked posting exceeds
@@ -129,14 +154,46 @@ val v3_layout : scheme -> ?limit:int -> string -> int -> int * block array
     filter postings — that block first tids are strictly increasing.
     Raises {!Malformed}. *)
 
-val unpack_block : scheme -> key_size:int -> string -> block -> posting
+val unpack_block : scheme -> key_size:int -> src -> block -> posting
 (** Decode one block.  Checks the body fills exactly [blen] bytes and that
     its first tid matches the skip table.  Raises {!Malformed}. *)
 
-val unpack_v3 : scheme -> key_size:int -> ?limit:int -> string -> int -> posting * int
+val unpack_v3 : scheme -> key_size:int -> ?limit:int -> src -> int -> posting * int
 (** Decode a whole v3 posting (all blocks, concatenated), additionally
     validating cross-block tid monotonicity.  Raises {!Malformed}. *)
 
-val packed_entries_v3 : ?limit:int -> string -> int -> int
+val packed_entries_v3 : ?limit:int -> src -> int -> int
 (** Entry count of the v3 posting at [off], from the container header
     only. *)
+
+(** {1 SIDX4 interval slices}
+
+    In an SIDX4 file the tree structure lives once, succinctly, in the
+    mapped corpus store ({!Treestore}), so interval postings only *name*
+    nodes: tid plus preorder ranks — one varint per node instead of three.
+    The container framing is exactly the v3 layout ({!v3_layout} parses v4
+    postings unchanged); decoding takes a [resolve] closure
+    ([tid -> pre -> interval], backed by the store) that reconstructs the
+    exact intervals v3 would have carried, so query results stay
+    byte-identical.  [resolve] is the bounds authority for both arguments:
+    a corrupt tid or pre must surface as its error, never as a crash.
+    Filter and root-split postings carry no redundant structure and stay in
+    v3 bytes inside SIDX4 files. *)
+
+val pack_v4 : ?block_entries:int -> Buffer.t -> posting -> unit
+(** Pack an interval posting with the v4 slice encoding inside the v3
+    container.  Validates like {!pack}; raises [Invalid_argument] on a
+    non-interval posting or [block_entries < 1]. *)
+
+val unpack_block_v4 :
+  key_size:int -> resolve:(int -> int -> interval) -> src -> block -> posting
+(** Decode one v4 block; same checks as {!unpack_block}. *)
+
+val unpack_v4 :
+  key_size:int ->
+  resolve:(int -> int -> interval) ->
+  ?limit:int ->
+  src ->
+  int ->
+  posting * int
+(** Decode a whole v4 posting; same checks as {!unpack_v3}. *)

@@ -24,3 +24,11 @@ val string : string -> int
 
 val substring : string -> int -> int -> int
 (** One-shot checksum of a slice. *)
+
+val bigsub :
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  int ->
+  int ->
+  int
+(** One-shot checksum of a memory-mapped slice (bounds checked) — the
+    lazily-verified SIDX4 / corpus-store regions hash in place, no copy. *)

@@ -112,14 +112,14 @@ let intersect (a : int array) (b : int array) =
   else intersect_merge a b out;
   Ibuf.contents out
 
-(* a decoded tid outside the corpus means the .idx and .dat disagree —
-   a corrupt or mismatched pair of files, never a crash *)
+(* a decoded tid outside the corpus means the .idx and .dat (or .trees)
+   disagree — a corrupt or mismatched pair of files, never a crash *)
 let tree_of ~(index : Builder.t) ~corpus tid =
-  if tid < 0 || tid >= Array.length corpus then
+  if tid < 0 || tid >= Corpus.length corpus then
     Si_error.raise_corrupt ~path:index.Builder.origin ~offset:0
       (Printf.sprintf "posting tid %d outside the corpus of %d trees" tid
-         (Array.length corpus));
-  corpus.(tid)
+         (Corpus.length corpus));
+  Corpus.get corpus tid
 
 (* The ?ctx threaded below is the query's resource gauge (Limits.ctx):
    steps at merge-advance / candidate-validation granularity, decoded-byte

@@ -27,7 +27,7 @@
 
 val run :
   index:Builder.t ->
-  corpus:Si_treebank.Annotated.t array ->
+  corpus:Corpus.t ->
   ?label_id:(Si_treebank.Label.t -> int) ->
   ?cache:Cursor.cache ->
   ?limits:Limits.t ->
@@ -45,7 +45,7 @@ val run :
 
 val run_exn :
   index:Builder.t ->
-  corpus:Si_treebank.Annotated.t array ->
+  corpus:Corpus.t ->
   ?label_id:(Si_treebank.Label.t -> int) ->
   ?cache:Cursor.cache ->
   ?limits:Limits.t ->
@@ -56,7 +56,7 @@ val run_exn :
 
 val run_outcome :
   index:Builder.t ->
-  corpus:Si_treebank.Annotated.t array ->
+  corpus:Corpus.t ->
   ?label_id:(Si_treebank.Label.t -> int) ->
   ?cache:Cursor.cache ->
   ?limits:Limits.t ->
@@ -74,7 +74,7 @@ val run_outcome :
 
 val run_outcome_exn :
   index:Builder.t ->
-  corpus:Si_treebank.Annotated.t array ->
+  corpus:Corpus.t ->
   ?label_id:(Si_treebank.Label.t -> int) ->
   ?cache:Cursor.cache ->
   ?limits:Limits.t ->

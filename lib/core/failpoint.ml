@@ -176,6 +176,7 @@ let known =
     ("builder.save.rename", "after fsync, before the atomic rename");
     ("si.save.siblings", "all four files staged, before the publish renames");
     ("builder.load.read", "reading index bytes (supports short:N torn reads)");
+    ("builder.load.map", "mapping an SIDX4 index file");
     ("builder.decode-block", "decoding one posting block");
     ("cursor.decode", "a cursor decoding its current block");
     ("cursor.seek", "a cursor skip-table seek");

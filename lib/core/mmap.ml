@@ -1,0 +1,53 @@
+(* Read-only memory mapping plus the little-endian field readers the
+   mapped formats (SIDX4, the .trees corpus store) share.  The returned
+   bigarray owns the mapping: the fd is closed immediately (POSIX keeps
+   the map alive) and the GC finalizer unmaps. *)
+
+type bigstring = Coding.bigstring
+
+let map_ro path : bigstring =
+  let fd =
+    try Unix.openfile path [ Unix.O_RDONLY ] 0
+    with Unix.Unix_error (e, _, _) ->
+      Si_error.raise_io ~path (Unix.error_message e)
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let size =
+        try (Unix.LargeFile.fstat fd).Unix.LargeFile.st_size
+        with Unix.Unix_error (e, _, _) ->
+          Si_error.raise_io ~path (Unix.error_message e)
+      in
+      if size = 0L then Si_error.raise_corrupt ~path ~offset:0 "empty file";
+      if Int64.compare size (Int64.of_int max_int) > 0 then
+        Si_error.raise_io ~path "file too large to map";
+      try
+        Bigarray.array1_of_genarray
+          (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| -1 |])
+      with
+      | Unix.Unix_error (e, _, _) -> Si_error.raise_io ~path (Unix.error_message e)
+      | Sys_error what -> Si_error.raise_io ~path what)
+
+(* Unsigned little-endian fields out of the map; offsets are the caller's
+   responsibility to bound (both formats validate region extents against
+   the file length before any field read). *)
+
+let u32 (m : bigstring) off =
+  let b i = Char.code (Bigarray.Array1.get m (off + i)) in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+let u64 ~path (m : bigstring) off =
+  let b i = Char.code (Bigarray.Array1.get m (off + i)) in
+  let hi = b 7 in
+  (* OCaml ints are 63-bit: a top byte above 0x3f cannot be a valid offset
+     or length in any file we can map — reject instead of wrapping *)
+  if hi > 0x3f then
+    Si_error.raise_corrupt ~path ~offset:off "64-bit field out of range";
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) lor (b 4 lsl 32)
+  lor (b 5 lsl 40) lor (b 6 lsl 48) lor (hi lsl 56)
+
+let bytes_at (m : bigstring) off len =
+  if off < 0 || len < 0 || off > Bigarray.Array1.dim m - len then
+    invalid_arg "Mmap.bytes_at";
+  String.init len (fun i -> Bigarray.Array1.unsafe_get m (off + i))

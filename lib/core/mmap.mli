@@ -1,0 +1,22 @@
+(** Read-only memory mapping for the SIDX4 index and the [.trees] corpus
+    store, plus the little-endian field readers both formats share. *)
+
+type bigstring = Coding.bigstring
+
+val map_ro : string -> bigstring
+(** Map a whole file read-only.  The fd is closed before returning (the
+    mapping survives it); the GC unmaps.  Raises {!Si_error.Error}: [Io]
+    on open/stat/mmap failure, [Corrupt] on an empty file (zero-length
+    mappings are not portable, and no mapped format is ever empty). *)
+
+val u32 : bigstring -> int -> int
+(** Little-endian u32 at a byte offset.  Bounds are the caller's: both
+    formats validate region extents against the file length first. *)
+
+val u64 : path:string -> bigstring -> int -> int
+(** Little-endian u64 at a byte offset; raises [Corrupt] if the value
+    exceeds OCaml's 63-bit int range (no real offset or length can). *)
+
+val bytes_at : bigstring -> int -> int -> string
+(** Copy a slice out as a string (bounds checked) — magic strings and
+    other tiny fields only; bulk regions are consumed in place. *)

@@ -2,7 +2,9 @@ open Si_treebank
 
 type t = {
   index : Builder.t;
-  corpus : Annotated.t array;
+  corpus : Corpus.t;
+      (* a materialized array for SIDX1-3 / fresh builds, the mapped
+         [.trees] store for SIDX4 opens *)
   label_id : Label.t -> int;
       (* process-global label id -> the id space the index keys were
          encoded in; raises Not_found for labels the index never saw *)
@@ -11,13 +13,16 @@ type t = {
          [query_batch] domains each get their own *)
 }
 
+type format = [ `Sidx3 | `Sidx4 ]
+
 let index t = t.index
 let cache_stats t = Cache.stats t.cache
 let scheme t = t.index.Builder.scheme
 let mss t = t.index.Builder.mss
 let stats t = t.index.Builder.stats
 let corpus t = t.corpus
-let sentence t tid = t.corpus.(tid).Annotated.tree
+let format t = if Builder.is_mapped t.index then `Sidx4 else `Sidx3
+let sentence t tid = (Corpus.get t.corpus tid).Annotated.tree
 
 let write_text path lines =
   let oc = open_out_bin path in
@@ -58,10 +63,18 @@ let read_binary path =
      exact [.idx] bytes it was written against ([idx_crc=...]), and
      {!open_} refuses a prefix whose [.idx] does not match it
      ([Schema_mismatch]) instead of answering from mismatched files.
-     Re-running the save to completion repairs the prefix. *)
-let save t prefix trees =
+     Re-running the save to completion repairs the prefix.
+
+   [`Sidx4] saves add a fifth sibling, [prefix.trees] — the zero-copy
+   corpus store the mapped open resolves intervals against — staged and
+   renamed under the same protocol (before the [.meta]). *)
+let save ?(format = `Sidx3) t prefix trees =
   let staged_idx = prefix ^ ".idx.new" in
-  (match Builder.save t.index staged_idx with
+  (match
+     match format with
+     | `Sidx3 -> Builder.save t.index staged_idx
+     | `Sidx4 -> Builder.save_v4 t.index staged_idx
+   with
   | Ok () -> ()
   | Error e -> raise (Si_error.Error e));
   let idx_crc = Crc32.string (read_binary staged_idx) in
@@ -69,7 +82,11 @@ let save t prefix trees =
   let dat, dat_tmp = tmp ".dat" in
   let labels, labels_tmp = tmp ".labels" in
   let meta, meta_tmp = tmp ".meta" in
+  let trees_file, trees_tmp = tmp ".trees" in
   Penn.write_file dat_tmp trees;
+  (match format with
+  | `Sidx4 -> Treestore.save trees_tmp (Corpus.to_array t.corpus)
+  | `Sidx3 -> ());
   write_text labels_tmp (Array.to_list (Label.all ()));
   let s = t.index.Builder.stats in
   write_text meta_tmp
@@ -85,16 +102,17 @@ let save t prefix trees =
   Failpoint.hit "si.save.siblings";
   Sys.rename staged_idx (prefix ^ ".idx");
   Sys.rename dat_tmp dat;
+  (match format with `Sidx4 -> Sys.rename trees_tmp trees_file | `Sidx3 -> ());
   Sys.rename labels_tmp labels;
   (* the .meta lands last: it names the .idx bytes it belongs to *)
   Sys.rename meta_tmp meta
 
-let build ?(domains = 1) ?cache_budget ~scheme ~mss ~trees ?prefix () =
-  let corpus = Array.of_list (List.map Annotated.of_tree trees) in
-  let index = Builder.build ~domains ~scheme ~mss corpus in
+let build ?(domains = 1) ?cache_budget ?format ~scheme ~mss ~trees ?prefix () =
+  let docs = Array.of_list (List.map Annotated.of_tree trees) in
+  let index = Builder.build ~domains ~scheme ~mss docs in
   let cache = Cursor.create_cache ?budget:cache_budget () in
-  let t = { index; corpus; label_id = Fun.id; cache } in
-  (try Option.iter (fun p -> save t p trees) prefix
+  let t = { index; corpus = Corpus.of_array docs; label_id = Fun.id; cache } in
+  (try Option.iter (fun p -> save ?format t p trees) prefix
    with Sys_error what ->
      raise (Si_error.Error (Si_error.Io { path = Option.get prefix; what })));
   t
@@ -145,6 +163,23 @@ let check_meta prefix ~(index : Builder.t) ~ntrees =
           | _ -> ()))
     (read_lines path)
 
+(* nodes= / postings= counts out of the .meta — the mapped open has no
+   other source for them (it never walks the corpus or the postings) *)
+let meta_counts prefix =
+  let nodes = ref 0 and postings = ref 0 in
+  List.iter
+    (fun line ->
+      match String.index_opt line '=' with
+      | None -> ()
+      | Some i -> (
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          match String.sub line 0 i with
+          | "nodes" -> nodes := Option.value ~default:0 (int_of_string_opt v)
+          | "postings" -> postings := Option.value ~default:0 (int_of_string_opt v)
+          | _ -> ()))
+    (read_lines (prefix ^ ".meta"));
+  (!nodes, !postings)
+
 let open_ ?cache_budget prefix =
   Si_error.guard @@ fun () ->
   let index =
@@ -159,8 +194,6 @@ let open_ ?cache_budget prefix =
         (* Penn parse errors: the corpus file is damaged, not the query *)
         Si_error.raise_corrupt ~path ~offset:0 what
   in
-  let trees = wrap_file (prefix ^ ".dat") (fun () -> Penn.read_file (prefix ^ ".dat")) in
-  let corpus = Array.of_list (List.map Annotated.of_tree trees) in
   let stored =
     wrap_file (prefix ^ ".labels") (fun () ->
         Array.of_list (read_lines (prefix ^ ".labels")))
@@ -172,18 +205,63 @@ let open_ ?cache_budget prefix =
     | Some id -> id
     | None -> raise Not_found
   in
-  wrap_file (prefix ^ ".meta") (fun () ->
-      check_meta prefix ~index ~ntrees:(Array.length corpus));
-  let index =
-    (* restore the corpus stats the .idx does not carry *)
-    let nodes = Array.fold_left (fun acc d -> acc + Annotated.size d) 0 corpus in
-    {
-      index with
-      Builder.stats =
-        { index.Builder.stats with Builder.trees = Array.length corpus; nodes };
-    }
-  in
-  { index; corpus; label_id; cache = Cursor.create_cache ?budget:cache_budget () }
+  let cache () = Cursor.create_cache ?budget:cache_budget () in
+  if Builder.is_mapped index then begin
+    (* SIDX4: O(1) open.  No .dat parse, no table build — map the .trees
+       corpus store, attach the interval resolver, and restore the stats
+       the mapped .idx does not carry from the .meta. *)
+    let store_path = prefix ^ ".trees" in
+    let relabel sid =
+      if sid < 0 || sid >= Array.length stored then
+        Si_error.raise_corrupt ~path:store_path ~offset:0
+          (Printf.sprintf "stored label id %d outside the %d-entry label table"
+             sid (Array.length stored))
+      else Label.intern stored.(sid)
+    in
+    let store = wrap_file store_path (fun () -> Treestore.open_ ~relabel store_path) in
+    let ntrees = Treestore.length store in
+    wrap_file (prefix ^ ".meta") (fun () -> check_meta prefix ~index ~ntrees);
+    let nodes, postings =
+      wrap_file (prefix ^ ".meta") (fun () -> meta_counts prefix)
+    in
+    Builder.set_resolve index (fun tid pre ->
+        let d = Treestore.get store tid in
+        if pre < 0 || pre >= Annotated.size d then
+          Si_error.raise_corrupt ~path:(prefix ^ ".idx") ~offset:0
+            (Printf.sprintf "posting pre %d outside tree %d of %d nodes" pre
+               tid (Annotated.size d));
+        {
+          Coding.pre;
+          post = d.Annotated.post.(pre);
+          level = d.Annotated.level.(pre);
+        });
+    let index =
+      {
+        index with
+        Builder.stats =
+          { index.Builder.stats with Builder.trees = ntrees; nodes; postings };
+      }
+    in
+    { index; corpus = Corpus.of_store store; label_id; cache = cache () }
+  end
+  else begin
+    let trees =
+      wrap_file (prefix ^ ".dat") (fun () -> Penn.read_file (prefix ^ ".dat"))
+    in
+    let docs = Array.of_list (List.map Annotated.of_tree trees) in
+    wrap_file (prefix ^ ".meta") (fun () ->
+        check_meta prefix ~index ~ntrees:(Array.length docs));
+    let index =
+      (* restore the corpus stats the .idx does not carry *)
+      let nodes = Array.fold_left (fun acc d -> acc + Annotated.size d) 0 docs in
+      {
+        index with
+        Builder.stats =
+          { index.Builder.stats with Builder.trees = Array.length docs; nodes };
+      }
+    in
+    { index; corpus = Corpus.of_array docs; label_id; cache = cache () }
+  end
 
 let query_ast ?limits t q =
   Eval.run ~index:t.index ~corpus:t.corpus ~label_id:t.label_id ~cache:t.cache
@@ -205,7 +283,7 @@ let query_with ~cache ?limits t s =
 
 let query ?limits t s = query_with ~cache:t.cache ?limits t s
 
-let oracle t q = Si_query.Matcher.corpus_roots t.corpus q
+let oracle t q = Si_query.Matcher.corpus_roots (Corpus.to_array t.corpus) q
 
 (* ---- parallel batch evaluation ----------------------------------------- *)
 

@@ -26,22 +26,31 @@
 
 type t
 
+type format = [ `Sidx3 | `Sidx4 ]
+(** On-disk [.idx] container to persist: [`Sidx3] (default) the eager
+    checksummed format, [`Sidx4] the mmap-resident format whose open is
+    O(1) and whose interval postings resolve against the [prefix.trees]
+    corpus store (written alongside). *)
+
 val build :
   ?domains:int ->
   ?cache_budget:int ->
+  ?format:format ->
   scheme:Coding.scheme ->
   mss:int ->
   trees:Si_treebank.Tree.t list ->
   ?prefix:string ->
   unit ->
   t
-(** Build in memory; when [prefix] is given, also persist the four files
+(** Build in memory; when [prefix] is given, also persist the file set
     (crash-safely — see the module preamble).  [domains] (default 1)
     shards construction across that many OCaml domains; the result and
     persisted bytes are identical regardless.  [cache_budget] bounds the
     handle's decoded-block cache in bytes (default 64 MiB; [0] disables
-    retention — queries still stream, nothing is kept).  Raises
-    [Si_error.Error] (an [Io] variant) if persisting fails. *)
+    retention — queries still stream, nothing is kept).  [format] picks
+    the [.idx] container (default [`Sidx3]; [`Sidx4] additionally writes
+    [prefix.trees]).  Raises [Si_error.Error] (an [Io] variant) if
+    persisting fails. *)
 
 val index : t -> Builder.t
 (** The underlying key table — for tools and benchmarks. *)
@@ -51,7 +60,13 @@ val open_ : ?cache_budget:int -> string -> (t, Si_error.t) result
     is trusted: the [.idx] checksums and structure ([Corrupt]), the [.dat]
     parse ([Corrupt]), unreadable files ([Io]), and the [.meta]
     cross-check — scheme, mss, tree count and the [.idx] file CRC must
-    agree with the loaded [.idx] and [.dat] ([Schema_mismatch]). *)
+    agree with the loaded [.idx] and [.dat] ([Schema_mismatch]).
+
+    An SIDX4 prefix opens in O(1) instead: the [.idx] and the [.trees]
+    corpus store are mapped, only their footer/header CRCs are checked up
+    front (body region CRCs verify lazily, on first touch), the [.dat] is
+    never read, and trees materialize on demand.  Query results are
+    byte-identical to the same index in SIDX3 form. *)
 
 val query : ?limits:Limits.t -> t -> string -> ((int * int) list, Si_error.t) result
 (** Parse and evaluate; [(tid, node)] match pairs, sorted.  Evaluates on
@@ -137,6 +152,11 @@ val oracle : t -> Si_query.Ast.t -> (int * int) list
 val scheme : t -> Coding.scheme
 val mss : t -> int
 val stats : t -> Builder.stats
-val corpus : t -> Si_treebank.Annotated.t array
+val corpus : t -> Corpus.t
+
+val format : t -> format
+(** The on-disk container this handle was opened from (fresh builds
+    report [`Sidx3] — they are fully materialized in memory). *)
+
 val sentence : t -> int -> Si_treebank.Tree.t
 (** The indexed tree with id [tid]. *)

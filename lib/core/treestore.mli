@@ -1,0 +1,49 @@
+(** Zero-copy corpus store — the [.trees] sibling of an SIDX4 prefix.
+
+    Trees live in the file in contiguous DFS order: per tree a node count,
+    the preorder label ids (in the *stored* id space of the [.labels]
+    sibling) and a balanced-parentheses bitmap (1 bit on entering a node,
+    0 on leaving).  A u64 offset table makes tid -> record an O(1) array
+    read, and the BP scan reconstructs exactly the {!Annotated.t} a Penn
+    re-parse would build — (pre, post, level), parent and children arrays
+    — so post-validation and subtree extraction never touch the [.dat]
+    bracketing.  This is also the structure the SIDX4 interval postings
+    share: they store only node *names* (tid, preorder rank) and resolve
+    intervals against this store at decode time.
+
+    {!open_} is O(1): map the file, verify the footer and header CRCs
+    (52 fixed bytes), validate the region table.  The offsets and trees
+    region CRCs are verified lazily on the first {!get}; trees materialize
+    on demand into a per-tid memo (a benign-race memo — safe to share
+    across query domains). *)
+
+type t
+
+val save : string -> Si_treebank.Annotated.t array -> unit
+(** Serialize a corpus to [path] (plain write + fsync — callers stage to a
+    temporary and rename, like the other prefix siblings).  Label ids are
+    written as-is; they are the stored-id space only when the caller also
+    writes the matching [.labels] (as {!Si.save} does). *)
+
+val open_ : relabel:(int -> int) -> string -> t
+(** Map a store.  [relabel] translates stored label ids to live interned
+    ids and must reject out-of-range ids with an {!Si_error} raise.
+    Raises {!Si_error.Error}: [Io] on mapping failure, [Corrupt] on a
+    damaged header, footer or region table. *)
+
+val length : t -> int
+(** Number of trees. *)
+
+val get : t -> int -> Si_treebank.Annotated.t
+(** Materialize tree [tid] (memoized).  First call verifies the body
+    region CRCs.  Raises [Corrupt] on an out-of-range tid or damaged
+    record — never crashes on hostile bytes. *)
+
+val mapped_bytes : t -> int
+val body_verified : t -> bool
+
+val verify : t -> unit
+(** Force the lazy body CRC verification now.  Raises [Corrupt]. *)
+
+val crc_state : t -> (string * int * bool) list
+(** Per-region [(name, bytes, verified)] for [stats]. *)

@@ -158,13 +158,27 @@ let serving_json t ~gen ~prefix ~draining ~workers =
 
 let index_json si =
   let s = Si.stats si in
+  (* mapped SIDX4 handles report the mapping sizes (.idx + .trees); heap
+     handles report 0 — the distinction the stats CI check pins *)
+  let mapped_bytes =
+    (match Builder.mapped_stats (Si.index si) with
+    | Some m -> m.Builder.mapped_bytes
+    | None -> 0)
+    + (match Corpus.store (Si.corpus si) with
+      | Some st -> Treestore.mapped_bytes st
+      | None -> 0)
+  in
   Jsonx.Obj
     [
       ("scheme", Jsonx.Str (Coding.scheme_to_string (Si.scheme si)));
       ("mss", Jsonx.Int (Si.mss si));
+      ( "backend",
+        Jsonx.Str (match Si.format si with `Sidx4 -> "mapped" | `Sidx3 -> "heap")
+      );
       ("trees", Jsonx.Int s.Builder.trees);
       ("nodes", Jsonx.Int s.Builder.nodes);
       ("keys", Jsonx.Int s.Builder.keys);
       ("postings", Jsonx.Int s.Builder.postings);
       ("idx_bytes", Jsonx.Int s.Builder.bytes);
+      ("mapped_bytes", Jsonx.Int mapped_bytes);
     ]

@@ -196,4 +196,81 @@ if command -v python3 >/dev/null; then
     || { echo "FAIL: stats --json is not valid JSON" >&2; exit 1; }
 fi
 
+# ---- SIDX4: mmap-resident backend ----------------------------------------
+# build --format sidx4 writes the .trees corpus store, answers stay
+# oracle-identical under every coding, and stats reports the mapped
+# backend with per-region CRC state
+for scheme in filter interval root-split; do
+  P4="$DIR/ix4-$scheme"
+  "$TOOL" build --corpus "$DIR/corpus.penn" --prefix "$P4" \
+    --scheme "$scheme" --mss 3 --format sidx4 >/dev/null
+  [ -f "$P4.trees" ] || { echo "FAIL: sidx4 build wrote no .trees" >&2; exit 1; }
+  for q in "${QUERIES[@]}"; do
+    out="$("$TOOL" query --prefix "$P4" "$q" --check-oracle)"
+    grep -q 'oracle: OK' <<<"$out" \
+      || { echo "FAIL: sidx4 scheme=$scheme query=$q: $out" >&2; exit 1; }
+    # the mapped backend answers with the same counts as the sidx3 prefix
+    c3="$("$TOOL" query --prefix "$DIR/ix-$scheme" "$q" | head -1)"
+    c4="$(head -1 <<<"$out")"
+    [ "$c3" = "$c4" ] \
+      || { echo "FAIL: sidx4/$scheme $q: $c4 vs sidx3 $c3" >&2; exit 1; }
+  done
+done
+
+P4="$DIR/ix4-interval"
+out="$("$TOOL" stats --prefix "$P4")"
+for pat in 'backend=mapped' 'mmap mapped_bytes=' 'resident_estimate=' \
+           'region idx/kindex' 'region idx/keydir' 'region idx/postings' \
+           'region trees/offsets' 'region trees/trees' 'crc=lazy'; do
+  grep -q "$pat" <<<"$out" \
+    || { echo "FAIL: sidx4 stats missing '$pat': $out" >&2; exit 1; }
+done
+
+out="$("$TOOL" stats --prefix "$P4" --json)"
+for key in '"backend":"mapped"' '"mapped_bytes"' '"mmap"' '"resident_estimate"' \
+           '"regions"' '"verified":false'; do
+  grep -qF "$key" <<<"$out" \
+    || { echo "FAIL: sidx4 stats --json missing $key: $out" >&2; exit 1; }
+done
+if command -v python3 >/dev/null; then
+  python3 -c 'import json,sys
+j = json.loads(sys.stdin.read())
+assert j["index"]["backend"] == "mapped"
+assert j["index"]["mapped_bytes"] > 0
+assert j["mmap"]["mapped_bytes"] == j["index"]["mapped_bytes"]
+assert 0 <= j["mmap"]["resident_estimate"] <= j["mmap"]["mapped_bytes"]
+names = {(r["file"], r["name"]) for r in j["mmap"]["regions"]}
+assert names == {("idx","kindex"),("idx","keydir"),("idx","postings"),
+                 ("trees","offsets"),("trees","trees")}, names' <<<"$out" \
+    || { echo "FAIL: sidx4 stats --json schema check" >&2; exit 1; }
+fi
+# ... and the sidx3 prefix reports the heap backend
+out="$("$TOOL" stats --prefix "$DIR/ix-interval")"
+grep -q 'backend=heap' <<<"$out" \
+  || { echo "FAIL: sidx3 stats should say backend=heap" >&2; exit 1; }
+
+# corruption contract holds for both mapped files (exit 3, clean message)
+cp "$P4.idx" "$DIR/p4-pristine.idx"; cp "$P4.trees" "$DIR/p4-pristine.trees"
+head -c 100 "$DIR/p4-pristine.idx" > "$P4.idx"
+expect_exit 3 'corrupt index' "$TOOL" query --prefix "$P4" 'S(NP)(VP)'
+cp "$DIR/p4-pristine.idx" "$P4.idx"
+head -c 50 "$DIR/p4-pristine.trees" > "$P4.trees"
+expect_exit 3 'corrupt index' "$TOOL" query --prefix "$P4" 'S(NP)(VP)'
+cp "$DIR/p4-pristine.trees" "$P4.trees"
+out="$("$TOOL" query --prefix "$P4" 'S(NP)(VP)' --check-oracle)"
+grep -q 'oracle: OK' <<<"$out" \
+  || { echo "FAIL: restored sidx4 index broken" >&2; exit 1; }
+
+# openbench reports the backend and a parseable latency line
+out="$("$TOOL" openbench --prefix "$P4" --repeat 2 --query 'S(NP)(VP)')"
+for pat in 'open_ms_min=' 'backend=mapped' 'first_query_ms=' 'matches='; do
+  grep -q "$pat" <<<"$out" \
+    || { echo "FAIL: openbench missing '$pat': $out" >&2; exit 1; }
+done
+
+# the serving path accepts a mapped prefix (batch mode smoke)
+out="$("$TOOL" serve --prefix "$P4" --batch "$BATCH" 2>/dev/null)"
+grep -q 'queries=200' <<<"$out" \
+  || { echo "FAIL: serve --batch over sidx4: $out" >&2; exit 1; }
+
 echo "cli_test: OK"

@@ -116,9 +116,9 @@ let queries =
   List.map Si_query.Parser.parse_exn
     [ "S(NP)(VP)"; "NP(DT)(NN)"; "S(//NN)"; "S(NP(DT)(NN))(VP)" ]
 
-type version = V3 | V2 | V1
+type version = V4 | V3 | V2 | V1
 
-let version_name = function V3 -> "v3" | V2 -> "v2" | V1 -> "v1"
+let version_name = function V4 -> "v4" | V3 -> "v3" | V2 -> "v2" | V1 -> "v1"
 
 type base = {
   name : string;
@@ -165,14 +165,15 @@ let make_bases dir =
               let trees =
                 Si_grammar.Generator.corpus ~seed:(100 + mss) ~n:25 ()
               in
-              let si = Si.build ~scheme ~mss ~trees ~prefix () in
+              let format = match version with V4 -> `Sidx4 | _ -> `Sidx3 in
+              let si = Si.build ~format ~scheme ~mss ~trees ~prefix () in
               let rewrite save =
                 match save (Si.index si) (prefix ^ ".idx") with
                 | Ok () -> ()
                 | Error e -> failwith (Si_error.to_string e)
               in
               (match version with
-              | V3 -> ()  (* Si.build already saved SIDX3 *)
+              | V4 | V3 -> ()  (* Si.build already saved this container *)
               | V2 ->
                   rewrite Builder.save_v2;
                   refit_meta prefix
@@ -183,11 +184,12 @@ let make_bases dir =
               let files =
                 List.map
                   (fun ext -> (ext, read_file (prefix ^ ext)))
-                  [ ".idx"; ".dat"; ".labels"; ".meta" ]
+                  ([ ".idx"; ".dat"; ".labels"; ".meta" ]
+                  @ match version with V4 -> [ ".trees" ] | _ -> [])
               in
               let scratch = Filename.concat dir (name ^ "-scratch") in
               bases := { name; scratch; files; version; expected } :: !bases)
-            [ V3; V2; V1 ])
+            [ V4; V3; V2; V1 ])
         [ 1; 3 ])
     [ Coding.Filter; Coding.Interval; Coding.Root_split ];
   Array.of_list (List.rev !bases)
@@ -227,9 +229,14 @@ let check_queries iter base si ~oracle_checked =
 let fuzz_idx g bases st iter =
   let base = Prng.pick g bases in
   restore base;
-  let pristine = List.assoc ".idx" base.files in
+  (* V4 prefixes carry a second mapped file — the .trees corpus store —
+     under the same fully-checksummed contract as the .idx *)
+  let ext =
+    if base.version = V4 && Prng.int g 3 = 0 then ".trees" else ".idx"
+  in
+  let pristine = List.assoc ext base.files in
   let mutated = mutate g pristine in
-  write_file (base.scratch ^ ".idx") mutated;
+  write_file (base.scratch ^ ext) mutated;
   st.idx_runs <- st.idx_runs + 1;
   match Si.open_ base.scratch with
   | Error _ -> st.idx_rejected <- st.idx_rejected + 1
@@ -290,17 +297,23 @@ let fuzz_codec g st _iter =
   let s = String.init (Prng.int g 200) (fun _ -> Char.chr (Prng.int g 256)) in
   let scheme = Prng.pick g [| Coding.Filter; Coding.Interval; Coding.Root_split |] in
   let key_size = 1 + Prng.int g 4 in
-  (match Coding.unpack scheme ~key_size s 0 with
+  (match Coding.unpack scheme ~key_size (Coding.str s) 0 with
   | _ -> ()
   | exception Coding.Malformed _ -> ());
-  (match Coding.read scheme ~key_size s 0 with
+  (match Coding.read scheme ~key_size (Coding.str s) 0 with
   | _ -> ()
   | exception Coding.Malformed _ -> ());
   (* the v3 container decoders obey the same contract on garbage *)
-  (match Coding.unpack_v3 scheme ~key_size s 0 with
+  (match Coding.unpack_v3 scheme ~key_size (Coding.str s) 0 with
   | _ -> ()
   | exception Coding.Malformed _ -> ());
-  match Coding.v3_layout scheme s 0 with
+  (match Coding.v3_layout scheme (Coding.str s) 0 with
+  | _ -> ()
+  | exception Coding.Malformed _ -> ());
+  (* the v4 slice decoder, with a benign resolver standing in for the
+     corpus store (real resolution is fuzzed through the [idx] phase) *)
+  let resolve _tid _pre = { Coding.pre = 0; post = 0; level = 0 } in
+  match Coding.unpack_v4 ~key_size ~resolve (Coding.str s) 0 with
   | _ -> ()
   | exception Coding.Malformed _ -> ()
 
@@ -331,9 +344,10 @@ let fuzz_sibling g bases st iter =
    armed point leaks into the byte-mutation phases. *)
 
 let load_specs g =
-  match Prng.int g 6 with
+  match Prng.int g 7 with
   | 0 -> Printf.sprintf "builder.load.read=short:%d" (Prng.int g 512)
   | 1 -> "builder.load.read=sys"
+  | 6 -> if Prng.int g 2 = 0 then "builder.load.map=sys" else "builder.load.map=fail"
   | 2 -> Printf.sprintf "builder.decode-block=fail@%d" (1 + Prng.int g 3)
   | 3 -> Printf.sprintf "cursor.decode=fail@%d" (1 + Prng.int g 3)
   | 4 -> Printf.sprintf "cursor.seek=fail@%d" (1 + Prng.int g 2)
@@ -382,8 +396,9 @@ let fuzz_failpoint g bases st iter =
           failwith ("pristine scratch failed to open: " ^ Si_error.to_string e)
     in
     let trees = Si_grammar.Generator.corpus ~seed:iter ~n:6 () in
+    let format = match base.version with V4 -> `Sidx4 | _ -> `Sidx3 in
     (match
-       Si.build ~scheme:(Si.scheme si0) ~mss:(Si.mss si0) ~trees
+       Si.build ~format ~scheme:(Si.scheme si0) ~mss:(Si.mss si0) ~trees
          ~prefix:base.scratch ()
      with
     | _ ->

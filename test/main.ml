@@ -9,5 +9,6 @@ let () =
       ("core", Test_core.suite);
       ("serve", Test_serve.suite);
       ("limits", Test_limits.suite);
+      ("mmap", Test_mmap.suite);
       ("serve-net", Test_serve_net.suite);
     ]

@@ -50,7 +50,7 @@ let prop_posting_codec =
       let buf = Buffer.create 64 in
       Coding.write buf p;
       let s = Buffer.contents buf in
-      let p', off = Coding.read (scheme_of p) ~key_size:(key_size_of p) s 0 in
+      let p', off = Coding.read (scheme_of p) ~key_size:(key_size_of p) (Coding.str s) 0 in
       p = p' && off = String.length s)
 
 let corpus n seed = Si_grammar.Generator.corpus ~seed ~n ()
@@ -72,7 +72,7 @@ let prop_pack_roundtrip =
               Coding.pack buf p;
               let s = Buffer.contents buf in
               let p', off =
-                Coding.unpack scheme ~key_size:(Si_subtree.Canonical.key_size key) s 0
+                Coding.unpack scheme ~key_size:(Si_subtree.Canonical.key_size key) (Coding.str s) 0
               in
               if p <> p' || off <> String.length s then
                 QCheck.Test.fail_reportf "pack/unpack mismatch (%s, mss=%d)"
@@ -183,7 +183,7 @@ let check_differential ~seed ~n ~mss =
       let index = Builder.build ~scheme ~mss d in
       List.iter
         (fun q ->
-          let got = Eval.run_exn ~index ~corpus:d q in
+          let got = Eval.run_exn ~index ~corpus:(Corpus.of_array d) q in
           let want = Hashtbl.find oracle q in
           Alcotest.(check (list (pair int int)))
             (Printf.sprintf "%s/%s mss=%d"
@@ -257,8 +257,8 @@ let prop_sidx2_differential =
           let b' = with_temp (fun p -> save_exn b p; load_exn p) in
           List.iter
             (fun q ->
-              let mem = Eval.run_exn ~index:b ~corpus:d q in
-              let lazy_ = Eval.run_exn ~index:b' ~corpus:d q in
+              let mem = Eval.run_exn ~index:b ~corpus:(Corpus.of_array d) q in
+              let lazy_ = Eval.run_exn ~index:b' ~corpus:(Corpus.of_array d) q in
               let want = Si_query.Matcher.corpus_roots d q in
               if mem <> lazy_ || lazy_ <> want then
                 QCheck.Test.fail_reportf "SIDX2 mismatch on %s (%s, mss=%d)"
@@ -439,10 +439,10 @@ let prop_unpack_garbage =
       let scheme =
         match si with 0 -> Coding.Filter | 1 -> Coding.Interval | _ -> Coding.Root_split
       in
-      (match Coding.unpack scheme ~key_size s 0 with
+      (match Coding.unpack scheme ~key_size (Coding.str s) 0 with
       | _ -> ()
       | exception Coding.Malformed _ -> ());
-      (match Coding.read scheme ~key_size s 0 with
+      (match Coding.read scheme ~key_size (Coding.str s) 0 with
       | _ -> ()
       | exception Coding.Malformed _ -> ());
       true)
@@ -488,7 +488,7 @@ let prop_pack_roundtrip_adversarial =
       Coding.pack buf p;
       let s = Buffer.contents buf in
       let key_size = key_size_of p in
-      let p', off = Coding.unpack (scheme_of p) ~key_size s 0 in
+      let p', off = Coding.unpack (scheme_of p) ~key_size (Coding.str s) 0 in
       p = p' && off = String.length s)
 
 let test_si_roundtrip () =

@@ -334,7 +334,7 @@ let test_aborted_resave_keeps_old_index () =
           | _ -> Alcotest.fail "aborted re-save did not error");
       let si = ok_exn "open after aborted re-save" (Si.open_ prefix) in
       Alcotest.(check int) "old corpus intact" (List.length trees_a)
-        (Array.length (Si.corpus si));
+        (Corpus.length (Si.corpus si));
       ignore (ok_exn "still answers" (Si.query si cheap)))
 
 let suite =

@@ -174,10 +174,10 @@ let check_stream_differential ~seed ~n ~mss =
             Printf.sprintf "%s/%s mss=%d" (Coding.scheme_to_string scheme)
               (Si_query.Ast.to_string q) mss
           in
-          let legacy = Eval.run_exn ~index ~corpus:d q in
-          let cold = Eval.run_exn ~index ~corpus:d ~cache q in
-          let warm = Eval.run_exn ~index ~corpus:d ~cache q in
-          let evicting = Eval.run_exn ~index ~corpus:d ~cache:nocache q in
+          let legacy = Eval.run_exn ~index ~corpus:(Corpus.of_array d) q in
+          let cold = Eval.run_exn ~index ~corpus:(Corpus.of_array d) ~cache q in
+          let warm = Eval.run_exn ~index ~corpus:(Corpus.of_array d) ~cache q in
+          let evicting = Eval.run_exn ~index ~corpus:(Corpus.of_array d) ~cache:nocache q in
           if legacy <> want then
             QCheck.Test.fail_reportf "legacy path diverges from oracle: %s" ctx;
           if cold <> want then
@@ -288,8 +288,8 @@ let test_sidx2_back_compat () =
         (fun q ->
           Alcotest.(check (list (pair int int)))
             ("SIDX2 streaming: " ^ Si_query.Ast.to_string q)
-            (Eval.run_exn ~index:b ~corpus:d q)
-            (Eval.run_exn ~index:via_v2 ~corpus:d ~cache q))
+            (Eval.run_exn ~index:b ~corpus:(Corpus.of_array d) q)
+            (Eval.run_exn ~index:via_v2 ~corpus:(Corpus.of_array d) ~cache q))
         queries;
       (* saving a V2-loaded index re-encodes to SIDX3 without loss *)
       let reconverted = with_temp (fun p -> save_exn via_v2 p; load_exn p) in
@@ -309,7 +309,7 @@ let test_pack_v3_layout () =
   let buf = Buffer.create 64 in
   Coding.pack_v3 ~block_entries:4 buf posting;
   let s = Buffer.contents buf in
-  let count, blocks = Coding.v3_layout Coding.Filter s 0 in
+  let count, blocks = Coding.v3_layout Coding.Filter (Coding.str s) 0 in
   Alcotest.(check int) "count" 23 count;
   Alcotest.(check int) "nblocks" 6 (Array.length blocks);
   Array.iteri
@@ -318,22 +318,22 @@ let test_pack_v3_layout () =
         (3 * 4 * i) b.Coding.first_tid;
       Alcotest.(check int) (Printf.sprintf "block %d entries" i)
         (if i = 5 then 3 else 4) b.Coding.bentries;
-      let bp = Coding.unpack_block Coding.Filter ~key_size:1 s b in
+      let bp = Coding.unpack_block Coding.Filter ~key_size:1 (Coding.str s) b in
       Alcotest.(check int) "block decodes its entries"
         b.Coding.bentries (Coding.entries bp))
     blocks;
-  let p', off = Coding.unpack_v3 Coding.Filter ~key_size:1 s 0 in
+  let p', off = Coding.unpack_v3 Coding.Filter ~key_size:1 (Coding.str s) 0 in
   Alcotest.(check bool) "unpack_v3 = posting" true (p' = posting);
   Alcotest.(check int) "consumed all" (String.length s) off;
-  Alcotest.(check int) "packed_entries_v3" 23 (Coding.packed_entries_v3 s 0);
+  Alcotest.(check int) "packed_entries_v3" 23 (Coding.packed_entries_v3 (Coding.str s) 0);
   (* at or under the threshold the body stays flat: one pseudo-block *)
   let buf = Buffer.create 64 in
   Coding.pack_v3 ~block_entries:32 buf posting;
   let s = Buffer.contents buf in
-  let count, blocks = Coding.v3_layout Coding.Filter s 0 in
+  let count, blocks = Coding.v3_layout Coding.Filter (Coding.str s) 0 in
   Alcotest.(check int) "flat count" 23 count;
   Alcotest.(check int) "flat = single block" 1 (Array.length blocks);
-  let p', _ = Coding.unpack_v3 Coding.Filter ~key_size:1 s 0 in
+  let p', _ = Coding.unpack_v3 Coding.Filter ~key_size:1 (Coding.str s) 0 in
   Alcotest.(check bool) "flat unpack_v3 = posting" true (p' = posting)
 
 let suite =
