@@ -290,6 +290,96 @@ let query_cmd =
     Term.(const query $ prefix_arg $ qstr $ queries_file $ sentences
           $ check_oracle $ limits_term)
 
+(* ---- insert / checkpoint ------------------------------------------------ *)
+
+let arm_failpoints = function
+  | None -> ()
+  | Some spec -> (
+      match Si_core.Failpoint.arm spec with
+      | Ok () -> ()
+      | Error what ->
+          Printf.eprintf "si_tool: bad --failpoints spec: %s\n" what;
+          exit 2)
+
+let failpoints_arg =
+  Arg.(value & opt (some string) None & info [ "failpoints" ] ~docv:"SPEC"
+         ~doc:"Arm fault-injection points for this run (also readable from \
+               \\$SI_FAILPOINTS); see $(b,si_tool failpoints) for the \
+               grammar and the known points.")
+
+let insert prefix corpus tree_args failpoints =
+  arm_failpoints failpoints;
+  let from_file =
+    match corpus with
+    | None -> []
+    | Some path -> (
+        try Si_treebank.Penn.read_file path with
+        | Sys_error what -> fail_si (Si_core.Si_error.Io { path; what })
+        | Failure what ->
+            fail_si (Si_core.Si_error.Corrupt { path; offset = 0; what }))
+  in
+  let from_args =
+    List.map
+      (fun s ->
+        try Si_treebank.Penn.parse_one_exn s
+        with Failure what ->
+          fail_si
+            (Si_core.Si_error.Corrupt { path = "<TREE argument>"; offset = 0; what }))
+      tree_args
+  in
+  let trees = from_file @ from_args in
+  if trees = [] then begin
+    Printf.eprintf "si_tool: insert needs TREE arguments or --corpus FILE\n";
+    exit 2
+  end;
+  let si = ok_or_fail (Si_core.Si.open_ prefix) in
+  let total = ok_or_fail (Si_core.Si.insert si trees) in
+  Printf.printf "inserted %d trees: total=%d pending=%d wal_bytes=%d\n"
+    (List.length trees) total (Si_core.Si.pending si)
+    (Si_core.Si.wal_bytes si);
+  Si_core.Si.close_wal si
+
+let insert_cmd =
+  let corpus =
+    Arg.(value & opt (some file) None & info [ "corpus" ] ~docv:"FILE"
+           ~doc:"Insert every tree in FILE (Penn format, as $(b,gen) writes).")
+  in
+  let tree_args =
+    Arg.(value & pos_all string [] & info [] ~docv:"TREE"
+           ~doc:"Penn tree text, e.g. '(S (NP (DT the) (NN cat)) (VP (VB sat)))'; \
+                 quote it — the bracketing contains spaces.")
+  in
+  Cmd.v
+    (Cmd.info "insert"
+       ~doc:"WAL-append trees into an existing index without rebuilding it. \
+             Each tree is appended to PREFIX.wal (CRC-framed, fsync'd) \
+             before the command acknowledges it; the next open replays the \
+             WAL into an in-memory delta queried alongside the main \
+             postings.  Run $(b,si_tool checkpoint) to fold the WAL into a \
+             new main index.")
+    Term.(const insert $ prefix_arg $ corpus $ tree_args $ failpoints_arg)
+
+let checkpoint prefix failpoints =
+  arm_failpoints failpoints;
+  let si = ok_or_fail (Si_core.Si.open_ prefix) in
+  let before = (Si_core.Si.stats si).Si_core.Builder.trees in
+  let merged = ok_or_fail (Si_core.Si.checkpoint si) in
+  if merged = 0 then Printf.printf "nothing pending: total=%d\n" before
+  else
+    Printf.printf "checkpointed %d pending trees into %s: total=%d\n" merged
+      prefix (before + merged);
+  Si_core.Si.close_wal si
+
+let checkpoint_cmd =
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Fold the WAL delta into a new main index set at PREFIX \
+             (published via the crash-consistent staged-rename protocol) \
+             and truncate the WAL.  A crash at any point leaves either the \
+             old set plus a replayable WAL or the new set — never a torn \
+             state.")
+    Term.(const checkpoint $ prefix_arg $ failpoints_arg)
+
 (* ---- serve ------------------------------------------------------------- *)
 
 let quantile sorted p =
@@ -345,7 +435,8 @@ let serve_batch prefix batch_file domains cache_budget limits =
    SIGHUP hot-reloads the served prefix through the zero-downtime swap
    path (same as the SWAP verb). *)
 let serve_net prefix host port workers accept_queue cache_budget limits
-    batch_deadline_ms quota_rps quota_burst brownout shed =
+    batch_deadline_ms quota_rps quota_burst brownout shed checkpoint_records
+    checkpoint_bytes =
   if workers < 1 then begin
     Printf.eprintf "si_tool: --workers must be >= 1 (got %d)\n" workers;
     exit 2
@@ -377,6 +468,8 @@ let serve_net prefix host port workers accept_queue cache_budget limits
       accept_queue;
       cache_budget;
       admission;
+      checkpoint_records;
+      checkpoint_bytes;
     }
   in
   match Si_serve.Server.start cfg with
@@ -421,7 +514,8 @@ let serve_net prefix host port workers accept_queue cache_budget limits
         up
 
 let serve prefix batch_file listen host workers accept_queue domains
-    cache_budget limits batch_deadline_ms quota_rps quota_burst brownout shed =
+    cache_budget limits batch_deadline_ms quota_rps quota_burst brownout shed
+    checkpoint_records checkpoint_bytes =
   if domains < 1 then begin
     Printf.eprintf "si_tool: --domains must be >= 1 (got %d)\n" domains;
     exit 2
@@ -431,6 +525,7 @@ let serve prefix batch_file listen host workers accept_queue domains
   | None, Some port ->
       serve_net prefix host port workers accept_queue cache_budget limits
         batch_deadline_ms quota_rps quota_burst brownout shed
+        checkpoint_records checkpoint_bytes
   | Some _, Some _ ->
       Printf.eprintf "si_tool: pass either --batch or --listen, not both\n";
       exit 2
@@ -500,16 +595,28 @@ let serve_cmd =
            ~doc:"Above N in-flight queries, reject with ERR overloaded \
                  (load shedding).")
   in
+  let checkpoint_records =
+    Arg.(value & opt (some int) None & info [ "checkpoint-records" ] ~docv:"N"
+           ~doc:"--listen mode: auto-checkpoint once N WAL records are \
+                 pending (fold the delta into a new main set and swap to \
+                 it); INSERTs keep the delta live until then.")
+  in
+  let checkpoint_bytes =
+    Arg.(value & opt (some int) None & info [ "checkpoint-bytes" ] ~docv:"BYTES"
+           ~doc:"--listen mode: auto-checkpoint once the WAL file reaches \
+                 BYTES.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve queries: --listen runs the long-lived network server \
              (admission control, quotas, hot index swap via SWAP/SIGHUP, \
-             STATS/HEALTH); --batch throughput-evaluates a query file and \
-             exits.  Fault-isolated either way: a failing query poisons \
-             only its own answer.")
+             live INSERT/CHECKPOINT, STATS/HEALTH); --batch \
+             throughput-evaluates a query file and exits.  Fault-isolated \
+             either way: a failing query poisons only its own answer.")
     Term.(const serve $ prefix_arg $ batch_file $ listen $ host $ workers
           $ accept_queue $ domains $ cache_budget $ limits_term
-          $ batch_deadline_ms $ quota_rps $ quota_burst $ brownout $ shed)
+          $ batch_deadline_ms $ quota_rps $ quota_burst $ brownout $ shed
+          $ checkpoint_records $ checkpoint_bytes)
 
 (* ---- stats ------------------------------------------------------------- *)
 
@@ -754,5 +861,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; build_cmd; query_cmd; serve_cmd; stats_cmd; openbench_cmd;
-            failpoints_cmd ]))
+          [ gen_cmd; build_cmd; query_cmd; insert_cmd; checkpoint_cmd;
+            serve_cmd; stats_cmd; openbench_cmd; failpoints_cmd ]))

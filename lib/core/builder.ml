@@ -84,13 +84,13 @@ let interval_of doc v =
    sequential accumulation falling in that range.  The per-key dedups
    (filter: same tid; root-split: same (tid, root)) never straddle a shard
    boundary because both compare on the tid. *)
-let build_shard ~scheme ~mss docs lo hi =
+let build_shard ?label_id ~scheme ~mss docs lo hi =
   let table = Hashtbl.create 65536 in
   let nodes = ref 0 in
   for tid = lo to hi - 1 do
     let doc = docs.(tid) in
     nodes := !nodes + Annotated.size doc;
-    Extract.fold_instances doc ~mss ~init:() ~f:(fun () ~key ~nodes:inst ->
+    Extract.fold_instances ?label_id doc ~mss ~init:() ~f:(fun () ~key ~nodes:inst ->
         let prev = Hashtbl.find_opt table key in
         let next =
           match scheme with
@@ -201,22 +201,22 @@ let finalize ?block_entries ~scheme ~mss ~trees merged =
     mapped = None;
   }
 
-let build ?(domains = 1) ?block_entries ~scheme ~mss docs =
+let build ?(domains = 1) ?block_entries ?label_id ~scheme ~mss docs =
   if mss < 1 || mss > 255 then invalid_arg "Builder.build: mss out of range";
   if domains < 1 then invalid_arg "Builder.build: domains must be >= 1";
   let n = Array.length docs in
   let domains = min domains (max n 1) in
   let merged =
-    if domains = 1 then build_shard ~scheme ~mss docs 0 n
+    if domains = 1 then build_shard ?label_id ~scheme ~mss docs 0 n
     else begin
       (* contiguous tid ranges, one per domain *)
       let bounds = Array.init (domains + 1) (fun i -> i * n / domains) in
       let spawned =
         Array.init (domains - 1) (fun i ->
             let lo = bounds.(i + 1) and hi = bounds.(i + 2) in
-            Domain.spawn (fun () -> build_shard ~scheme ~mss docs lo hi))
+            Domain.spawn (fun () -> build_shard ?label_id ~scheme ~mss docs lo hi))
       in
-      let first = build_shard ~scheme ~mss docs bounds.(0) bounds.(1) in
+      let first = build_shard ?label_id ~scheme ~mss docs bounds.(0) bounds.(1) in
       let rest = Array.to_list (Array.map Domain.join spawned) in
       merge_shards (first :: rest)
     end
@@ -591,6 +591,71 @@ let block_histogram (t : t) =
       Hashtbl.replace counts n (1 + Option.value ~default:0 (Hashtbl.find_opt counts n)))
     (slots_sorted t);
   List.sort compare (Hashtbl.fold (fun n c acc -> (n, c) :: acc) counts [])
+
+(* ---- delta merge ------------------------------------------------------- *)
+
+let shift_posting base = function
+  | Coding.Filter_p ts -> Coding.Filter_p (Array.map (fun t -> t + base) ts)
+  | Coding.Interval_p es ->
+      Coding.Interval_p (Array.map (fun (t, ivs) -> (t + base, ivs)) es)
+  | Coding.Root_p es -> Coding.Root_p (Array.map (fun (t, iv) -> (t + base, iv)) es)
+
+let append_postings path a b =
+  match (a, b) with
+  | Coding.Filter_p x, Coding.Filter_p y -> Coding.Filter_p (Array.append x y)
+  | Coding.Interval_p x, Coding.Interval_p y ->
+      Coding.Interval_p (Array.append x y)
+  | Coding.Root_p x, Coding.Root_p y -> Coding.Root_p (Array.append x y)
+  | _ -> Si_error.raise_schema ~path "merge_append: posting coding mismatch"
+
+(* Checkpoint compaction: fold a delta index (local tids [0 .. K-1]) into
+   the main one (tids [0 .. tid_base-1]) as a fresh heap index over
+   [tid_base + K] trees.  Both sides decode through {!iter}; shifted delta
+   entries append *behind* the main entries of a shared key, which keeps
+   every posting sorted because all main tids precede [tid_base].  Works
+   for heap and mapped mains alike (a mapped main must have its corpus
+   resolver attached — {!Si.open_} always does). *)
+let merge_append ?block_entries (main : t) (delta : t) ~tid_base =
+  if main.scheme <> delta.scheme || main.mss <> delta.mss then
+    Si_error.raise_schema ~path:main.origin
+      "merge_append: delta scheme/mss does not match the main index";
+  if tid_base <> main.stats.trees then
+    invalid_arg "Builder.merge_append: tid_base must equal the main tree count";
+  Failpoint.hit "si.checkpoint.merge";
+  let acc = Hashtbl.create 65536 in
+  iter main (fun key p -> Hashtbl.replace acc key p);
+  iter delta (fun key p ->
+      let shifted = shift_posting tid_base p in
+      match Hashtbl.find_opt acc key with
+      | None -> Hashtbl.replace acc key shifted
+      | Some prev -> Hashtbl.replace acc key (append_postings main.origin prev shifted));
+  let final = Hashtbl.create (Hashtbl.length acc) in
+  let postings = ref 0 and bytes = ref 0 in
+  Hashtbl.iter
+    (fun key p ->
+      let slot = slot_of_posting ?block_entries p in
+      postings := !postings + slot.entries;
+      bytes :=
+        !bytes + Varint.size (String.length key) + String.length key
+        + Varint.size slot.len + slot.len;
+      Hashtbl.replace final key slot)
+    acc;
+  {
+    scheme = main.scheme;
+    mss = main.mss;
+    table = final;
+    stats =
+      {
+        trees = main.stats.trees + delta.stats.trees;
+        nodes = main.stats.nodes + delta.stats.nodes;
+        keys = Hashtbl.length final;
+        postings = !postings;
+        bytes = !bytes;
+      };
+    origin = "<merge>";
+    file_crc = None;
+    mapped = None;
+  }
 
 (* ---- flattened file ---------------------------------------------------- *)
 

@@ -81,6 +81,7 @@ type t = {
 val build :
   ?domains:int ->
   ?block_entries:int ->
+  ?label_id:(int -> int) ->
   scheme:Coding.scheme ->
   mss:int ->
   Si_treebank.Annotated.t array ->
@@ -89,7 +90,22 @@ val build :
     (sequential); higher values shard the corpus across that many OCaml
     domains.  The result is independent of [domains].  [block_entries]
     (default {!Coding.default_block_entries}) sets the v3 block size;
-    tests use small values to force blocking on small corpora. *)
+    tests use small values to force blocking on small corpora.
+    [label_id] remaps process-global label ids into the id space the keys
+    are encoded in (default identity) — the WAL delta index is built in
+    the stored index's id space so its keys unify with the main postings
+    at query and checkpoint time (DESIGN.md §13). *)
+
+val merge_append : ?block_entries:int -> t -> t -> tid_base:int -> t
+(** [merge_append main delta ~tid_base] — checkpoint compaction: a fresh
+    heap index over [main]'s trees followed by [delta]'s, with [delta]'s
+    local tids shifted by [tid_base] (which must equal [main]'s tree
+    count — [Invalid_argument] otherwise).  Both sides must share the
+    scheme, [mss] {e and key id space} (the delta is built with the
+    stored [label_id] — see {!build}); mismatched scheme/mss raise
+    [Si_error.Error (Schema_mismatch _)].  Decodes every posting of both
+    sides (checkpoint-rate, not query-rate).  Failpoint:
+    [si.checkpoint.merge] before any decoding. *)
 
 val find : t -> string -> (Coding.posting option, Si_error.t) result
 (** Decode-on-first-use: unpacks the slot's bytes once and memoizes.

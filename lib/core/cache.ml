@@ -61,10 +61,24 @@ let push_hot t n =
   (match t.hot with Some h -> h.prev <- Some n | None -> t.cold <- Some n);
   t.hot <- Some n
 
+let push_cold t n =
+  n.next <- None;
+  n.prev <- t.cold;
+  (match t.cold with Some c -> c.next <- Some n | None -> t.hot <- Some n);
+  t.cold <- Some n
+
 let evict_until_fits t =
   while t.resident > t.budget do
     match t.cold with
-    | None -> t.resident <- 0 (* unreachable: resident > 0 implies a node *)
+    | None ->
+        (* resident > budget >= 0 with an empty list means the byte
+           accounting is corrupted — fail loudly rather than zero the
+           counter and serve on as if nothing happened *)
+        invalid_arg
+          (Printf.sprintf
+             "Cache: resident=%d exceeds budget=%d with no evictable entry \
+              (accounting corrupted)"
+             t.resident t.budget)
     | Some n ->
         unlink t n;
         Hashtbl.remove t.table n.key;
@@ -86,15 +100,15 @@ let find_or_add ?charge t key produce =
       t.misses <- t.misses + 1;
       let value = produce () in
       let cost = t.cost_of value in
-      (* a value bigger than the whole budget would only thrash: hand it
-         back uncached *)
-      if cost <= t.budget then begin
-        let n = { key; value; cost; prev = None; next = None } in
-        Hashtbl.replace t.table key n;
-        push_hot t n;
-        t.resident <- t.resident + cost;
-        evict_until_fits t
-      end;
+      let n = { key; value; cost; prev = None; next = None } in
+      Hashtbl.replace t.table key n;
+      (* an entry bigger than the whole budget would only thrash: admit it
+         at the cold end so the eviction sweep reclaims it first — served
+         this once, counted exactly, and gone without dumping the rest of
+         the cache *)
+      if cost <= t.budget then push_hot t n else push_cold t n;
+      t.resident <- t.resident + cost;
+      evict_until_fits t;
       (* bill the caller's resource gauge after insertion: if the charge
          trips a budget the decode work is already cached for a retry *)
       (match charge with Some f -> f cost | None -> ());

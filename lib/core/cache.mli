@@ -12,7 +12,13 @@
     Keys and values are generic; the [cost] function supplied at creation
     charges each value against the budget (for decoded postings:
     {!Coding.heap_bytes}).  A value whose cost alone exceeds the budget is
-    returned but not retained. *)
+    admitted at the cold end and reclaimed by the same eviction sweep —
+    served once, accounted exactly, never retained, and never dumping the
+    entries already resident.
+
+    The byte accounting is self-checking: an eviction sweep that finds the
+    list empty while [resident] is still over budget raises
+    [Invalid_argument] instead of silently resetting the counter. *)
 
 type ('k, 'v) t
 

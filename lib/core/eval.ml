@@ -130,8 +130,11 @@ let step_of = function None -> fun () -> () | Some c -> fun () -> Limits.step c
 
 (* candidate tids -> verified (tid, root) results, shared by the
    materialized and streaming filter paths; each candidate validation is a
-   governed step, each verified result an emission *)
-let filter_results ?ctx ~index ~corpus q candidates =
+   governed step, each verified result an emission.  [tid_base] shifts the
+   index's local tids into the caller's global space (the WAL delta index
+   numbers its trees from 0) — corpus access stays local, emission and
+   results are global. *)
+let filter_results ?ctx ?(tid_base = 0) ~index ~corpus q candidates =
   let step = step_of ctx in
   let out = ref [] in
   Array.iter
@@ -139,7 +142,7 @@ let filter_results ?ctx ~index ~corpus q candidates =
       step ();
       List.iter
         (fun v ->
-          let r = (tid, v) in
+          let r = (tid + tid_base, v) in
           (match ctx with Some c -> Limits.emit c r | None -> ());
           out := r :: !out)
         (Matcher.roots (tree_of ~index ~corpus tid) q))
@@ -153,7 +156,8 @@ let charge_posting ctx p =
   | None -> ()
   | Some c -> Limits.charge_decode c (Coding.heap_bytes p)
 
-let run_filter ?ctx ~(index : Builder.t) ~corpus ~label_id q (cover : Cover.t) =
+let run_filter ?ctx ?tid_base ~(index : Builder.t) ~corpus ~label_id q
+    (cover : Cover.t) =
   let chunk_tids (c : Cover.chunk) =
     match encodings_opt ~label_id c.Cover.fragment with
     | None -> [||]
@@ -183,7 +187,7 @@ let run_filter ?ctx ~(index : Builder.t) ~corpus ~label_id q (cover : Cover.t) =
       !acc
     end
   in
-  filter_results ?ctx ~index ~corpus q candidates
+  filter_results ?ctx ?tid_base ~index ~corpus q candidates
 
 (* ---- interval / root-split -------------------------------------------- *)
 
@@ -230,9 +234,11 @@ let chunk_rel ?ctx ~(index : Builder.t) ~label_id (c : Cover.chunk) =
                 "joinable evaluator over a filter index"))
 
 (* Injectivity filtering, result projection and the root-split validation
-   corner — the shared tail of the materialized and streaming join paths. *)
-let finish_joins ?ctx ~(index : Builder.t) ~corpus q (ix : Ast.indexed)
-    (cover : Cover.t) acc =
+   corner — the shared tail of the materialized and streaming join paths.
+   [tid_base] as in {!filter_results}: validation reads the corpus with
+   local tids, the emitted results are shifted into the global space. *)
+let finish_joins ?ctx ?(tid_base = 0) ~(index : Builder.t) ~corpus q
+    (ix : Ast.indexed) (cover : Cover.t) acc =
   let col_opt q =
     match Join.col_index acc q with c -> Some c | exception Not_found -> None
   in
@@ -270,6 +276,10 @@ let finish_joins ?ctx ~(index : Builder.t) ~corpus q (ix : Ast.indexed)
         results
     else results
   in
+  let final =
+    if tid_base = 0 then final
+    else List.map (fun (tid, v) -> (tid + tid_base, v)) final
+  in
   (match ctx with Some c -> List.iter (Limits.emit c) final | None -> ());
   final
 
@@ -278,8 +288,8 @@ let finish_joins ?ctx ~(index : Builder.t) ~corpus q (ix : Ast.indexed)
    relation adjacent to the joined set — the driving relation bounds every
    intermediate result, and connectivity guarantees exactly one cut edge
    links the new chunk to the joined set (the join predicate). *)
-let run_joins ?ctx ~(index : Builder.t) ~corpus ~label_id q (ix : Ast.indexed)
-    (cover : Cover.t) =
+let run_joins ?ctx ?tid_base ~(index : Builder.t) ~corpus ~label_id q
+    (ix : Ast.indexed) (cover : Cover.t) =
   let nchunks = Array.length cover.Cover.chunks in
   let rels = Array.map (chunk_rel ?ctx ~index ~label_id) cover.Cover.chunks in
   if Array.exists Join.is_empty rels then []
@@ -340,7 +350,7 @@ let run_joins ?ctx ~(index : Builder.t) ~corpus ~label_id q (ix : Ast.indexed)
       acc := Join.merge_join ?ctx a b ~pred;
       included.(c) <- true
     done;
-    finish_joins ?ctx ~index ~corpus q ix cover !acc
+    finish_joins ?ctx ?tid_base ~index ~corpus q ix cover !acc
   end
 
 (* ---- streaming paths (block-skip + bounded cache) ---------------------- *)
@@ -351,8 +361,8 @@ let run_joins ?ctx ~(index : Builder.t) ~corpus ~label_id q (ix : Ast.indexed)
    block by block (through the caller's bounded cache) and intersections /
    joins skip the blocks their tids never land in. *)
 
-let run_filter_stream ?ctx ~(index : Builder.t) ~corpus ~label_id ~cache q
-    (cover : Cover.t) =
+let run_filter_stream ?ctx ?tid_base ~(index : Builder.t) ~corpus ~label_id
+    ~cache q (cover : Cover.t) =
   let cursors =
     Array.map
       (fun (c : Cover.chunk) ->
@@ -441,7 +451,7 @@ let run_filter_stream ?ctx ~(index : Builder.t) ~corpus ~label_id ~cache q
         done
       with Exit -> ()
     end;
-    filter_results ?ctx ~index ~corpus q (Ibuf.contents out)
+    filter_results ?ctx ?tid_base ~index ~corpus q (Ibuf.contents out)
   end
 
 (* a chunk relation behind a cursor: exact row count (entries x
@@ -548,8 +558,8 @@ let col_in cols q =
   in
   find 0
 
-let run_joins_stream ?ctx ~(index : Builder.t) ~corpus ~label_id ~cache q
-    (ix : Ast.indexed) (cover : Cover.t) =
+let run_joins_stream ?ctx ?tid_base ~(index : Builder.t) ~corpus ~label_id
+    ~cache q (ix : Ast.indexed) (cover : Cover.t) =
   let nchunks = Array.length cover.Cover.chunks in
   let vrels =
     Array.map (vrel_of_chunk ?ctx ~index ~label_id ~cache) cover.Cover.chunks
@@ -616,20 +626,21 @@ let run_joins_stream ?ctx ~(index : Builder.t) ~corpus ~label_id ~cache q
           ~probe:(probe ?ctx b) ~pred;
       included.(c) <- true
     done;
-    finish_joins ?ctx ~index ~corpus q ix cover !acc
+    finish_joins ?ctx ?tid_base ~index ~corpus q ix cover !acc
   end
 
-let dispatch ?ctx ~index ~corpus ~label_id ~cache q =
+let dispatch ?ctx ?tid_base ~index ~corpus ~label_id ~cache q =
   let ix = Ast.index q in
   let cover = cover_for index ix in
   match (index.Builder.scheme, cache) with
-  | Coding.Filter, None -> run_filter ?ctx ~index ~corpus ~label_id q cover
+  | Coding.Filter, None ->
+      run_filter ?ctx ?tid_base ~index ~corpus ~label_id q cover
   | Coding.Filter, Some cache ->
-      run_filter_stream ?ctx ~index ~corpus ~label_id ~cache q cover
+      run_filter_stream ?ctx ?tid_base ~index ~corpus ~label_id ~cache q cover
   | (Coding.Interval | Coding.Root_split), None ->
-      run_joins ?ctx ~index ~corpus ~label_id q ix cover
+      run_joins ?ctx ?tid_base ~index ~corpus ~label_id q ix cover
   | (Coding.Interval | Coding.Root_split), Some cache ->
-      run_joins_stream ?ctx ~index ~corpus ~label_id ~cache q ix cover
+      run_joins_stream ?ctx ?tid_base ~index ~corpus ~label_id ~cache q ix cover
 
 (* Degradation contract (DESIGN.md §10): an ungoverned run returns exact
    results; a governed run either completes ([truncated = false], results
@@ -638,7 +649,7 @@ let dispatch ?ctx ~index ~corpus ~label_id ~cache q =
    deadline / budget trip into [truncated = true] with whatever verified
    results had been emitted by then.  Without [partial] those trips stay
    typed errors ({!Si_error.Timeout} / {!Si_error.Resource_exhausted}). *)
-let run_outcome_exn ~index ~corpus ?(label_id = Fun.id) ?cache
+let run_outcome_exn ~index ~corpus ?(label_id = Fun.id) ?cache ?delta
     ?(limits = Limits.none) q =
   (* [Limits.start] itself can raise (a deadline of 0 trips before any
      work), so it must run inside the handled expression; the holder keeps
@@ -647,7 +658,19 @@ let run_outcome_exn ~index ~corpus ?(label_id = Fun.id) ?cache
   match
     let ctx = Limits.start limits in
     holder := ctx;
-    dispatch ?ctx ~index ~corpus ~label_id ~cache q
+    let main = dispatch ?ctx ~index ~corpus ~label_id ~cache q in
+    match delta with
+    | None -> main
+    | Some (dindex, dcorpus, base) ->
+        (* The WAL delta: evaluated under the same gauge so every budget
+           spans both halves, always on the materialized path (the
+           streaming cache's (key, block) entries must not alias across
+           two indexes).  Delta tids shift by [base] = the main tree
+           count, so [main @ shifted] is sorted and duplicate-free by
+           disjointness of the tid ranges — the union needs no re-sort
+           and the truncated-⊂-exact contract carries over unchanged. *)
+        main @ dispatch ?ctx ~tid_base:base ~index:dindex ~corpus:dcorpus
+                 ~label_id ~cache:None q
   with
   | matches -> { Limits.matches; truncated = false }
   | exception Limits.Truncated ->
@@ -660,12 +683,14 @@ let run_outcome_exn ~index ~corpus ?(label_id = Fun.id) ?cache
       in
       { Limits.matches; truncated = true }
 
-let run_outcome ~index ~corpus ?label_id ?cache ?limits q =
+let run_outcome ~index ~corpus ?label_id ?cache ?delta ?limits q =
   Si_error.guard (fun () ->
-      run_outcome_exn ~index ~corpus ?label_id ?cache ?limits q)
+      run_outcome_exn ~index ~corpus ?label_id ?cache ?delta ?limits q)
 
-let run_exn ~index ~corpus ?label_id ?cache ?limits q =
-  (run_outcome_exn ~index ~corpus ?label_id ?cache ?limits q).Limits.matches
+let run_exn ~index ~corpus ?label_id ?cache ?delta ?limits q =
+  (run_outcome_exn ~index ~corpus ?label_id ?cache ?delta ?limits q)
+    .Limits.matches
 
-let run ~index ~corpus ?label_id ?cache ?limits q =
-  Si_error.guard (fun () -> run_exn ~index ~corpus ?label_id ?cache ?limits q)
+let run ~index ~corpus ?label_id ?cache ?delta ?limits q =
+  Si_error.guard (fun () ->
+      run_exn ~index ~corpus ?label_id ?cache ?delta ?limits q)

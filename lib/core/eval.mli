@@ -30,16 +30,22 @@ val run :
   corpus:Corpus.t ->
   ?label_id:(Si_treebank.Label.t -> int) ->
   ?cache:Cursor.cache ->
+  ?delta:Builder.t * Corpus.t * int ->
   ?limits:Limits.t ->
   Si_query.Ast.t ->
   ((int * int) list, Si_error.t) result
 (** [label_id] maps process-global label ids into the index's stored id
     space (raising [Not_found] for labels unknown to the index); defaults
     to the identity, which is correct for an index built in this process.
-    Errors: [Corrupt] if a stored posting fails to decode;
-    [Schema_mismatch] if a decoded posting's coding disagrees with the
-    index scheme; with [limits] set, [Timeout] past the deadline and
-    [Resource_exhausted] past a byte / step budget (unless
+    [delta = (dindex, dcorpus, base)] unions in the WAL delta index
+    (DESIGN.md §13): the query also runs over [dindex] / [dcorpus] —
+    materialized path, same [label_id], same resource gauge — with its
+    local tids shifted by [base] (the main index's tree count), and the
+    match streams concatenate; disjoint tid ranges keep the result sorted
+    and duplicate-free.  Errors: [Corrupt] if a stored posting fails to
+    decode; [Schema_mismatch] if a decoded posting's coding disagrees
+    with the index scheme; with [limits] set, [Timeout] past the deadline
+    and [Resource_exhausted] past a byte / step budget (unless
     [limits.partial], see {!run_outcome}).  A max-results trip silently
     truncates here — use {!run_outcome} to observe the flag. *)
 
@@ -48,6 +54,7 @@ val run_exn :
   corpus:Corpus.t ->
   ?label_id:(Si_treebank.Label.t -> int) ->
   ?cache:Cursor.cache ->
+  ?delta:Builder.t * Corpus.t * int ->
   ?limits:Limits.t ->
   Si_query.Ast.t ->
   (int * int) list
@@ -59,6 +66,7 @@ val run_outcome :
   corpus:Corpus.t ->
   ?label_id:(Si_treebank.Label.t -> int) ->
   ?cache:Cursor.cache ->
+  ?delta:Builder.t * Corpus.t * int ->
   ?limits:Limits.t ->
   Si_query.Ast.t ->
   (Limits.outcome, Si_error.t) result
@@ -68,15 +76,16 @@ val run_outcome :
     [truncated = true] means evaluation stopped early — at the max-results
     cap, or at a deadline / budget trip under [limits.partial] — and
     [matches] holds only the results verified before the stop (sorted,
-    duplicate-free, always a subset of the exact answer).  Without
-    [limits.partial], deadline and budget trips are [Error Timeout] /
-    [Error Resource_exhausted] instead. *)
+    duplicate-free, always a subset of the exact answer).  The contract
+    spans both halves of a [?delta] union: one gauge governs main and
+    delta evaluation, and a truncation in either leaves a correct subset. *)
 
 val run_outcome_exn :
   index:Builder.t ->
   corpus:Corpus.t ->
   ?label_id:(Si_treebank.Label.t -> int) ->
   ?cache:Cursor.cache ->
+  ?delta:Builder.t * Corpus.t * int ->
   ?limits:Limits.t ->
   Si_query.Ast.t ->
   Limits.outcome

@@ -184,4 +184,9 @@ let known =
     ("serve.parse", "a request line read, before it is parsed");
     ("serve.swap.open", "a SWAP/SIGHUP about to open the new index set");
     ("serve.swap.flip", "the new index opened, before the generation flip");
+    ("wal.append.write", "a WAL record framed, before it is written");
+    ("wal.append.fsync", "a WAL record written, before the fsync");
+    ("wal.replay", "about to replay an existing WAL into the delta index");
+    ("wal.truncate", "checkpoint published, before the WAL ftruncate");
+    ("si.checkpoint.merge", "before merging the delta into the main postings");
   ]

@@ -1,5 +1,32 @@
 open Si_treebank
 
+(* The id space the index keys are encoded in: the [.labels] file order
+   (= [Label.all ()] of the building process), extended in insertion order
+   by labels the WAL brought in.  Immutable after publication — {!insert}
+   extends by copy — so readers on other domains never see a half-built
+   table. *)
+type space = { names : string array; ids : (string, int) Hashtbl.t }
+
+let space_of_names names =
+  let ids = Hashtbl.create (max 16 (Array.length names)) in
+  Array.iteri (fun id name -> Hashtbl.replace ids name id) names;
+  { names; ids }
+
+(* One immutable snapshot of everything the WAL has inserted since the
+   last checkpoint.  Queries read it with a single [Atomic.get]: under the
+   OCaml 5 memory model they see the old or the new snapshot, never a torn
+   mix of docs and index.  Local tids [0 .. |d_docs|-1] map to global tids
+   by adding the main index's tree count. *)
+type delta = {
+  d_docs : Annotated.t array;
+  d_index : Builder.t option;  (* [None] iff [d_docs] is empty *)
+  d_corpus : Corpus.t;
+  d_space : space;
+}
+
+let empty_delta space =
+  { d_docs = [||]; d_index = None; d_corpus = Corpus.of_array [||]; d_space = space }
+
 type t = {
   index : Builder.t;
   corpus : Corpus.t;
@@ -7,10 +34,18 @@ type t = {
          [.trees] store for SIDX4 opens *)
   label_id : Label.t -> int;
       (* process-global label id -> the id space the index keys were
-         encoded in; raises Not_found for labels the index never saw *)
+         encoded in; raises Not_found for labels the index never saw.
+         Reads the current delta snapshot's space, so keys for inserted
+         labels resolve too. *)
   cache : Cursor.cache;
       (* the handle's decoded-block cache, used by single-domain [query];
          [query_batch] domains each get their own *)
+  prefix : string option;
+      (* the on-disk prefix this handle came from; [None] for a pure
+         in-memory build — such a handle cannot [insert] or [checkpoint] *)
+  delta : delta Atomic.t;
+  wal : Wal.t option ref;  (* append handle, opened by the first [insert] *)
+  ilock : Mutex.t;  (* serializes insert / checkpoint / WAL access *)
 }
 
 type format = [ `Sidx3 | `Sidx4 ]
@@ -22,7 +57,17 @@ let mss t = t.index.Builder.mss
 let stats t = t.index.Builder.stats
 let corpus t = t.corpus
 let format t = if Builder.is_mapped t.index then `Sidx4 else `Sidx3
-let sentence t tid = (Corpus.get t.corpus tid).Annotated.tree
+
+let sentence t tid =
+  let n = Corpus.length t.corpus in
+  if tid < n then (Corpus.get t.corpus tid).Annotated.tree
+  else (Atomic.get t.delta).d_docs.(tid - n).Annotated.tree
+
+let pending t = Array.length (Atomic.get t.delta).d_docs
+
+let wal_bytes t =
+  Mutex.protect t.ilock (fun () ->
+      match !(t.wal) with Some w -> Wal.bytes w | None -> 0)
 
 let write_text path lines =
   let oc = open_out_bin path in
@@ -68,7 +113,13 @@ let read_binary path =
    [`Sidx4] saves add a fifth sibling, [prefix.trees] — the zero-copy
    corpus store the mapped open resolves intervals against — staged and
    renamed under the same protocol (before the [.meta]). *)
-let save ?(format = `Sidx3) t prefix trees =
+let save ?(format = `Sidx3) ?labels t prefix trees =
+  (* default: the building process's whole intern table; a checkpoint
+     passes the stored-extended space instead, so a fresh opener maps the
+     keys exactly as they were encoded *)
+  let label_lines =
+    match labels with Some l -> l | None -> Array.to_list (Label.all ())
+  in
   let staged_idx = prefix ^ ".idx.new" in
   (match
      match format with
@@ -85,9 +136,30 @@ let save ?(format = `Sidx3) t prefix trees =
   let trees_file, trees_tmp = tmp ".trees" in
   Penn.write_file dat_tmp trees;
   (match format with
-  | `Sidx4 -> Treestore.save trees_tmp (Corpus.to_array t.corpus)
+  | `Sidx4 ->
+      (* the store carries label ids in the published [.labels] order,
+         which is NOT this process's intern order when the handle was
+         opened lazily (SIDX4) and other parses interned first — e.g. a
+         checkpoint whose WAL replay interned the delta's labels before
+         any mapped-corpus access *)
+      let stored_id = Hashtbl.create (List.length label_lines) in
+      List.iteri
+        (fun i name ->
+          if not (Hashtbl.mem stored_id name) then Hashtbl.add stored_id name i)
+        label_lines;
+      let relabel live =
+        match Hashtbl.find_opt stored_id (Label.name live) with
+        | Some sid -> sid
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Si.save: label %S of the corpus is missing from the \
+                  published label table"
+                 (Label.name live))
+      in
+      Treestore.save trees_tmp ~relabel (Corpus.to_array t.corpus)
   | `Sidx3 -> ());
-  write_text labels_tmp (Array.to_list (Label.all ()));
+  write_text labels_tmp label_lines;
   let s = t.index.Builder.stats in
   write_text meta_tmp
     [
@@ -107,11 +179,40 @@ let save ?(format = `Sidx3) t prefix trees =
   (* the .meta lands last: it names the .idx bytes it belongs to *)
   Sys.rename meta_tmp meta
 
+(* [label_id] through the handle's current delta space: identical to the
+   historical stored-table lookup while the delta is empty, and resolves
+   labels the WAL brought in afterwards.  Ids are append-only across
+   snapshots, so a racing publish can only turn Not_found into a valid id,
+   never change one. *)
+let make_handle ~index ~corpus ~cache ~prefix space =
+  let delta = Atomic.make (empty_delta space) in
+  let label_id l =
+    match Hashtbl.find_opt (Atomic.get delta).d_space.ids (Label.name l) with
+    | Some id -> id
+    | None -> raise Not_found
+  in
+  {
+    index;
+    corpus;
+    label_id;
+    cache;
+    prefix;
+    delta;
+    wal = ref None;
+    ilock = Mutex.create ();
+  }
+
 let build ?(domains = 1) ?cache_budget ?format ~scheme ~mss ~trees ?prefix () =
   let docs = Array.of_list (List.map Annotated.of_tree trees) in
   let index = Builder.build ~domains ~scheme ~mss docs in
   let cache = Cursor.create_cache ?budget:cache_budget () in
-  let t = { index; corpus = Corpus.of_array docs; label_id = Fun.id; cache } in
+  (* the build encodes keys in process-global ids, so the space snapshot
+     (= [Label.all ()], what [save] writes as [.labels]) is the identity
+     on every label the corpus holds *)
+  let t =
+    make_handle ~index ~corpus:(Corpus.of_array docs) ~cache ~prefix
+      (space_of_names (Label.all ()))
+  in
   (try Option.iter (fun p -> save ?format t p trees) prefix
    with Sys_error what ->
      raise (Si_error.Error (Si_error.Io { path = Option.get prefix; what })));
@@ -180,6 +281,80 @@ let meta_counts prefix =
     (read_lines (prefix ^ ".meta"));
   (!nodes, !postings)
 
+(* Extend a space by copy with every label of [docs] not already in it,
+   in tree order — deterministic, so every process replaying the same WAL
+   derives the same extended table (and a checkpoint's published [.labels]
+   is reproducible). *)
+let extend_space space docs =
+  let fresh = ref [] and seen = Hashtbl.create 16 in
+  Array.iter
+    (fun doc ->
+      Tree.fold
+        (fun () node ->
+          let name = Label.name node.Tree.label in
+          if not (Hashtbl.mem space.ids name || Hashtbl.mem seen name) then begin
+            Hashtbl.add seen name ();
+            fresh := name :: !fresh
+          end)
+        () doc.Annotated.tree)
+    docs;
+  match !fresh with
+  | [] -> space
+  | l -> space_of_names (Array.append space.names (Array.of_list (List.rev l)))
+
+(* A fresh snapshot with [new_docs] appended: the space grows first, then
+   the delta index is rebuilt over all delta docs *in the extended space*
+   — its keys byte-unify with the main index's stored-space keys, so
+   query-time union and checkpoint merge need no translation. *)
+let delta_with ~scheme ~mss d new_docs =
+  if Array.length new_docs = 0 then d
+  else begin
+    let d_docs = Array.append d.d_docs new_docs in
+    let d_space = extend_space d.d_space new_docs in
+    let label_id l =
+      match Hashtbl.find_opt d_space.ids (Label.name l) with
+      | Some id -> id
+      | None -> raise Not_found
+    in
+    let d_index = Builder.build ~scheme ~mss ~label_id d_docs in
+    {
+      d_docs;
+      d_index = Some d_index;
+      d_corpus = Corpus.of_array d_docs;
+      d_space;
+    }
+  end
+
+(* Replay the prefix's WAL (if any) into [t]'s delta.  Records carry
+   global tids: anything below the main tree count was checkpointed
+   already (publish landed, truncation didn't) and is skipped; the rest
+   must continue the numbering without a gap.  Replaying twice is
+   therefore byte-identical to replaying once. *)
+let replay_wal t prefix =
+  let scheme = t.index.Builder.scheme and mss = t.index.Builder.mss in
+  match Wal.replay ~scheme ~mss prefix with
+  | [] -> ()
+  | records ->
+      let expected = ref (Corpus.length t.corpus) in
+      let fresh =
+        List.filter_map
+          (fun (tid, tree) ->
+            if tid < !expected then None
+            else if tid = !expected then begin
+              incr expected;
+              Some (Annotated.of_tree tree)
+            end
+            else
+              Si_error.raise_corrupt ~path:(Wal.path prefix) ~offset:0
+                (Printf.sprintf
+                   "WAL record tid %d leaves a gap after tree %d" tid !expected))
+          records
+      in
+      if fresh <> [] then
+        Atomic.set t.delta
+          (delta_with ~scheme ~mss (Atomic.get t.delta)
+             (Array.of_list fresh))
+
 let open_ ?cache_budget prefix =
   Si_error.guard @@ fun () ->
   let index =
@@ -198,14 +373,15 @@ let open_ ?cache_budget prefix =
     wrap_file (prefix ^ ".labels") (fun () ->
         Array.of_list (read_lines (prefix ^ ".labels")))
   in
-  let stored_id : (string, int) Hashtbl.t = Hashtbl.create (Array.length stored) in
-  Array.iteri (fun id name -> Hashtbl.replace stored_id name id) stored;
-  let label_id l =
-    match Hashtbl.find_opt stored_id (Label.name l) with
-    | Some id -> id
-    | None -> raise Not_found
-  in
+  let space = space_of_names stored in
   let cache () = Cursor.create_cache ?budget:cache_budget () in
+  let finish ~index ~corpus =
+    let t =
+      make_handle ~index ~corpus ~cache:(cache ()) ~prefix:(Some prefix) space
+    in
+    replay_wal t prefix;
+    t
+  in
   if Builder.is_mapped index then begin
     (* SIDX4: O(1) open.  No .dat parse, no table build — map the .trees
        corpus store, attach the interval resolver, and restore the stats
@@ -242,7 +418,7 @@ let open_ ?cache_budget prefix =
           { index.Builder.stats with Builder.trees = ntrees; nodes; postings };
       }
     in
-    { index; corpus = Corpus.of_store store; label_id; cache = cache () }
+    finish ~index ~corpus:(Corpus.of_store store)
   end
   else begin
     let trees =
@@ -260,18 +436,122 @@ let open_ ?cache_budget prefix =
           { index.Builder.stats with Builder.trees = Array.length docs; nodes };
       }
     in
-    { index; corpus = Corpus.of_array docs; label_id; cache = cache () }
+    finish ~index ~corpus:(Corpus.of_array docs)
   end
+
+(* ---- incremental inserts (DESIGN.md §13) -------------------------------- *)
+
+let require_prefix t op =
+  match t.prefix with
+  | Some p -> p
+  | None -> invalid_arg ("Si." ^ op ^ ": handle has no on-disk prefix")
+
+let wal_handle t prefix =
+  match !(t.wal) with
+  | Some w -> w
+  | None ->
+      let w =
+        Wal.open_append ~scheme:t.index.Builder.scheme ~mss:t.index.Builder.mss
+          prefix
+      in
+      t.wal := Some w;
+      w
+
+(* Durability before visibility: every tree is framed and fsync'd into the
+   WAL, then one [Atomic.set] publishes the extended snapshot to readers.
+   A crash between the two replays the records at the next open — the same
+   state, reached the other way.  Tids are global ([main trees + delta
+   position]), which is what makes replay and the checkpoint/truncate
+   crash window idempotent. *)
+let insert t trees =
+  Si_error.guard @@ fun () ->
+  let prefix = require_prefix t "insert" in
+  Mutex.protect t.ilock @@ fun () ->
+  let d = Atomic.get t.delta in
+  let base = Corpus.length t.corpus + Array.length d.d_docs in
+  (if trees <> [] then begin
+     let w = wal_handle t prefix in
+     List.iteri (fun i tree -> Wal.append w ~tid:(base + i) tree) trees;
+     let docs = Array.of_list (List.map Annotated.of_tree trees) in
+     Atomic.set t.delta
+       (delta_with ~scheme:t.index.Builder.scheme ~mss:t.index.Builder.mss d
+          docs)
+   end);
+  base + List.length trees
+
+(* Checkpoint: fold the delta into a fresh main index, publish it through
+   the staged-rename protocol ({!save} — the same crash-consistency the
+   recovery harness already covers), then truncate the WAL.  Every crash
+   window is safe: before the publish renames the old set answers with a
+   full WAL to replay; mid-rename the [.meta] idx_crc cross-check refuses
+   the mixed set; published-but-untruncated replays records the new index
+   already covers (skipped by tid).  The in-memory handle keeps answering
+   from old-main + delta — the same match set; long-lived processes swap
+   to the new generation ({!open_}) when convenient. *)
+let checkpoint t =
+  Si_error.guard @@ fun () ->
+  let prefix = require_prefix t "checkpoint" in
+  Mutex.protect t.ilock @@ fun () ->
+  let d = Atomic.get t.delta in
+  match d.d_index with
+  | None ->
+      (* nothing pending — but a crash between a checkpoint's publish and
+         its truncate leaves a WAL whose every record the main index
+         already covers (replay skipped them all).  Converge by dropping
+         it now instead of re-scanning it on every future open. *)
+      (if Sys.file_exists (Wal.path prefix)
+       && (try (Unix.stat (Wal.path prefix)).Unix.st_size > 8
+           with Unix.Unix_error _ -> false)
+       then
+         let w = wal_handle t prefix in
+         Wal.truncate w);
+      0
+  | Some d_index ->
+      let base = Corpus.length t.corpus in
+      let merged = Builder.merge_append t.index d_index ~tid_base:base in
+      let main_docs = Corpus.to_array t.corpus in
+      let all_docs = Array.append main_docs d.d_docs in
+      let all_trees =
+        Array.to_list (Array.map (fun doc -> doc.Annotated.tree) all_docs)
+      in
+      let staged =
+        { t with index = merged; corpus = Corpus.of_array all_docs }
+      in
+      (try
+         save ~format:(format t)
+           ~labels:(Array.to_list d.d_space.names)
+           staged prefix all_trees
+       with Sys_error what ->
+         raise (Si_error.Error (Si_error.Io { path = prefix; what })));
+      let w = wal_handle t prefix in
+      Wal.truncate w;
+      Array.length d.d_docs
+
+let close_wal t =
+  Mutex.protect t.ilock (fun () ->
+      match !(t.wal) with
+      | Some w ->
+          Wal.close w;
+          t.wal := None
+      | None -> ())
+
+(* ---- query paths -------------------------------------------------------- *)
+
+let delta_arg t =
+  let d = Atomic.get t.delta in
+  match d.d_index with
+  | None -> None
+  | Some di -> Some (di, d.d_corpus, Corpus.length t.corpus)
 
 let query_ast ?limits t q =
   Eval.run ~index:t.index ~corpus:t.corpus ~label_id:t.label_id ~cache:t.cache
-    ?limits q
+    ?delta:(delta_arg t) ?limits q
 
 let outcome_with ~cache ?limits t s =
   match Si_query.Parser.parse s with
   | Ok q ->
       Eval.run_outcome ~index:t.index ~corpus:t.corpus ~label_id:t.label_id
-        ~cache ?limits q
+        ~cache ?delta:(delta_arg t) ?limits q
   | Error e -> Error (Si_error.Bad_query e)
 
 let query_outcome ?limits t s = outcome_with ~cache:t.cache ?limits t s
@@ -283,7 +563,11 @@ let query_with ~cache ?limits t s =
 
 let query ?limits t s = query_with ~cache:t.cache ?limits t s
 
-let oracle t q = Si_query.Matcher.corpus_roots (Corpus.to_array t.corpus) q
+let oracle t q =
+  let d = Atomic.get t.delta in
+  let docs = Corpus.to_array t.corpus in
+  let docs = if d.d_docs = [||] then docs else Array.append docs d.d_docs in
+  Si_query.Matcher.corpus_roots docs q
 
 (* ---- parallel batch evaluation ----------------------------------------- *)
 

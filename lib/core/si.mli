@@ -16,6 +16,12 @@
     resolves its ids through the stored table, so queries return the same
     match sets as in the building process.
 
+    A prefix may additionally carry [prefix.wal] — the write-ahead log of
+    trees inserted since the last checkpoint (DESIGN.md §13).  {!open_}
+    replays it into an in-memory {e delta index} that every query unions
+    with the main postings; {!insert} appends to it durably; {!checkpoint}
+    folds the delta into a freshly published main index and truncates it.
+
     Persistence is crash-safe: all four files are staged
     ([prefix.idx.new], [*.tmp]) before any final name changes, so a build
     killed before the publish renames leaves a pre-existing index at the
@@ -66,7 +72,52 @@ val open_ : ?cache_budget:int -> string -> (t, Si_error.t) result
     corpus store are mapped, only their footer/header CRCs are checked up
     front (body region CRCs verify lazily, on first touch), the [.dat] is
     never read, and trees materialize on demand.  Query results are
-    byte-identical to the same index in SIDX3 form. *)
+    byte-identical to the same index in SIDX3 form.
+
+    Either backend then replays [prefix.wal] (if present) into the delta
+    index: a record whose tid the main index already covers is skipped
+    (a checkpoint that crashed before truncating), a torn tail is
+    ignored, and the remaining records must continue the tree numbering
+    without a gap ([Corrupt] otherwise).  [Schema_mismatch] if the WAL
+    header's scheme/mss disagree with the index. *)
+
+val insert : t -> Si_treebank.Tree.t list -> (int, Si_error.t) result
+(** Append trees durably ([Ok n] = the total tree count now visible,
+    main + delta): each tree is CRC-framed and fsync'd into [prefix.wal]
+    {e before} the rebuilt delta snapshot is published to readers
+    (queries racing an insert see the old or the new snapshot, never a
+    torn one).  Serialized with {!checkpoint} on the handle's insert
+    lock; queries never block.  Labels the index has never seen extend
+    its id space in insertion order.  Raises [Invalid_argument] on a
+    handle with no on-disk prefix.  Errors: [Io] on a write/fsync
+    failure, [Schema_mismatch] / [Corrupt] on a damaged existing WAL. *)
+
+val checkpoint : t -> (int, Si_error.t) result
+(** Fold the delta into the main index and publish: merge
+    ({!Builder.merge_append}), save the new file set through the staged-
+    rename crash protocol, truncate the WAL.  [Ok k] = delta trees folded
+    in; [Ok 0] = empty delta, nothing written — except that a leftover
+    WAL whose records the main index already covers (a crash between a
+    previous checkpoint's publish and its truncate) is truncated, so an
+    explicit checkpoint always converges to an empty log.  Preserves the handle's
+    on-disk {!format}.  Every kill window leaves a loadable prefix: the
+    old set + replayable WAL before the publish renames, a refused mixed
+    set ([Schema_mismatch], [idx_crc]) inside them, the new set + ignored
+    (tid-covered) or truncated WAL after.  The in-memory handle keeps
+    serving old-main + delta — the same match set as the new index;
+    reopen ({!open_}) to shed the delta memory. *)
+
+val pending : t -> int
+(** Trees in the delta (inserted since the last checkpoint). *)
+
+val wal_bytes : t -> int
+(** Size of the WAL this handle has open, header included; [0] when no
+    insert has opened it yet. *)
+
+val close_wal : t -> unit
+(** Close the WAL append handle, if open.  Idempotent; the next {!insert}
+    reopens.  A server that swapped generations closes the retired
+    handle's WAL so the descriptor does not leak. *)
 
 val query : ?limits:Limits.t -> t -> string -> ((int * int) list, Si_error.t) result
 (** Parse and evaluate; [(tid, node)] match pairs, sorted.  Evaluates on
@@ -147,7 +198,8 @@ val cache_stats : t -> Cache.stats
 (** Counters of the handle's own cache (the one {!query} uses). *)
 
 val oracle : t -> Si_query.Ast.t -> (int * int) list
-(** The brute-force matcher over the stored corpus — the reference answer. *)
+(** The brute-force matcher over the stored corpus {e plus the delta} —
+    the reference answer, covering inserted trees too. *)
 
 val scheme : t -> Coding.scheme
 val mss : t -> int
@@ -159,4 +211,4 @@ val format : t -> format
     report [`Sidx3] — they are fully materialized in memory). *)
 
 val sentence : t -> int -> Si_treebank.Tree.t
-(** The indexed tree with id [tid]. *)
+(** The indexed tree with id [tid] — main corpus or delta. *)

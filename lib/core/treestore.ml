@@ -54,10 +54,10 @@ type t = {
 
 (* ---- write side --------------------------------------------------------- *)
 
-let write_tree buf (d : Annotated.t) =
+let write_tree buf ~relabel (d : Annotated.t) =
   let n = Annotated.size d in
   Si_subtree.Varint.write buf n;
-  Array.iter (fun l -> Si_subtree.Varint.write buf l) d.Annotated.label;
+  Array.iter (fun l -> Si_subtree.Varint.write buf (relabel l)) d.Annotated.label;
   let nbits = 2 * n in
   let bytes = Bytes.make ((nbits + 7) / 8) '\000' in
   let bit = ref 0 in
@@ -78,13 +78,13 @@ let write_tree buf (d : Annotated.t) =
   assert (!bit = nbits);
   Buffer.add_bytes buf bytes
 
-let save path (docs : Annotated.t array) =
+let save path ~relabel (docs : Annotated.t array) =
   let offsets = Buffer.create (8 * Array.length docs) in
   let trees = Buffer.create 65536 in
   Array.iter
     (fun d ->
       Buffer.add_int64_le offsets (Int64.of_int (Buffer.length trees));
-      write_tree trees d)
+      write_tree trees ~relabel d)
     docs;
   let offsets = Buffer.contents offsets in
   let trees = Buffer.contents trees in

@@ -19,11 +19,14 @@
 
 type t
 
-val save : string -> Si_treebank.Annotated.t array -> unit
+val save : string -> relabel:(int -> int) -> Si_treebank.Annotated.t array -> unit
 (** Serialize a corpus to [path] (plain write + fsync — callers stage to a
-    temporary and rename, like the other prefix siblings).  Label ids are
-    written as-is; they are the stored-id space only when the caller also
-    writes the matching [.labels] (as {!Si.save} does). *)
+    temporary and rename, like the other prefix siblings).  [relabel]
+    translates each node's live interned label id into the stored-id
+    space of the [.labels] sibling being published alongside — the two
+    id spaces diverge whenever the saving process interned labels in a
+    different order than the stored table (e.g. a checkpoint in a
+    process that replayed a WAL before touching the mapped corpus). *)
 
 val open_ : relabel:(int -> int) -> string -> t
 (** Map a store.  [relabel] translates stored label ids to live interned

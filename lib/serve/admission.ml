@@ -30,19 +30,35 @@ type t = {
 }
 
 (* a hostile client-id stream must not grow the bucket table unboundedly;
-   past this many distinct clients the table resets (full buckets for
-   everyone — brief over-admission, bounded memory) *)
+   past this many distinct clients the stalest half is evicted *)
 let max_clients = 8192
 
 let create cfg = { cfg; lock = Mutex.create (); buckets = Hashtbl.create 64 }
 let config t = t.cfg
+
+(* Bounded memory without amnesty: drop the buckets longest untouched
+   (oldest [last_ns]) down to half capacity.  [take_token] refreshes
+   [last_ns] on every request — denied ones included — so the clients
+   driving the flood keep their drained buckets and stay rate-limited;
+   a reset here would hand the abuser a fresh full burst.  Runs under
+   [t.lock] at most once per [max_clients/2] distinct new clients. *)
+let evict_stalest buckets =
+  let by_age =
+    Hashtbl.fold (fun key b acc -> (b.last_ns, key) :: acc) buckets []
+  in
+  let by_age = List.sort compare by_age in
+  let excess = Hashtbl.length buckets - (max_clients / 2) in
+  List.iteri
+    (fun i (_, key) -> if i < excess then Hashtbl.remove buckets key)
+    by_age
 
 let take_token t client =
   match t.cfg.quota_rps with
   | None -> true
   | Some rps ->
       Mutex.protect t.lock (fun () ->
-          if Hashtbl.length t.buckets > max_clients then Hashtbl.reset t.buckets;
+          if Hashtbl.length t.buckets > max_clients then
+            evict_stalest t.buckets;
           let now = Monotonic.now_ns () in
           let b =
             match Hashtbl.find_opt t.buckets client with

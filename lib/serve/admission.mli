@@ -6,7 +6,11 @@
     + {b Quota} — each client id (the [client=] request option, defaulting
       to the peer address) draws from its own token bucket
       ([quota_rps] tokens/s, capacity [quota_burst]); an empty bucket
-      rejects with [quota_exceeded] before any work is done.
+      rejects with [quota_exceeded] before any work is done.  The bucket
+      table is bounded: past 8192 distinct clients the stalest buckets
+      (oldest last touch, denials count as touches) are evicted down to
+      half capacity — active clients, rate-limited abusers included, keep
+      their bucket state.
     + {b Shedding} — with the admitted query counted, an in-flight total
       above [shed_inflight] rejects with [overloaded]: under pressure the
       server answers cheaply and immediately instead of queueing

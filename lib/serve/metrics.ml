@@ -17,6 +17,9 @@ type t = {
   mutable browned : int;
   mutable swaps : int;
   mutable swap_failures : int;
+  mutable inserts : int;
+  mutable checkpoints : int;
+  mutable checkpoint_failures : int;
   mutable inflight : int;
   ring : float array;  (* last [ring_size] query latencies, ns *)
   mutable ring_len : int;
@@ -39,6 +42,9 @@ let create () =
     browned = 0;
     swaps = 0;
     swap_failures = 0;
+    inserts = 0;
+    checkpoints = 0;
+    checkpoint_failures = 0;
     inflight = 0;
     ring = Array.make ring_size 0.;
     ring_len = 0;
@@ -54,7 +60,10 @@ type counter =
   | `Quota
   | `Browned
   | `Swap
-  | `Swap_failure ]
+  | `Swap_failure
+  | `Insert
+  | `Checkpoint
+  | `Checkpoint_failure ]
 
 let bump t c =
   Mutex.protect t.lock (fun () ->
@@ -67,7 +76,11 @@ let bump t c =
       | `Quota -> t.quota_rejected <- t.quota_rejected + 1
       | `Browned -> t.browned <- t.browned + 1
       | `Swap -> t.swaps <- t.swaps + 1
-      | `Swap_failure -> t.swap_failures <- t.swap_failures + 1)
+      | `Swap_failure -> t.swap_failures <- t.swap_failures + 1
+      | `Insert -> t.inserts <- t.inserts + 1
+      | `Checkpoint -> t.checkpoints <- t.checkpoints + 1
+      | `Checkpoint_failure ->
+          t.checkpoint_failures <- t.checkpoint_failures + 1)
 
 let query_done t ~ok ~truncated ~latency_ns =
   Mutex.protect t.lock (fun () ->
@@ -144,6 +157,13 @@ let serving_json t ~gen ~prefix ~draining ~workers =
             ("prefix", Jsonx.Str prefix);
             ("completed", Jsonx.Int c.swaps);
             ("failed", Jsonx.Int c.swap_failures);
+          ] );
+      ( "wal",
+        Jsonx.Obj
+          [
+            ("inserts", Jsonx.Int c.inserts);
+            ("checkpoints", Jsonx.Int c.checkpoints);
+            ("checkpoint_failures", Jsonx.Int c.checkpoint_failures);
           ] );
       ( "latency_ns",
         Jsonx.Obj

@@ -28,7 +28,11 @@ type counter =
   | `Quota  (** QUERY rejected: client over its token bucket *)
   | `Browned  (** QUERY admitted but degraded by brownout *)
   | `Swap  (** completed generation flip *)
-  | `Swap_failure  (** SWAP that aborted, old generation kept *) ]
+  | `Swap_failure  (** SWAP that aborted, old generation kept *)
+  | `Insert  (** INSERT accepted: tree WAL-appended and live in the delta *)
+  | `Checkpoint  (** delta folded into a new main set and swapped in *)
+  | `Checkpoint_failure
+    (** checkpoint merge/publish/swap aborted; WAL + delta still serve *) ]
 
 val bump : t -> counter -> unit
 
@@ -58,7 +62,8 @@ val serving_json :
   Jsonx.t
 (** The ["serving"] object: uptime, qps (evaluated queries / uptime),
     in-flight gauge, connection/request/rejection counters, swap
-    counters and current generation, latency percentiles over the
+    counters and current generation, WAL counters (inserts,
+    checkpoints, checkpoint failures), latency percentiles over the
     reservoir snapshot, and the per-worker objects supplied by the
     server (queries, errors, busy time, per-domain cache counters). *)
 

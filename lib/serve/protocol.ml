@@ -11,6 +11,8 @@ type query_opts = {
 
 type request =
   | Query of string * query_opts
+  | Insert of string
+  | Checkpoint
   | Stats
   | Health
   | Swap of string
@@ -74,11 +76,22 @@ let parse_opt opts tok =
           | _ -> Error (Printf.sprintf "unknown class %S (want interactive|batch)" v))
       | _ -> Error (Printf.sprintf "unknown option %S" k))
 
+(* INSERT carries a Penn tree verbatim — spaces are syntax there, so the
+   payload is everything after the verb, never tokenized *)
+let insert_payload line =
+  match String.index_opt line ' ' with
+  | None -> ""
+  | Some i -> String.trim (String.sub line (i + 1) (String.length line - i - 1))
+
 let parse line =
   match tokens line with
   | [] -> Error "empty request"
   | verb :: rest -> (
       match (String.uppercase_ascii verb, rest) with
+      | "INSERT", _ :: _ -> Ok (Insert (insert_payload line))
+      | "INSERT", [] -> Error "INSERT wants a Penn tree"
+      | "CHECKPOINT", [] -> Ok Checkpoint
+      | "CHECKPOINT", _ :: _ -> Error "CHECKPOINT takes no arguments"
       | "QUERY", pattern :: opts ->
           let rec fold acc = function
             | [] -> Ok (Query (pattern, acc))

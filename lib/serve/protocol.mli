@@ -7,12 +7,22 @@
     {v
     QUERY <pattern> [k=v ...]      evaluate; options override the
                                    server's per-class defaults
+    INSERT <penn tree>             WAL-append one tree into the live index
+    CHECKPOINT                     fold the WAL delta into a new main
+                                   index and swap to it
     STATS                          one-line JSON (the stats --json schema)
     HEALTH                         one-line key=value liveness summary
     SWAP <prefix>                  hot-swap to the index at <prefix>
     QUIT                           close this connection
     SHUTDOWN                       begin graceful server drain
     v}
+
+    [INSERT] is the one verb whose argument may contain spaces (Penn
+    bracketing is space-separated), so its payload is everything after
+    the verb, taken verbatim — never tokenized.  It answers
+    [OK n=<total trees> pending=<delta trees> gen=<generation>];
+    [CHECKPOINT] answers [OK merged=<trees> gen=<new generation>] after
+    the post-publish swap.
 
     [QUERY] options: [deadline_ms=F], [max_steps=N],
     [max_decoded_bytes=N], [max_results=N], [partial=0|1],
@@ -40,6 +50,8 @@ type query_opts = {
 
 type request =
   | Query of string * query_opts  (** pattern, options *)
+  | Insert of string  (** raw Penn tree text, untokenized *)
+  | Checkpoint
   | Stats
   | Health
   | Swap of string  (** index prefix to open *)

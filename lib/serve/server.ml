@@ -9,6 +9,8 @@ type config = {
   cache_budget : int option;
   admission : Admission.config;
   idle_tick_s : float;
+  checkpoint_records : int option;
+  checkpoint_bytes : int option;
 }
 
 let default_config ~prefix =
@@ -21,6 +23,8 @@ let default_config ~prefix =
     cache_budget = None;
     admission = Admission.default_config;
     idle_tick_s = 0.2;
+    checkpoint_records = None;
+    checkpoint_bytes = None;
   }
 
 (* per-worker counters, written by the owning worker only; STATS reads
@@ -42,6 +46,11 @@ type t = {
   m : Metrics.t;
   qlock : Mutex.t;
   qcond : Condition.t;
+  ins_lock : Mutex.t;
+      (* serializes INSERT and CHECKPOINT across workers: two fds
+         appending to one WAL would interleave frames, and an insert
+         racing the checkpoint→swap→close_wal sequence could append to a
+         handle whose WAL was just truncated under it *)
   queue : (Unix.file_descr * string) Queue.t;  (* fd, peer address *)
   mutable stop_flag : bool;
   wstats : wstat array;
@@ -192,6 +201,81 @@ let handle_query t (ws : wstat) cache_ref fd peer pattern
                 (Protocol.err ~code:(Protocol.err_code e)
                    (Si_error.to_string e)))
 
+(* ---- incremental updates (INSERT / CHECKPOINT) -------------------------- *)
+
+(* caller holds [t.ins_lock].  Fold the delta into a new main set at the
+   serving prefix, flip to it, and only then close the retired handle's
+   WAL fd — the new generation lazily opens its own on the next insert.
+   An empty delta is a no-op answered with the current generation. *)
+let checkpoint_locked t =
+  let g = Swap.acquire t.sw in
+  Fun.protect
+    ~finally:(fun () -> Swap.release t.sw g)
+    (fun () ->
+      let si = Swap.si g in
+      if Si.pending si = 0 then Ok (0, Swap.gen_id g)
+      else
+        match Si.checkpoint si with
+        | Error e ->
+            Metrics.bump t.m `Checkpoint_failure;
+            Error e
+        | Ok merged -> (
+            match swap t (Swap.current_prefix t.sw) with
+            | Error e ->
+                (* new set is published and the WAL truncated, but the
+                   flip failed: the old generation (main + delta) still
+                   answers identically to the new set — keep serving *)
+                Metrics.bump t.m `Checkpoint_failure;
+                Error e
+            | Ok gen ->
+                Metrics.bump t.m `Checkpoint;
+                Si.close_wal si;
+                Ok (merged, gen)))
+
+let over_threshold v = function None -> false | Some n -> n > 0 && v >= n
+
+let maybe_auto_checkpoint t si =
+  if
+    over_threshold (Si.pending si) t.cfg.checkpoint_records
+    || over_threshold (Si.wal_bytes si) t.cfg.checkpoint_bytes
+  then
+    (* the client's insert is already acknowledged; a failed background
+       fold is accounted (`Checkpoint_failure) and retried on a later
+       insert — the WAL keeps every acknowledged tree either way *)
+    ignore (checkpoint_locked t)
+
+let handle_insert t fd text =
+  match Si_treebank.Penn.parse_one_exn text with
+  | exception Failure what ->
+      Metrics.bump t.m `Bad_request;
+      write_all fd (Protocol.err ~code:"bad_request" ("bad tree: " ^ what))
+  | tree ->
+      Mutex.protect t.ins_lock (fun () ->
+          let g = Swap.acquire t.sw in
+          Fun.protect
+            ~finally:(fun () -> Swap.release t.sw g)
+            (fun () ->
+              let si = Swap.si g in
+              match Si.insert si [ tree ] with
+              | Error e ->
+                  write_all fd
+                    (Protocol.err ~code:(Protocol.err_code e)
+                       (Si_error.to_string e))
+              | Ok n ->
+                  Metrics.bump t.m `Insert;
+                  write_all fd
+                    (Printf.sprintf "OK n=%d pending=%d gen=%d\n" n
+                       (Si.pending si) (Swap.gen_id g));
+                  maybe_auto_checkpoint t si))
+
+let handle_checkpoint t fd =
+  match Mutex.protect t.ins_lock (fun () -> checkpoint_locked t) with
+  | Ok (merged, gen) ->
+      write_all fd (Printf.sprintf "OK merged=%d gen=%d\n" merged gen)
+  | Error e ->
+      write_all fd
+        (Protocol.err ~code:(Protocol.err_code e) (Si_error.to_string e))
+
 let worker_json t =
   Array.to_list
     (Array.mapi
@@ -251,6 +335,18 @@ let handle_request t ws cache_ref fd peer line =
             write_all fd
               (Protocol.err ~code:"shutting_down" "server is draining")
           else handle_query t ws cache_ref fd peer pattern opts;
+          `Continue
+      | Ok (Insert text) ->
+          if stopping t then
+            write_all fd
+              (Protocol.err ~code:"shutting_down" "server is draining")
+          else handle_insert t fd text;
+          `Continue
+      | Ok Checkpoint ->
+          if stopping t then
+            write_all fd
+              (Protocol.err ~code:"shutting_down" "server is draining")
+          else handle_checkpoint t fd;
           `Continue
       | Ok Stats ->
           write_all fd ("OK " ^ Jsonx.to_string (stats_json t) ^ "\n");
@@ -420,6 +516,7 @@ let start cfg =
               m = Metrics.create ();
               qlock = Mutex.create ();
               qcond = Condition.create ();
+              ins_lock = Mutex.create ();
               queue = Queue.create ();
               stop_flag = false;
               wstats =

@@ -18,6 +18,15 @@
     notices the new generation on its next query and replaces its cache
     (cache entries are keyed per index and must not survive a swap).
 
+    Incremental updates: the [INSERT] verb WAL-appends a tree into the
+    serving generation's delta (visible to the very next query); the
+    [CHECKPOINT] verb — or an [checkpoint_records]/[checkpoint_bytes]
+    threshold crossing — folds the delta into a new main set at the
+    serving prefix, swaps to it through the normal generation flip, and
+    closes the retired handle's WAL fd.  Both verbs serialize on one
+    server-wide lock, so WAL frames never interleave and no insert can
+    race the checkpoint's truncate-and-swap window.
+
     Shutdown ({!begin_shutdown}, the [SHUTDOWN] verb, SIGTERM): the
     acceptor stops accepting and closes the listen socket; workers
     finish the request they are evaluating, write its response, and
@@ -40,10 +49,15 @@ type config = {
   admission : Admission.config;
   idle_tick_s : float;
       (** granularity at which blocked reads recheck the drain flag *)
+  checkpoint_records : int option;
+      (** auto-checkpoint once this many WAL records are pending *)
+  checkpoint_bytes : int option;
+      (** auto-checkpoint once the WAL file reaches this many bytes *)
 }
 
 val default_config : prefix:string -> config
-(** Port 0, 2 workers, queue of 64, default admission (admit all). *)
+(** Port 0, 2 workers, queue of 64, default admission (admit all), no
+    auto-checkpoint thresholds. *)
 
 type t
 

@@ -46,6 +46,14 @@ let acquire t =
 
 let release t g =
   Mutex.protect t.lock (fun () ->
+      (* a double release would drive [refs] negative, after which a
+         retiring generation never hits 0 again and is pinned in [t.old]
+         forever — refuse loudly instead of corrupting the refcount *)
+      if g.refs <= 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Swap.release: generation %d refcount underflow (double release)"
+             g.id);
       g.refs <- g.refs - 1;
       if g.retiring && g.refs = 0 then
         (* last in-flight reference gone: the generation is retired and

@@ -40,6 +40,9 @@ val acquire : t -> gen
     shape. *)
 
 val release : t -> gen -> unit
+(** Raises [Invalid_argument] on a refcount underflow (releasing a
+    generation more times than it was acquired) — a double release would
+    otherwise pin a retiring generation in the drain list forever. *)
 
 val swap : t -> ?cache_budget:int -> string -> (int, Si_core.Si_error.t) result
 (** [swap t prefix] — open the set at [prefix] (any failure, including a

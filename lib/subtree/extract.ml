@@ -29,14 +29,14 @@ and choose doc kids budget =
       in
       without @ with_k
 
-let fold_instances doc ~mss ~init ~f =
+let fold_instances ?label_id doc ~mss ~init ~f =
   if mss < 1 then invalid_arg "Extract.fold_instances: mss must be >= 1";
   let n = Annotated.size doc in
   let acc = ref init in
   for v = 0 to n - 1 do
     List.iter
       (fun inst ->
-        let key, nodes = Canonical.encode inst in
+        let key, nodes = Canonical.encode ?label_id inst in
         acc := f !acc ~key ~nodes)
       (instances doc v mss)
   done;

@@ -9,11 +9,15 @@
     root). *)
 
 val fold_instances :
+  ?label_id:(int -> int) ->
   Si_treebank.Annotated.t ->
   mss:int ->
   init:'acc ->
   f:('acc -> key:string -> nodes:int array -> 'acc) ->
   'acc
+(** [?label_id] remaps process-global label ids into the id space the keys
+    are encoded in (see {!Canonical.encode}) — the WAL delta index builds
+    its keys in a stored index's id space this way.  Default: identity. *)
 
 val count_instances : Si_treebank.Annotated.t -> mss:int -> int
 (** Number of instances ([fold_instances] with a counter). *)

@@ -11,4 +11,5 @@ let () =
       ("limits", Test_limits.suite);
       ("mmap", Test_mmap.suite);
       ("serve-net", Test_serve_net.suite);
+      ("wal", Test_wal.suite);
     ]

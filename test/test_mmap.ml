@@ -180,7 +180,7 @@ let test_treestore_roundtrip () =
     Array.of_list (List.map Si_treebank.Annotated.of_tree (corpus 60 9))
   in
   let path = Filename.concat dir "t.trees" in
-  Treestore.save path docs;
+  Treestore.save path ~relabel:Fun.id docs;
   let st = Treestore.open_ ~relabel:Fun.id path in
   Alcotest.(check int) "length" (Array.length docs) (Treestore.length st);
   Array.iteri

@@ -85,6 +85,26 @@ let test_cache_over_budget () =
   ignore (Cache.find_or_add c 0 (fun () -> "y"));
   Alcotest.(check int) "misses" 2 (Cache.stats c).Cache.misses
 
+let test_cache_oversized_spares_rest () =
+  (* an entry bigger than the whole budget is admitted at the cold end,
+     served once, and reclaimed by the same eviction sweep — exactly one
+     eviction, accounting back to where it was, and the resident entries
+     untouched (the old path would have been a miss storm or a panic) *)
+  let c = Cache.create ~budget:10 ~cost:String.length () in
+  ignore (Cache.find_or_add c 1 (fun () -> "aaaa"));
+  ignore (Cache.find_or_add c 2 (fun () -> "bbbb"));
+  let s0 = Cache.stats c in
+  Alcotest.(check int) "resident before" 8 s0.Cache.resident;
+  let v = Cache.find_or_add c 3 (fun () -> String.make 25 'x') in
+  Alcotest.(check int) "oversized value served" 25 (String.length v);
+  let s = Cache.stats c in
+  Alcotest.(check int) "exactly one eviction (itself)" 1 s.Cache.evictions;
+  Alcotest.(check int) "accounting exact" 8 s.Cache.resident;
+  Alcotest.(check int) "small entries survive" 2 s.Cache.entries;
+  ignore (Cache.find_or_add c 1 (fun () -> Alcotest.fail "1 was dumped"));
+  ignore (Cache.find_or_add c 2 (fun () -> Alcotest.fail "2 was dumped"));
+  Alcotest.(check int) "survivors hit" 2 (Cache.stats c).Cache.hits
+
 let test_cache_produce_exception () =
   let c = Cache.create ~budget:10 ~cost:String.length () in
   (match Cache.find_or_add c 0 (fun () -> failwith "boom") with
@@ -340,6 +360,8 @@ let suite =
   [
     Alcotest.test_case "cache hit/miss accounting" `Quick test_cache_hit_miss;
     Alcotest.test_case "cache LRU eviction order" `Quick test_cache_eviction_lru;
+    Alcotest.test_case "cache oversized entry spares the rest" `Quick
+      test_cache_oversized_spares_rest;
     Alcotest.test_case "cache over-budget value uncached" `Quick
       test_cache_over_budget;
     Alcotest.test_case "cache producer exception" `Quick

@@ -260,7 +260,63 @@ let test_admission_brownout_shed () =
   | Admission.Reject_overloaded -> ()
   | _ -> Alcotest.fail "above shed threshold must reject"
 
+let test_admission_stale_eviction () =
+  (* a hostile flood of distinct client ids must bound the bucket table
+     WITHOUT amnesty: the abuser who spent its quota — and keeps hammering,
+     which refreshes its bucket's timestamp — must still be rate-limited
+     after the overflow sweep, while only the stalest buckets are dropped.
+     (The old behaviour reset the whole table, handing the abuser a fresh
+     burst the moment 8k strangers showed up.) *)
+  let adm =
+    Admission.create
+      { Admission.default_config with quota_rps = Some 1e-9; quota_burst = 2. }
+  in
+  let verdict client = Admission.admit adm ~client ~inflight:1 plain_opts in
+  (match verdict "abuser" with Admission.Admit _ -> () | _ -> Alcotest.fail "1st");
+  (match verdict "abuser" with Admission.Admit _ -> () | _ -> Alcotest.fail "2nd");
+  (match verdict "abuser" with
+  | Admission.Reject_quota -> ()
+  | _ -> Alcotest.fail "burst spent");
+  (* flood past the 8192-bucket cap, the abuser retrying throughout (every
+     denial refreshes its bucket, so it is never among the stalest) *)
+  for i = 1 to 8400 do
+    (match verdict (Printf.sprintf "flood-%d" i) with
+    | Admission.Admit _ -> ()
+    | _ -> Alcotest.failf "fresh client %d rejected" i);
+    if i mod 500 = 0 then
+      match verdict "abuser" with
+      | Admission.Reject_quota -> ()
+      | _ -> Alcotest.failf "abuser admitted mid-flood at %d" i
+  done;
+  (match verdict "abuser" with
+  | Admission.Reject_quota -> ()
+  | _ -> Alcotest.fail "eviction sweep granted the abuser amnesty");
+  (* early flood clients were the stalest: evicted, so a retry is a fresh
+     bucket (admitted) — proof the sweep actually ran and was selective *)
+  match verdict "flood-1" with
+  | Admission.Admit _ -> ()
+  | _ -> Alcotest.fail "stalest bucket should have been evicted"
+
 (* ---- swap refcounting --------------------------------------------------- *)
+
+let test_swap_double_release () =
+  let pa = build_prefix ~seed:2012 ~n:40 "dblrel" in
+  Fun.protect
+    ~finally:(fun () -> rm_prefix pa)
+    (fun () ->
+      let sw = ok_exn "Swap.create" (Swap.create pa) in
+      let g = Swap.acquire sw in
+      Swap.release sw g;
+      (match Swap.release sw g with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "double release must raise, not underflow");
+      (* the guard protects a retiring generation from being pinned: a
+         correct acquire/release pair still drains after the faulty one *)
+      let g1 = Swap.acquire sw in
+      Alcotest.(check int) "swap still works" 2 (ok_exn "swap" (Swap.swap sw pa));
+      Alcotest.(check int) "old gen draining" 1 (Swap.draining sw);
+      Swap.release sw g1;
+      Alcotest.(check int) "drain completes" 0 (Swap.draining sw))
 
 let test_swap_refcount () =
   let pa = build_prefix ~seed:2012 ~n:60 "swapa" in
@@ -563,8 +619,12 @@ let suite =
       test_admission_quota;
     Alcotest.test_case "admission: brownout and shedding" `Quick
       test_admission_brownout_shed;
+    Alcotest.test_case "admission: overflow evicts stalest, no amnesty" `Quick
+      test_admission_stale_eviction;
     Alcotest.test_case "swap: refcounted generations drain" `Quick
       test_swap_refcount;
+    Alcotest.test_case "swap: double release refused" `Quick
+      test_swap_double_release;
     Alcotest.test_case "swap: failpoint-aborted swap keeps old index" `Quick
       test_swap_failpoints;
     Alcotest.test_case "server: wire session end-to-end" `Slow
