@@ -534,6 +534,83 @@ let () =
       ]
   in
 
+  (* sharded fan-out vs a single index over the same corpus: 2 shards,
+     root-split.  Each sharded query fans its legs across the affinity
+     pool and k-way-merges, so on a multi-core machine the stream should
+     match or beat the single index; on a single core the pool has one
+     worker and the fan-out only adds merge overhead — the ratio is
+     recorded as skipped rather than as a fake parallel number *)
+  let sharded_entry =
+    let shards = 2 in
+    let scheme = Si_core.Coding.Root_split in
+    let sprefix = Filename.concat tmp "sharded-root-split" in
+    let t0 = Unix.gettimeofday () in
+    ignore (ok_exn (Si_core.Si.build_sharded ~shards ~scheme ~mss ~trees sprefix));
+    let build_s = Unix.gettimeofday () -. t0 in
+    let sh, open_s =
+      time_best ~repeat:5 (fun () -> ok_exn (Si_core.Si.open_sharded sprefix))
+    in
+    let single = Si_core.Si.build ~scheme ~mss ~trees () in
+    (* same closed sequential loop over the same stream for both sides:
+       the sharded side's parallelism lives inside each query *)
+    let run_stream f =
+      let lat = Array.make (Array.length stream) 0. in
+      let t0 = Unix.gettimeofday () in
+      Array.iteri
+        (fun i q ->
+          let q0 = Si_core.Monotonic.now_ns () in
+          f q;
+          lat.(i) <- float_of_int (Si_core.Monotonic.now_ns () - q0))
+        stream;
+      (Unix.gettimeofday () -. t0, lat)
+    in
+    let best_of runs f =
+      let best = ref None in
+      for _ = 1 to runs do
+        let (dt, _) as r = run_stream f in
+        match !best with
+        | Some (p, _) when p <= dt -> ()
+        | _ -> best := Some r
+      done;
+      Option.get !best
+    in
+    let sh_s, sh_lat =
+      best_of 3 (fun q -> ignore (ok_exn (Si_core.Si.query_sharded sh q)))
+    in
+    let single_s, _ =
+      best_of 3 (fun q -> ignore (ok_exn (Si_core.Si.query single q)))
+    in
+    Array.sort compare sh_lat;
+    let nq = float_of_int (Array.length stream) in
+    let qps = nq /. sh_s and single_qps = nq /. single_s in
+    let multicore = Domain.recommended_domain_count () >= 2 in
+    Printf.eprintf
+      "sharded root-split shards=%d: build=%.3fs open=%.4fs; %d queries in \
+       %.3fs (%.0f qps, p50=%.1fus p95=%.1fus) vs single %.0f qps%s\n%!"
+      shards build_s open_s (Array.length stream) sh_s qps
+      (quantile sh_lat 0.5 /. 1e3)
+      (quantile sh_lat 0.95 /. 1e3)
+      single_qps
+      (if multicore then "" else " [single core: ratio skipped]");
+    J.Obj
+      [
+        ("scheme", J.Str "root-split");
+        ("shards", J.Int shards);
+        ("build_ms", J.Float (1000. *. build_s));
+        ("build_ms_per_shard", J.Float (1000. *. build_s /. float_of_int shards));
+        ("open_ms", J.Float (1000. *. open_s));
+        ("queries", J.Int (Array.length stream));
+        ("elapsed_s", J.Float sh_s);
+        ("qps", J.Float qps);
+        ("p50_ns", J.Float (quantile sh_lat 0.5));
+        ("p95_ns", J.Float (quantile sh_lat 0.95));
+        ("single_qps", J.Float single_qps);
+        ( "fanout_vs_single",
+          if multicore then J.Float (qps /. single_qps)
+          else J.Str "skipped_single_core" );
+      ]
+  in
+
   (* stable headline numbers: one object per coding, fixed keys, so CI and
      future PRs can diff trajectories without walking the detail arrays *)
   let summary =
@@ -583,6 +660,7 @@ let () =
         ("query", J.Arr (List.rev !query_entries));
         ("serve", J.Arr (List.rev !serve_entries));
         ("serve_net", serve_net_entry);
+        ("sharded", sharded_entry);
       ]
   in
   let oc = open_out !out in

@@ -98,9 +98,13 @@ let format_conv =
   in
   Arg.conv (parse, print)
 
-let build corpus prefix scheme mss domains format failpoints =
+let build corpus prefix scheme mss domains shards format failpoints =
   if domains < 1 then begin
     Printf.eprintf "si_tool: --domains must be >= 1 (got %d)\n" domains;
+    exit 2
+  end;
+  if shards < 1 then begin
+    Printf.eprintf "si_tool: --shards must be >= 1 (got %d)\n" shards;
     exit 2
   end;
   (match failpoints with
@@ -117,19 +121,59 @@ let build corpus prefix scheme mss domains format failpoints =
     | Failure what ->
         fail_si (Si_core.Si_error.Corrupt { path = corpus; offset = 0; what })
   in
+  let fmt_str = match format with `Sidx3 -> "sidx3" | `Sidx4 -> "sidx4" in
   let t0 = Unix.gettimeofday () in
-  let si =
-    try Si_core.Si.build ~domains ~format ~scheme ~mss ~trees ~prefix ()
-    with Si_core.Si_error.Error e -> fail_si e
-  in
-  let dt = Unix.gettimeofday () -. t0 in
-  let s = Si_core.Si.stats si in
-  Printf.printf
-    "built %s %s index: mss=%d domains=%d trees=%d nodes=%d keys=%d postings=%d idx_bytes=%d (%.2fs)\n"
-    (match format with `Sidx3 -> "sidx3" | `Sidx4 -> "sidx4")
-    (Si_core.Coding.scheme_to_string scheme)
-    mss domains s.Si_core.Builder.trees s.Si_core.Builder.nodes
-    s.Si_core.Builder.keys s.Si_core.Builder.postings s.Si_core.Builder.bytes dt
+  if shards = 1 then begin
+    let si =
+      try Si_core.Si.build ~domains ~format ~scheme ~mss ~trees ~prefix ()
+      with Si_core.Si_error.Error e -> fail_si e
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let s = Si_core.Si.stats si in
+    Printf.printf
+      "built %s %s index: mss=%d domains=%d trees=%d nodes=%d keys=%d postings=%d idx_bytes=%d (%.2fs)\n"
+      fmt_str
+      (Si_core.Coding.scheme_to_string scheme)
+      mss domains s.Si_core.Builder.trees s.Si_core.Builder.nodes
+      s.Si_core.Builder.keys s.Si_core.Builder.postings s.Si_core.Builder.bytes
+      dt
+  end
+  else begin
+    let sh =
+      match
+        Si_core.Si.build_sharded ~domains ~format ~shards ~scheme ~mss ~trees
+          prefix
+      with
+      | r -> ok_or_fail r
+      | exception Si_core.Si_error.Error e -> fail_si e
+      | exception Sys_error what ->
+          fail_si (Si_core.Si_error.Io { path = prefix; what })
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let hs = Si_core.Si.shard_handles sh in
+    let agg f =
+      Array.fold_left (fun acc si -> acc + f (Si_core.Si.stats si)) 0 hs
+    in
+    Printf.printf
+      "built sharded %s %s index: shards=%d mss=%d trees=%d nodes=%d keys=%d \
+       postings=%d idx_bytes=%d (%.2fs)\n"
+      fmt_str
+      (Si_core.Coding.scheme_to_string scheme)
+      shards mss
+      (agg (fun s -> s.Si_core.Builder.trees))
+      (agg (fun s -> s.Si_core.Builder.nodes))
+      (agg (fun s -> s.Si_core.Builder.keys))
+      (agg (fun s -> s.Si_core.Builder.postings))
+      (agg (fun s -> s.Si_core.Builder.bytes))
+      dt;
+    Array.iteri
+      (fun i si ->
+        let s = Si_core.Si.stats si in
+        Printf.printf "  shard %d: trees=%d keys=%d postings=%d idx_bytes=%d\n"
+          i s.Si_core.Builder.trees s.Si_core.Builder.keys
+          s.Si_core.Builder.postings s.Si_core.Builder.bytes)
+      hs
+  end
 
 let corpus_arg =
   Arg.(required & opt (some file) None & info [ "corpus" ] ~docv:"FILE" ~doc:"Corpus file from $(b,gen).")
@@ -157,6 +201,15 @@ let build_cmd =
                  load) or $(b,sidx4) (mmap-resident, O(1) open, writes the \
                  PREFIX.trees corpus store alongside).")
   in
+  let shards =
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
+           ~doc:"Split the corpus into N per-shard indexes \
+                 (PREFIX.shard0 .. PREFIX.shardN-1 plus a PREFIX.shards \
+                 manifest); the deterministic router assigns every tree \
+                 id to its shard and queries fan out / merge over the \
+                 set.  Per-shard builds run in parallel on the worker \
+                 pool.")
+  in
   let failpoints =
     Arg.(value & opt (some string) None & info [ "failpoints" ] ~docv:"SPEC"
            ~doc:"Arm fault-injection points for this run (also readable \
@@ -166,7 +219,7 @@ let build_cmd =
   Cmd.v
     (Cmd.info "build" ~doc:"Build a subtree index over a corpus.")
     Term.(const build $ corpus_arg $ prefix_arg $ scheme $ mss $ domains
-          $ format $ failpoints)
+          $ shards $ format $ failpoints)
 
 (* ---- query ------------------------------------------------------------- *)
 
@@ -195,17 +248,63 @@ let parse_query qstr =
   | Ok q -> q
   | Error e -> fail_si (Si_core.Si_error.Bad_query e)
 
+(* ---- handle dispatch: every verb below serves "a prefix", sharded
+   (PREFIX.shards manifest) or not -------------------------------------- *)
+
+let open_any_or_fail ?cache_budget prefix =
+  match Si_core.Si.open_any ?cache_budget prefix with
+  | r -> ok_or_fail r
+  | exception Sys_error what ->
+      fail_si (Si_core.Si_error.Io { path = prefix; what })
+
+let query_outcome_any ~limits h qstr =
+  match h with
+  | Si_core.Si.Single si -> Si_core.Si.query_outcome ~limits si qstr
+  | Si_core.Si.Sharded sh ->
+      Result.map
+        (fun so -> so.Si_core.Si.so_outcome)
+        (Si_core.Si.query_outcome_sharded ~limits sh qstr)
+
+let oracle_any h q =
+  match h with
+  | Si_core.Si.Single si -> Si_core.Si.oracle si q
+  | Si_core.Si.Sharded sh -> Si_core.Si.oracle_sharded sh q
+
+let sentence_any h tid =
+  match h with
+  | Si_core.Si.Single si -> Si_core.Si.sentence si tid
+  | Si_core.Si.Sharded sh -> Si_core.Si.sentence_sharded sh tid
+
+(* summed over the member shards for a sharded handle *)
+let cache_stats_any h =
+  match h with
+  | Si_core.Si.Single si -> Si_core.Si.cache_stats si
+  | Si_core.Si.Sharded sh ->
+      Array.fold_left
+        (fun (acc : Si_core.Cache.stats) si ->
+          let c = Si_core.Si.cache_stats si in
+          {
+            acc with
+            Si_core.Cache.hits = acc.Si_core.Cache.hits + c.Si_core.Cache.hits;
+            misses = acc.Si_core.Cache.misses + c.Si_core.Cache.misses;
+            evictions = acc.Si_core.Cache.evictions + c.Si_core.Cache.evictions;
+            resident = acc.Si_core.Cache.resident + c.Si_core.Cache.resident;
+            entries = acc.Si_core.Cache.entries + c.Si_core.Cache.entries;
+          })
+        (Si_core.Cache.zero_stats 0)
+        (Si_core.Si.shard_handles sh)
+
 (* evaluate one query against an open handle, with the optional oracle
    cross-check (skipped for truncated answers — a degraded prefix cannot
    match the full oracle set); returns the outcome *)
-let eval_checked si qstr ~limits ~check_oracle =
-  let o = ok_or_fail (Si_core.Si.query_outcome ~limits si qstr) in
+let eval_checked h qstr ~limits ~check_oracle =
+  let o = ok_or_fail (query_outcome_any ~limits h qstr) in
   if check_oracle then begin
     if o.Si_core.Limits.truncated then
       Printf.eprintf "oracle check skipped (%s): result truncated by limits\n"
         qstr
     else begin
-      let want = Si_core.Si.oracle si (parse_query qstr) in
+      let want = oracle_any h (parse_query qstr) in
       if o.Si_core.Limits.matches <> want then begin
         Printf.eprintf "oracle MISMATCH: index %d matches, oracle %d\n"
           (List.length o.Si_core.Limits.matches)
@@ -217,7 +316,7 @@ let eval_checked si qstr ~limits ~check_oracle =
   o
 
 let query prefix qstr queries_file sentences check_oracle limits =
-  let si = ok_or_fail (Si_core.Si.open_ prefix) in
+  let h = open_any_or_fail prefix in
   match (qstr, queries_file) with
   | None, None ->
       Printf.eprintf "si_tool: query needs a QUERY argument or --queries FILE\n";
@@ -226,14 +325,14 @@ let query prefix qstr queries_file sentences check_oracle limits =
       Printf.eprintf "si_tool: pass either a QUERY argument or --queries, not both\n";
       exit 2
   | Some qstr, None ->
-      let o = eval_checked si qstr ~limits ~check_oracle in
+      let o = eval_checked h qstr ~limits ~check_oracle in
       let matches = o.Si_core.Limits.matches in
       Printf.printf "%d matches%s\n" (List.length matches)
         (if o.Si_core.Limits.truncated then " (truncated)" else "");
       if sentences then
         List.iter
           (fun (tid, node) ->
-            let t = Si_core.Si.sentence si tid in
+            let t = sentence_any h tid in
             Printf.printf "%d:%d %s\n" tid node (Si_treebank.Tree.to_string t))
           matches;
       if check_oracle && not o.Si_core.Limits.truncated then
@@ -246,7 +345,7 @@ let query prefix qstr queries_file sentences check_oracle limits =
       let truncated = ref 0 in
       Array.iter
         (fun qstr ->
-          let o = eval_checked si qstr ~limits ~check_oracle in
+          let o = eval_checked h qstr ~limits ~check_oracle in
           let n = List.length o.Si_core.Limits.matches in
           total := !total + n;
           if o.Si_core.Limits.truncated then begin
@@ -256,7 +355,7 @@ let query prefix qstr queries_file sentences check_oracle limits =
           else Printf.printf "%s\t%d\n" qstr n)
         qs;
       let dt = Si_core.Monotonic.elapsed_s t0 in
-      let cs = Si_core.Si.cache_stats si in
+      let cs = cache_stats_any h in
       Printf.eprintf
         "evaluated %d queries (%d matches%s) in %.3fs over one open; cache \
          hits=%d misses=%d evictions=%d%s\n"
@@ -332,12 +431,22 @@ let insert prefix corpus tree_args failpoints =
     Printf.eprintf "si_tool: insert needs TREE arguments or --corpus FILE\n";
     exit 2
   end;
-  let si = ok_or_fail (Si_core.Si.open_ prefix) in
-  let total = ok_or_fail (Si_core.Si.insert si trees) in
-  Printf.printf "inserted %d trees: total=%d pending=%d wal_bytes=%d\n"
-    (List.length trees) total (Si_core.Si.pending si)
-    (Si_core.Si.wal_bytes si);
-  Si_core.Si.close_wal si
+  match open_any_or_fail prefix with
+  | Si_core.Si.Single si ->
+      let total = ok_or_fail (Si_core.Si.insert si trees) in
+      Printf.printf "inserted %d trees: total=%d pending=%d wal_bytes=%d\n"
+        (List.length trees) total (Si_core.Si.pending si)
+        (Si_core.Si.wal_bytes si);
+      Si_core.Si.close_wal si
+  | Si_core.Si.Sharded sh ->
+      (* each tree routes to its owning shard's WAL *)
+      let total = ok_or_fail (Si_core.Si.insert_sharded sh trees) in
+      Printf.printf
+        "inserted %d trees (routed): total=%d pending=%d wal_bytes=%d\n"
+        (List.length trees) total
+        (Si_core.Si.pending_sharded sh)
+        (Si_core.Si.wal_bytes_sharded sh);
+      Si_core.Si.close_wal_sharded sh
 
 let insert_cmd =
   let corpus =
@@ -359,26 +468,58 @@ let insert_cmd =
              new main index.")
     Term.(const insert $ prefix_arg $ corpus $ tree_args $ failpoints_arg)
 
-let checkpoint prefix failpoints =
+let checkpoint prefix shard failpoints =
   arm_failpoints failpoints;
-  let si = ok_or_fail (Si_core.Si.open_ prefix) in
-  let before = (Si_core.Si.stats si).Si_core.Builder.trees in
-  let merged = ok_or_fail (Si_core.Si.checkpoint si) in
-  if merged = 0 then Printf.printf "nothing pending: total=%d\n" before
-  else
-    Printf.printf "checkpointed %d pending trees into %s: total=%d\n" merged
-      prefix (before + merged);
-  Si_core.Si.close_wal si
+  match open_any_or_fail prefix with
+  | Si_core.Si.Single si ->
+      (match shard with
+      | Some k ->
+          Printf.eprintf
+            "si_tool: --shard %d: the index at %s is not sharded\n" k prefix;
+          exit 2
+      | None -> ());
+      let before = (Si_core.Si.stats si).Si_core.Builder.trees in
+      let merged = ok_or_fail (Si_core.Si.checkpoint si) in
+      if merged = 0 then Printf.printf "nothing pending: total=%d\n" before
+      else
+        Printf.printf "checkpointed %d pending trees into %s: total=%d\n"
+          merged prefix (before + merged);
+      Si_core.Si.close_wal si
+  | Si_core.Si.Sharded sh ->
+      (match shard with
+      | Some k when k < 0 || k >= Si_core.Si.shard_count sh ->
+          Printf.eprintf "si_tool: --shard %d: index has %d shards\n" k
+            (Si_core.Si.shard_count sh);
+          exit 2
+      | _ -> ());
+      let merged = ok_or_fail (Si_core.Si.checkpoint_sharded ?shard sh) in
+      if merged = 0 then
+        Printf.printf "nothing pending: total=%d\n"
+          (Si_core.Si.sharded_total sh)
+      else
+        Printf.printf "checkpointed %d pending trees into %s%s: total=%d\n"
+          merged prefix
+          (match shard with
+          | Some k -> Printf.sprintf " (shard %d)" k
+          | None -> "")
+          (Si_core.Si.sharded_total sh);
+      Si_core.Si.close_wal_sharded sh
 
 let checkpoint_cmd =
+  let shard =
+    Arg.(value & opt (some int) None & info [ "shard" ] ~docv:"K"
+           ~doc:"Sharded prefix only: fold shard K's slice of the WAL \
+                 delta; the other members keep their pending debt.")
+  in
   Cmd.v
     (Cmd.info "checkpoint"
        ~doc:"Fold the WAL delta into a new main index set at PREFIX \
              (published via the crash-consistent staged-rename protocol) \
              and truncate the WAL.  A crash at any point leaves either the \
              old set plus a replayable WAL or the new set — never a torn \
-             state.")
-    Term.(const checkpoint $ prefix_arg $ failpoints_arg)
+             state.  On a sharded prefix every member folds (or one with \
+             $(b,--shard)).")
+    Term.(const checkpoint $ prefix_arg $ shard $ failpoints_arg)
 
 (* ---- serve ------------------------------------------------------------- *)
 
@@ -390,9 +531,48 @@ let quantile sorted p =
    rethrown — one pathological or failing query must not take down the
    batch.  Exit 0 means the batch machinery ran to completion; per-query
    failures are visible in errors= and on stderr. *)
+(* Sharded prefix: the per-query fan-out across the affinity pool IS the
+   parallelism, so the stream runs sequentially — each query already
+   occupies every pool worker. *)
+let serve_batch_sharded sh qs limits =
+  let n = Array.length qs in
+  let lat = Array.make n 0. in
+  let total = ref 0 and errors = ref 0 and truncated = ref 0 in
+  let t0 = Si_core.Monotonic.now_ns () in
+  Array.iteri
+    (fun i qstr ->
+      let q0 = Si_core.Monotonic.now_ns () in
+      (match Si_core.Si.query_outcome_sharded ~limits sh qstr with
+      | Error e ->
+          incr errors;
+          Printf.eprintf "query %d failed: %s\n" i
+            (Si_core.Si_error.to_string e)
+      | Ok so ->
+          let o = so.Si_core.Si.so_outcome in
+          total := !total + List.length o.Si_core.Limits.matches;
+          if o.Si_core.Limits.truncated then incr truncated);
+      lat.(i) <- float_of_int (Si_core.Monotonic.now_ns () - q0))
+    qs;
+  let elapsed = Si_core.Monotonic.elapsed_s t0 in
+  Array.sort compare lat;
+  Printf.printf
+    "queries=%d shards=%d matches=%d errors=%d truncated=%d elapsed=%.3fs qps=%.0f\n"
+    n
+    (Si_core.Si.shard_count sh)
+    !total !errors !truncated elapsed
+    (if elapsed > 0. then float_of_int n /. elapsed else 0.);
+  Printf.printf "latency_ns p50=%.0f p95=%.0f p99=%.0f\n" (quantile lat 0.50)
+    (quantile lat 0.95) (quantile lat 0.99)
+
 let serve_batch prefix batch_file domains cache_budget limits =
-  let si = ok_or_fail (Si_core.Si.open_ prefix) in
   let qs = read_queries batch_file in
+  let si =
+    match open_any_or_fail ?cache_budget prefix with
+    | Si_core.Si.Sharded sh ->
+        serve_batch_sharded sh qs limits;
+        exit 0
+    | Si_core.Si.Single si -> si
+  in
   let b = Si_core.Si.query_batch ~domains ?cache_budget ~limits si qs in
   let total = ref 0 and errors = ref 0 and truncated = ref 0 in
   Array.iteri
@@ -661,14 +841,56 @@ let mmap_regions si =
           m.Si_core.Builder.resident_estimate + store_resident,
           idx @ trees )
 
+(* WAL debt as it sits on disk (the handle's own [wal_bytes] counts only
+   a WAL it has opened for append) *)
+let wal_file_bytes prefix =
+  match Unix.stat (Si_core.Wal.path prefix) with
+  | st -> st.Unix.st_size
+  | exception Unix.Unix_error _ -> 0
+  | exception Sys_error _ -> 0
+
+let wal_debt h prefix =
+  match h with
+  | Si_core.Si.Single si -> (Si_core.Si.pending si, wal_file_bytes prefix)
+  | Si_core.Si.Sharded sh ->
+      let bytes = ref 0 in
+      for i = 0 to Si_core.Si.shard_count sh - 1 do
+        bytes :=
+          !bytes + wal_file_bytes (Si_core.Shardmap.shard_prefix prefix i)
+      done;
+      (Si_core.Si.pending_sharded sh, !bytes)
+
 (* --json emits the same "index" object the network server's STATS verb
    returns (Si_serve.Metrics.index_json — one schema, two producers),
-   plus the offline-only histogram and cache sections. *)
-let stats_json prefix =
-  let si = ok_or_fail (Si_core.Si.open_ prefix) in
+   plus the offline-only histogram, cache and wal sections. *)
+let stats_json_sharded prefix sh =
+  let open Si_serve.Jsonx in
+  let pending, wal_bytes = wal_debt (Si_core.Si.Sharded sh) prefix in
+  let cs = cache_stats_any (Si_core.Si.Sharded sh) in
+  print_endline
+    (to_string
+       (Obj
+          [
+            ("index", Si_serve.Metrics.sharded_index_json sh);
+            ("shards", Si_serve.Metrics.shards_json sh);
+            ( "wal",
+              Obj [ ("pending", Int pending); ("wal_bytes", Int wal_bytes) ] );
+            ( "cache",
+              Obj
+                [
+                  ("hits", Int cs.Si_core.Cache.hits);
+                  ("misses", Int cs.Si_core.Cache.misses);
+                  ("evictions", Int cs.Si_core.Cache.evictions);
+                  ("resident", Int cs.Si_core.Cache.resident);
+                  ("entries", Int cs.Si_core.Cache.entries);
+                ] );
+          ]))
+
+let stats_json prefix si =
   let open Si_serve.Jsonx in
   let hist kvs = Arr (List.map (fun (a, b) -> Arr [ Int a; Int b ]) kvs) in
   let cs = Si_core.Si.cache_stats si in
+  let pending, wal_bytes = wal_debt (Si_core.Si.Single si) prefix in
   let mmap_section =
     match mmap_regions si with
     | None -> []
@@ -699,6 +921,8 @@ let stats_json prefix =
        (Obj
           ([
             ("index", Si_serve.Metrics.index_json si);
+            ( "wal",
+              Obj [ ("pending", Int pending); ("wal_bytes", Int wal_bytes) ] );
             ( "posting_length_histogram",
               hist (Si_core.Builder.length_histogram (Si_core.Si.index si)) );
             ( "block_histogram",
@@ -716,10 +940,44 @@ let stats_json prefix =
           ]
           @ mmap_section)))
 
+let stats_sharded prefix sh =
+  let hs = Si_core.Si.shard_handles sh in
+  let agg f =
+    Array.fold_left (fun acc si -> acc + f (Si_core.Si.stats si)) 0 hs
+  in
+  Printf.printf
+    "scheme=%s mss=%d backend=sharded shards=%d trees=%d nodes=%d keys=%d \
+     postings=%d idx_bytes=%d\n"
+    (Si_core.Coding.scheme_to_string (Si_core.Si.scheme hs.(0)))
+    (Si_core.Si.mss hs.(0))
+    (Array.length hs)
+    (agg (fun s -> s.Si_core.Builder.trees))
+    (agg (fun s -> s.Si_core.Builder.nodes))
+    (agg (fun s -> s.Si_core.Builder.keys))
+    (agg (fun s -> s.Si_core.Builder.postings))
+    (agg (fun s -> s.Si_core.Builder.bytes));
+  Array.iteri
+    (fun i si ->
+      let s = Si_core.Si.stats si in
+      Printf.printf
+        "  shard %d: backend=%s trees=%d keys=%d postings=%d idx_bytes=%d \
+         pending=%d\n"
+        i
+        (match Si_core.Si.format si with `Sidx4 -> "mapped" | `Sidx3 -> "heap")
+        s.Si_core.Builder.trees s.Si_core.Builder.keys
+        s.Si_core.Builder.postings s.Si_core.Builder.bytes
+        (Si_core.Si.pending si))
+    hs;
+  let pending, wal_bytes = wal_debt (Si_core.Si.Sharded sh) prefix in
+  Printf.printf "wal pending=%d wal_bytes=%d\n" pending wal_bytes
+
 let stats prefix json =
-  if json then stats_json prefix
+  match open_any_or_fail prefix with
+  | Si_core.Si.Sharded sh ->
+      if json then stats_json_sharded prefix sh else stats_sharded prefix sh
+  | Si_core.Si.Single si ->
+  if json then stats_json prefix si
   else begin
-  let si = ok_or_fail (Si_core.Si.open_ prefix) in
   let s = Si_core.Si.stats si in
   Printf.printf "scheme=%s mss=%d backend=%s trees=%d nodes=%d keys=%d postings=%d idx_bytes=%d\n"
     (Si_core.Coding.scheme_to_string (Si_core.Si.scheme si))
@@ -727,6 +985,9 @@ let stats prefix json =
     (match Si_core.Si.format si with `Sidx4 -> "mapped" | `Sidx3 -> "heap")
     s.Si_core.Builder.trees s.Si_core.Builder.nodes
     s.Si_core.Builder.keys s.Si_core.Builder.postings s.Si_core.Builder.bytes;
+  (let pending, wal_bytes = wal_debt (Si_core.Si.Single si) prefix in
+   if pending > 0 || wal_bytes > 0 then
+     Printf.printf "wal pending=%d wal_bytes=%d\n" pending wal_bytes);
   (match mmap_regions si with
   | None -> ()
   | Some (mapped_bytes, resident, regions) ->
@@ -786,15 +1047,34 @@ let openbench prefix repeat query =
   let last = ref None in
   for i = 0 to repeat - 1 do
     let t0 = Si_core.Monotonic.now_ns () in
-    let si = ok_or_fail (Si_core.Si.open_ prefix) in
+    let h = open_any_or_fail prefix in
     times.(i) <- float_of_int (Si_core.Monotonic.now_ns () - t0) /. 1e6;
-    last := Some si
+    last := Some h
   done;
-  let si = Option.get !last in
+  let h = Option.get !last in
   let sorted = Array.copy times in
   Array.sort compare sorted;
   let mean = Array.fold_left ( +. ) 0. times /. float_of_int repeat in
-  let s = Si_core.Si.stats si in
+  let backend, trees, keys =
+    match h with
+    | Si_core.Si.Single si ->
+        let s = Si_core.Si.stats si in
+        ( (match Si_core.Si.format si with
+          | `Sidx4 -> "mapped"
+          | `Sidx3 -> "heap"),
+          s.Si_core.Builder.trees,
+          s.Si_core.Builder.keys )
+    | Si_core.Si.Sharded sh ->
+        let agg f =
+          Array.fold_left
+            (fun acc si -> acc + f (Si_core.Si.stats si))
+            0
+            (Si_core.Si.shard_handles sh)
+        in
+        ( "sharded",
+          agg (fun s -> s.Si_core.Builder.trees),
+          agg (fun s -> s.Si_core.Builder.keys) )
+  in
   Printf.printf
     "open_ms_min=%.3f open_ms_p50=%.3f open_ms_mean=%.3f open_ms_max=%.3f \
      repeat=%d backend=%s trees=%d keys=%d\n"
@@ -802,14 +1082,16 @@ let openbench prefix repeat query =
     (quantile sorted 0.50)
     mean
     sorted.(repeat - 1)
-    repeat
-    (match Si_core.Si.format si with `Sidx4 -> "mapped" | `Sidx3 -> "heap")
-    s.Si_core.Builder.trees s.Si_core.Builder.keys;
+    repeat backend trees keys;
   match query with
   | None -> ()
   | Some qstr ->
       let t0 = Si_core.Monotonic.now_ns () in
-      let matches = ok_or_fail (Si_core.Si.query si qstr) in
+      let matches =
+        match h with
+        | Si_core.Si.Single si -> ok_or_fail (Si_core.Si.query si qstr)
+        | Si_core.Si.Sharded sh -> ok_or_fail (Si_core.Si.query_sharded sh qstr)
+      in
       let dt = float_of_int (Si_core.Monotonic.now_ns () - t0) /. 1e6 in
       Printf.printf "first_query_ms=%.3f matches=%d\n" dt (List.length matches)
 

@@ -650,13 +650,24 @@ let dispatch ?ctx ?tid_base ~index ~corpus ~label_id ~cache q =
    results had been emitted by then.  Without [partial] those trips stay
    typed errors ({!Si_error.Timeout} / {!Si_error.Resource_exhausted}). *)
 let run_outcome_exn ~index ~corpus ?(label_id = Fun.id) ?cache ?delta
-    ?(limits = Limits.none) q =
+    ?(limits = Limits.none) ?shared q =
   (* [Limits.start] itself can raise (a deadline of 0 trips before any
      work), so it must run inside the handled expression; the holder keeps
      the ctx reachable from the exception branches *)
   let holder = ref None in
+  (* a shared gauge (one leg of a sharded fan-out, DESIGN.md §14)
+     accounts bytes/steps against the fan-out-wide atomic pools and
+     measures its deadline from the fan-out's start instant; its budget
+     supersedes [limits] so the partial flag below reads the right one *)
+  let limits =
+    match shared with Some sh -> Limits.shared_limits sh | None -> limits
+  in
   match
-    let ctx = Limits.start limits in
+    let ctx =
+      match shared with
+      | Some sh -> Limits.start_shared sh
+      | None -> Limits.start limits
+    in
     holder := ctx;
     let main = dispatch ?ctx ~index ~corpus ~label_id ~cache q in
     match delta with
@@ -683,9 +694,9 @@ let run_outcome_exn ~index ~corpus ?(label_id = Fun.id) ?cache ?delta
       in
       { Limits.matches; truncated = true }
 
-let run_outcome ~index ~corpus ?label_id ?cache ?delta ?limits q =
+let run_outcome ~index ~corpus ?label_id ?cache ?delta ?limits ?shared q =
   Si_error.guard (fun () ->
-      run_outcome_exn ~index ~corpus ?label_id ?cache ?delta ?limits q)
+      run_outcome_exn ~index ~corpus ?label_id ?cache ?delta ?limits ?shared q)
 
 let run_exn ~index ~corpus ?label_id ?cache ?delta ?limits q =
   (run_outcome_exn ~index ~corpus ?label_id ?cache ?delta ?limits q)

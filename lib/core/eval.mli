@@ -68,6 +68,7 @@ val run_outcome :
   ?cache:Cursor.cache ->
   ?delta:Builder.t * Corpus.t * int ->
   ?limits:Limits.t ->
+  ?shared:Limits.shared ->
   Si_query.Ast.t ->
   (Limits.outcome, Si_error.t) result
 (** Resource-governed evaluation, the degradation contract (DESIGN.md §10):
@@ -87,9 +88,13 @@ val run_outcome_exn :
   ?cache:Cursor.cache ->
   ?delta:Builder.t * Corpus.t * int ->
   ?limits:Limits.t ->
+  ?shared:Limits.shared ->
   Si_query.Ast.t ->
   Limits.outcome
-(** {!run_outcome}, raising [Si_error.Error]. *)
+(** {!run_outcome}, raising [Si_error.Error].  [shared] makes this
+    evaluation one leg of a sharded fan-out: bytes/steps account against
+    the fan-out-wide gauge (superseding [limits]) and the deadline runs
+    from the gauge's creation instant. *)
 
 val cover_for : Builder.t -> Si_query.Ast.indexed -> Cover.t
 (** The cover [run] uses: {!Cover.min_rc} under root-split coding,

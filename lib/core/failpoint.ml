@@ -189,4 +189,5 @@ let known =
     ("wal.replay", "about to replay an existing WAL into the delta index");
     ("wal.truncate", "checkpoint published, before the WAL ftruncate");
     ("si.checkpoint.merge", "before merging the delta into the main postings");
+    ("si.shard.eval.<k>", "shard k's leg of a sharded fan-out, before it runs");
   ]

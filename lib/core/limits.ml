@@ -23,9 +23,24 @@ let is_none l = l = none
 
 type outcome = { matches : (int * int) list; truncated : bool }
 
+(* One gauge shared by the per-shard evaluations of a fan-out query:
+   byte and step spend pool atomically across shards, and every shard
+   measures its deadline from the same start instant, so the whole
+   fan-out answers under one budget rather than N.  [max_results] stays
+   per-ctx — each shard may emit up to the cap and the merge enforces
+   the global cap, which keeps the truncated-⊂-exact contract (a subset,
+   not a prefix) without cross-domain coordination on the emit path. *)
+type shared = {
+  s_limits : t;
+  s_t0_ns : int;
+  s_bytes : int Atomic.t;
+  s_steps : int Atomic.t;
+}
+
 type ctx = {
   limits : t;
   t0_ns : int;
+  shared : shared option;
   mutable decoded_bytes : int;
   mutable join_steps : int;
   mutable tick : int;
@@ -50,6 +65,7 @@ let start limits =
       {
         limits;
         t0_ns = Monotonic.now_ns ();
+        shared = None;
         decoded_bytes = 0;
         join_steps = 0;
         tick = 0;
@@ -62,6 +78,37 @@ let start limits =
     Some ctx
   end
 
+let share limits =
+  if is_none limits then None
+  else
+    Some
+      {
+        s_limits = limits;
+        s_t0_ns = Monotonic.now_ns ();
+        s_bytes = Atomic.make 0;
+        s_steps = Atomic.make 0;
+      }
+
+let shared_limits sh = sh.s_limits
+
+let start_shared sh =
+  (* the shared start instant is every member ctx's [t0_ns], so a
+     deadline covers the whole fan-out including queueing delay *)
+  let ctx =
+    {
+      limits = sh.s_limits;
+      t0_ns = sh.s_t0_ns;
+      shared = Some sh;
+      decoded_bytes = 0;
+      join_steps = 0;
+      tick = 0;
+      emitted = [];
+      n_emitted = 0;
+    }
+  in
+  check_deadline ctx;
+  Some ctx
+
 let exhausted what ~budget ~spent =
   raise (Si_error.Error (Si_error.Resource_exhausted { what; budget; spent }))
 
@@ -71,19 +118,29 @@ let exhausted what ~budget ~spent =
 let tick_mask = 255
 
 let step ctx =
-  ctx.join_steps <- ctx.join_steps + 1;
+  let spent =
+    match ctx.shared with
+    | None ->
+        ctx.join_steps <- ctx.join_steps + 1;
+        ctx.join_steps
+    | Some sh -> Atomic.fetch_and_add sh.s_steps 1 + 1
+  in
   (match ctx.limits.max_join_steps with
-  | Some b when ctx.join_steps > b ->
-      exhausted "join-steps" ~budget:b ~spent:ctx.join_steps
+  | Some b when spent > b -> exhausted "join-steps" ~budget:b ~spent
   | _ -> ());
   ctx.tick <- ctx.tick + 1;
   if ctx.tick land tick_mask = 0 then check_deadline ctx
 
 let charge_decode ctx bytes =
-  ctx.decoded_bytes <- ctx.decoded_bytes + bytes;
+  let spent =
+    match ctx.shared with
+    | None ->
+        ctx.decoded_bytes <- ctx.decoded_bytes + bytes;
+        ctx.decoded_bytes
+    | Some sh -> Atomic.fetch_and_add sh.s_bytes bytes + bytes
+  in
   (match ctx.limits.max_decoded_bytes with
-  | Some b when ctx.decoded_bytes > b ->
-      exhausted "decoded-bytes" ~budget:b ~spent:ctx.decoded_bytes
+  | Some b when spent > b -> exhausted "decoded-bytes" ~budget:b ~spent
   | _ -> ());
   check_deadline ctx
 

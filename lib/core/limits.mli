@@ -54,6 +54,26 @@ type ctx
     and the results verified so far (for partial degradation).  Not
     thread-safe; one per query, confined to its evaluating domain. *)
 
+type shared
+(** One gauge shared across the per-shard legs of a fan-out query: byte
+    and step spend pool atomically, and every leg's deadline runs from
+    the same start instant, so the whole fan-out answers under a single
+    budget.  [max_results] is deliberately {e not} pooled — each leg may
+    emit up to the cap and the merge enforces the global cap, preserving
+    the truncated-⊂-exact contract without emit-path coordination. *)
+
+val share : t -> shared option
+(** [None] when the limits are {!none} (every leg then runs ungoverned).
+    Reads the start clock once, here. *)
+
+val shared_limits : shared -> t
+(** The budget the gauge was created from. *)
+
+val start_shared : shared -> ctx option
+(** A per-leg ctx accounting against the shared pools.  One per leg —
+    the ctx itself is still domain-confined; only the pooled counters
+    are atomic.  Checks the deadline immediately, like {!start}. *)
+
 exception Truncated
 (** Raised by {!emit} when [max_results] is reached; the evaluator's top
     catches it and returns {!collected} with [truncated = true]. *)

@@ -1,0 +1,90 @@
+type job = Job : (unit -> 'a) * 'a slot -> job
+
+and 'a slot = {
+  s_lock : Mutex.t;
+  s_cond : Condition.t;
+  mutable s_result : ('a, exn) result option;
+}
+
+type worker = {
+  w_lock : Mutex.t;
+  w_cond : Condition.t;
+  w_queue : job Queue.t;
+}
+
+type t = { workers : worker array }
+type 'a task = 'a slot
+
+let worker_loop w =
+  while true do
+    Mutex.lock w.w_lock;
+    while Queue.is_empty w.w_queue do
+      Condition.wait w.w_cond w.w_lock
+    done;
+    let (Job (f, slot)) = Queue.pop w.w_queue in
+    Mutex.unlock w.w_lock;
+    let result = try Ok (f ()) with e -> Error e in
+    Mutex.lock slot.s_lock;
+    slot.s_result <- Some result;
+    Condition.signal slot.s_cond;
+    Mutex.unlock slot.s_lock
+  done
+
+let create n =
+  let n = max 1 n in
+  let workers =
+    Array.init n (fun _ ->
+        {
+          w_lock = Mutex.create ();
+          w_cond = Condition.create ();
+          w_queue = Queue.create ();
+        })
+  in
+  Array.iter (fun w -> ignore (Domain.spawn (fun () -> worker_loop w))) workers;
+  { workers }
+
+let size t = Array.length t.workers
+
+(* created on first use so processes that never shard pay nothing; the
+   double-checked lock keeps concurrent first callers from racing two
+   pools into existence *)
+let global_pool : t option Atomic.t = Atomic.make None
+let global_lock = Mutex.create ()
+
+let global () =
+  match Atomic.get global_pool with
+  | Some p -> p
+  | None ->
+      Mutex.lock global_lock;
+      let p =
+        match Atomic.get global_pool with
+        | Some p -> p
+        | None ->
+            let p = create (Domain.recommended_domain_count ()) in
+            Atomic.set global_pool (Some p);
+            p
+      in
+      Mutex.unlock global_lock;
+      p
+
+let submit t ~worker f =
+  let w = t.workers.(worker mod Array.length t.workers) in
+  let slot =
+    { s_lock = Mutex.create (); s_cond = Condition.create (); s_result = None }
+  in
+  Mutex.lock w.w_lock;
+  Queue.push (Job (f, slot)) w.w_queue;
+  Condition.signal w.w_cond;
+  Mutex.unlock w.w_lock;
+  slot
+
+let await slot =
+  Mutex.lock slot.s_lock;
+  while Option.is_none slot.s_result do
+    Condition.wait slot.s_cond slot.s_lock
+  done;
+  let r = Option.get slot.s_result in
+  Mutex.unlock slot.s_lock;
+  r
+
+let run_on t ~worker f = await (submit t ~worker f)

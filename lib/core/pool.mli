@@ -1,0 +1,41 @@
+(** Shard-affinity worker-domain pool.
+
+    A fixed set of long-lived worker domains, each with its own task
+    queue.  Work is submitted to a {e specific} worker ([worker mod
+    size]), not to whichever worker is free: shard [i] of a sharded
+    index is always evaluated on worker [i mod size], so shard [i]'s
+    streaming decode cache ({!Cursor.cache}, not thread-safe) is only
+    ever touched by one domain — affinity is the synchronization.
+
+    Workers run forever and are never joined; they hold no resources
+    beyond their queues and die with the process.  Tasks must be leaf
+    work: a task that submits back into the pool can deadlock a
+    single-worker pool. *)
+
+type t
+(** A pool of worker domains. *)
+
+type 'a task
+(** An in-flight submission; join it with {!await}. *)
+
+val create : int -> t
+(** [create n] spawns [max 1 n] worker domains. *)
+
+val size : t -> int
+
+val global : unit -> t
+(** The process-wide pool, created on first use and sized
+    [max 1 (Domain.recommended_domain_count ())].  Shared by sharded
+    handles and {!Si.query_batch} so repeated calls reuse domains
+    instead of spawning per call. *)
+
+val submit : t -> worker:int -> (unit -> 'a) -> 'a task
+(** Enqueue a thunk on worker [worker mod size].  Each worker drains
+    its queue sequentially in FIFO order. *)
+
+val await : 'a task -> ('a, exn) result
+(** Block until the task completes; an exception raised by the thunk is
+    returned, never re-raised here. *)
+
+val run_on : t -> worker:int -> (unit -> 'a) -> ('a, exn) result
+(** [submit] + [await] in one step. *)

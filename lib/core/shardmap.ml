@@ -1,0 +1,111 @@
+type t = { shards : int; scheme : Coding.scheme; mss : int }
+
+let router = "xmix32-v1"
+
+(* murmur3's 32-bit finalizer: full avalanche, so consecutive tids
+   spread uniformly — a [mod shards] split of sequential ids would put
+   every corpus-order neighborhood on one shard and serialize scans *)
+let shard_of_tid ~shards tid =
+  let h = tid land 0xFFFFFFFF in
+  let h = h lxor (h lsr 16) in
+  let h = h * 0x85ebca6b land 0xFFFFFFFF in
+  let h = h lxor (h lsr 13) in
+  let h = h * 0xc2b2ae35 land 0xFFFFFFFF in
+  let h = h lxor (h lsr 16) in
+  h mod shards
+
+let shard_prefix prefix i = prefix ^ ".shard" ^ string_of_int i
+let manifest_path prefix = prefix ^ ".shards"
+let is_sharded prefix = Sys.file_exists (manifest_path prefix)
+
+let save t prefix =
+  let path = manifest_path prefix in
+  let tmp = path ^ ".tmp" in
+  (try
+     let oc = open_out_bin tmp in
+     Printf.fprintf oc "version=1\nrouter=%s\nshards=%d\nscheme=%s\nmss=%d\n"
+       router t.shards
+       (Coding.scheme_to_string t.scheme)
+       t.mss;
+     (* the manifest is the commit point of a sharded build: fsync before
+        rename, same discipline as the §9 staged publish *)
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc;
+     Sys.rename tmp path
+   with Sys_error what | Unix.Unix_error (_, _, what) ->
+     Si_error.raise_io ~path what)
+
+let load prefix =
+  let path = manifest_path prefix in
+  let lines =
+    try
+      let ic = open_in_bin path in
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+      in
+      go []
+    with Sys_error what -> Si_error.raise_io ~path what
+  in
+  let field k =
+    let prefix_k = k ^ "=" in
+    match
+      List.find_opt (fun l -> String.starts_with ~prefix:prefix_k l) lines
+    with
+    | Some l ->
+        String.sub l (String.length prefix_k)
+          (String.length l - String.length prefix_k)
+    | None ->
+        Si_error.raise_corrupt ~path ~offset:0
+          (Printf.sprintf "manifest missing field %S" k)
+  in
+  let int_field k =
+    match int_of_string_opt (field k) with
+    | Some n -> n
+    | None ->
+        Si_error.raise_corrupt ~path ~offset:0
+          (Printf.sprintf "manifest field %S is not an integer" k)
+  in
+  (match field "version" with
+  | "1" -> ()
+  | v ->
+      Si_error.raise_schema ~path
+        (Printf.sprintf "unknown manifest version %S" v));
+  (match field "router" with
+  | r when r = router -> ()
+  | r ->
+      Si_error.raise_schema ~path
+        (Printf.sprintf "unknown shard router %S (this build has %S)" r router));
+  let shards = int_field "shards" in
+  if shards < 1 then
+    Si_error.raise_schema ~path
+      (Printf.sprintf "shard count %d < 1" shards);
+  let scheme =
+    match Coding.scheme_of_string (field "scheme") with
+    | Ok s -> s
+    | Error what -> Si_error.raise_schema ~path what
+  in
+  { shards; scheme; mss = int_field "mss" }
+
+let counts t ~total =
+  let c = Array.make t.shards 0 in
+  for tid = 0 to total - 1 do
+    let s = shard_of_tid ~shards:t.shards tid in
+    c.(s) <- c.(s) + 1
+  done;
+  c
+
+let assign t ~total =
+  let c = counts t ~total in
+  let rows = Array.map (fun n -> Array.make n 0) c in
+  let next = Array.make t.shards 0 in
+  for tid = 0 to total - 1 do
+    let s = shard_of_tid ~shards:t.shards tid in
+    rows.(s).(next.(s)) <- tid;
+    next.(s) <- next.(s) + 1
+  done;
+  rows

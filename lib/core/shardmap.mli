@@ -1,0 +1,63 @@
+(** Deterministic shard routing and the [.shards] manifest.
+
+    A sharded corpus splits one logical index across [shards] per-shard
+    prefixes ([prefix.shard0] … [prefix.shardN-1]), each a complete
+    stand-alone index in any container format.  The router assigns every
+    {e global} tree id to exactly one shard by a fixed avalanche hash, so
+    the assignment is a pure function of [(router, shards, tid)] — no
+    routing table is stored, and rebuilding, reopening, or replaying a
+    WAL always reproduces the same placement.
+
+    The manifest ([prefix.shards]) pins the shard count, the router
+    version, and the scheme/mss every shard must agree on.  {!load}
+    refuses unknown router versions and mixed-scheme shard sets as
+    [Schema_mismatch]; each member shard still carries its own [.meta]
+    CRC cross-check, so a shard swapped in from a different corpus is
+    caught either by its own meta or by the count/assignment consistency
+    check in [Si.open_sharded]. *)
+
+type t = {
+  shards : int;  (** number of shards, ≥ 1 *)
+  scheme : Coding.scheme;  (** every shard must be built with this *)
+  mss : int;
+}
+
+val router : string
+(** Version tag of the hash function, recorded in the manifest
+    (["xmix32-v1"]).  A future router change bumps the tag; old
+    manifests keep routing with the hash they were built with or are
+    refused, never silently re-routed. *)
+
+val shard_of_tid : shards:int -> int -> int
+(** [shard_of_tid ~shards tid] — the owning shard of global tree id
+    [tid] under the [xmix32-v1] router (a murmur3-style 32-bit
+    finalizer, [mod shards]). *)
+
+val shard_prefix : string -> int -> string
+(** [shard_prefix prefix i = prefix ^ ".shard" ^ i] — the per-shard
+    index prefix. *)
+
+val manifest_path : string -> string
+(** [prefix ^ ".shards"]. *)
+
+val is_sharded : string -> bool
+(** Whether a [.shards] manifest exists for this prefix. *)
+
+val save : t -> string -> unit
+(** Write the manifest atomically (tmp + rename).  Raises
+    {!Si_error.Error} on I/O failure. *)
+
+val load : string -> t
+(** Read and validate the manifest.  Raises {!Si_error.Error}:
+    [Io] when missing/unreadable, [Corrupt] on a malformed file,
+    [Schema_mismatch] on an unknown router version or shard count < 1. *)
+
+val assign : t -> total:int -> int array array
+(** [assign t ~total] — the local→global tid map of every shard:
+    [(assign t ~total).(s).(l)] is the global tid of shard [s]'s local
+    tree [l].  Each row is strictly increasing (local order = global
+    order restricted to the shard). *)
+
+val counts : t -> total:int -> int array
+(** Trees per shard for a corpus of [total] trees — what each member
+    shard's own tree count must equal for the set to be consistent. *)

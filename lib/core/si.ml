@@ -603,17 +603,22 @@ let slot_sentinel =
    [Error (Internal _)] in that slot and the domain moves on; a domain
    that dies anyway (or fails to spawn) leaves its remaining slots as the
    sentinel and is reported in its [domain_stat.died], never by rethrow. *)
+let clamp_warned = Atomic.make false
+
 let query_batch ?(domains = 1) ?cache_budget ?limits t queries =
   if domains < 1 then invalid_arg "Si.query_batch: domains must be >= 1";
   (* CPU-bound fan-out: more workers than cores is strictly slower (the
      1-core container measures --domains 2 losing to 1, EXPERIMENTS.md),
-     so clamp and say so rather than silently oversubscribing *)
+     so clamp and say so rather than silently oversubscribing.  The
+     warning prints once per process — a server calling in a loop must
+     not spam one line per batch. *)
   let domains =
     let cores = Domain.recommended_domain_count () in
     if domains > cores then begin
-      Printf.eprintf
-        "si: clamping batch domains %d -> %d (recommended_domain_count)\n%!"
-        domains cores;
+      if not (Atomic.exchange clamp_warned true) then
+        Printf.eprintf
+          "si: clamping batch domains %d -> %d (recommended_domain_count)\n%!"
+          domains cores;
       cores
     end
     else domains
@@ -650,20 +655,24 @@ let query_batch ?(domains = 1) ?cache_budget ?limits t queries =
   let per_domain =
     if domains = 1 then [| run_range 0 |]
     else begin
-      let spawned =
+      (* reuse the process-wide shard-affinity pool instead of spawning
+         (and tearing down) domains-1 fresh domains per call: repeated
+         batches over a long-lived process pay the spawn cost once.  The
+         range tasks are leaf work (they never submit back into the
+         pool), so running them on pool workers cannot deadlock. *)
+      let pool = Pool.global () in
+      let submitted =
         Array.init (domains - 1) (fun k ->
-            try Ok (Domain.spawn (fun () -> run_range (k + 1)))
-            with e -> Error (Printexc.to_string e))
+            Pool.submit pool ~worker:(k + 1) (fun () -> run_range (k + 1)))
       in
       let first = run_range 0 in
       let joined =
         Array.map
-          (function
-            | Ok d -> (
-                try Domain.join d
-                with e -> dead ("worker domain died: " ^ Printexc.to_string e))
-            | Error what -> dead ("Domain.spawn failed: " ^ what))
-          spawned
+          (fun task ->
+            match Pool.await task with
+            | Ok r -> r
+            | Error e -> dead ("worker domain died: " ^ Printexc.to_string e))
+          submitted
       in
       Array.append [| first |] joined
     end
@@ -679,3 +688,390 @@ let query_batch ?(domains = 1) ?cache_budget ?limits t queries =
         (Cache.zero_stats 0) per_domain;
     domain_stats = Array.map snd per_domain;
   }
+
+(* ---- sharded handles (DESIGN.md §14) ------------------------------------ *)
+
+(* One logical index split across [sh_map.shards] per-shard prefixes,
+   each a complete stand-alone index with shard-local tids.  Globality
+   lives entirely in the router: global tid [g] belongs to shard
+   [Shardmap.shard_of_tid g], and within a shard the local order is the
+   global order restricted to it, so the local->global map of shard [s]
+   is the sorted array of assigned global tids ([Shardmap.assign]).
+
+   Affinity invariant: shard [i] is only ever evaluated on pool worker
+   [i mod size] (each worker drains its queue sequentially), so shard
+   [i]'s decoded-block cache — not thread-safe — is touched by exactly
+   one domain without any locking.  Sharded queries therefore always go
+   through the pool, even when it has one worker. *)
+type sharded = {
+  sh_prefix : string;
+  sh_map : Shardmap.t;
+  sh_shards : t array;
+  sh_l2g : int array Atomic.t array;
+      (* per shard, local tid -> global tid; replaced by copy on insert
+         *before* the delta publishes, so any match a racing query can
+         see already has a mapping *)
+  sh_pool : Pool.t;
+  sh_lock : Mutex.t;  (* serializes insert / checkpoint across shards *)
+  sh_total : int Atomic.t;  (* global tree count, main + deltas *)
+}
+
+type handle = Single of t | Sharded of sharded
+
+let shard_count sh = sh.sh_map.Shardmap.shards
+let shard_handles sh = sh.sh_shards
+let sharded_prefix sh = sh.sh_prefix
+let shard_map sh = sh.sh_map
+let sharded_total sh = Atomic.get sh.sh_total
+
+let visible t = Corpus.length t.corpus + pending t
+
+(* The count/assignment consistency check: each member shard's visible
+   tree count must equal what the router assigns it for the summed
+   total.  A shard file swapped in from another corpus (or a lost /
+   duplicated shard WAL) shows up as a count skew long before a query
+   returns silently misrouted tids. *)
+let check_assignment ~prefix map shards =
+  let per = Array.map visible shards in
+  let total = Array.fold_left ( + ) 0 per in
+  let want = Shardmap.counts map ~total in
+  Array.iteri
+    (fun i n ->
+      if n <> want.(i) then
+        Si_error.raise_schema
+          ~path:(Shardmap.manifest_path prefix)
+          (Printf.sprintf
+             "shard %d holds %d trees but the router assigns it %d of %d — \
+              mixed or stale shard set"
+             i n want.(i) total))
+    per;
+  total
+
+let mk_sharded ~prefix ~map ~shards ~total =
+  {
+    sh_prefix = prefix;
+    sh_map = map;
+    sh_shards = shards;
+    sh_l2g = Array.map Atomic.make (Shardmap.assign map ~total);
+    sh_pool = Pool.global ();
+    sh_lock = Mutex.create ();
+    sh_total = Atomic.make total;
+  }
+
+let open_sharded ?cache_budget prefix =
+  Si_error.guard @@ fun () ->
+  let map = Shardmap.load prefix in
+  let shards =
+    Array.init map.Shardmap.shards (fun i ->
+        match open_ ?cache_budget (Shardmap.shard_prefix prefix i) with
+        | Ok t -> t
+        | Error e -> raise (Si_error.Error e))
+  in
+  Array.iteri
+    (fun i t ->
+      if
+        t.index.Builder.scheme <> map.Shardmap.scheme
+        || t.index.Builder.mss <> map.Shardmap.mss
+      then
+        Si_error.raise_schema
+          ~path:(Shardmap.shard_prefix prefix i ^ ".idx")
+          (Printf.sprintf
+             "shard %d is %s/mss=%d but the manifest pins %s/mss=%d" i
+             (Coding.scheme_to_string t.index.Builder.scheme)
+             t.index.Builder.mss
+             (Coding.scheme_to_string map.Shardmap.scheme)
+             map.Shardmap.mss))
+    shards;
+  let total = check_assignment ~prefix map shards in
+  mk_sharded ~prefix ~map ~shards ~total
+
+let build_sharded ?(domains = 1) ?cache_budget ?format ~shards:nshards ~scheme
+    ~mss ~trees prefix =
+  Si_error.guard @@ fun () ->
+  if nshards < 1 then invalid_arg "Si.build_sharded: shards must be >= 1";
+  let all = Array.of_list trees in
+  let total = Array.length all in
+  let map = { Shardmap.shards = nshards; scheme; mss } in
+  let rows = Shardmap.assign map ~total in
+  let per_shard =
+    Array.map (fun row -> Array.to_list (Array.map (fun g -> all.(g)) row)) rows
+  in
+  (* per-shard builds are independent (the label intern table is
+     mutex-guarded); fan them across the affinity pool so a multi-core
+     builder overlaps them, one worker per shard *)
+  ignore domains;
+  let pool = Pool.global () in
+  let tasks =
+    Array.mapi
+      (fun i shard_trees ->
+        Pool.submit pool ~worker:i (fun () ->
+            build ?cache_budget ?format ~scheme ~mss ~trees:shard_trees
+              ~prefix:(Shardmap.shard_prefix prefix i)
+              ()))
+      per_shard
+  in
+  let handles =
+    Array.map
+      (fun task ->
+        match Pool.await task with
+        | Ok t -> t
+        | Error (Si_error.Error e) -> raise (Si_error.Error e)
+        | Error e -> raise e)
+      tasks
+  in
+  (* the manifest is the commit point: a crash before this rename leaves
+     only unreferenced .shardK files behind *)
+  Shardmap.save map prefix;
+  mk_sharded ~prefix ~map ~shards:handles ~total
+
+let open_any ?cache_budget prefix =
+  if Shardmap.is_sharded prefix then
+    Result.map (fun sh -> Sharded sh) (open_sharded ?cache_budget prefix)
+  else Result.map (fun t -> Single t) (open_ ?cache_budget prefix)
+
+(* ---- sharded queries: fan-out / merge ----------------------------------- *)
+
+type sharded_outcome = {
+  so_outcome : Limits.outcome;
+  so_failed : (int * Si_error.t) list;
+      (* shards whose leg failed, in shard order; non-empty only under
+         [degrade] (a brownout answer) *)
+}
+
+let cmp_pair (a1, a2) (b1, b2) =
+  if a1 <> b1 then Int.compare a1 b1 else Int.compare (a2 : int) b2
+
+(* K-way merge of the per-shard match lists, each sorted by global tid.
+   The router gives every tree to exactly one shard, so the streams are
+   disjoint — no dedup, plain least-head merge.  [max_results] caps the
+   merged stream; everything kept was verified by its shard, so a capped
+   answer is still a subset of the exact one (the contract). *)
+let merge_matches ?max_results lists =
+  let arrs = Array.map Array.of_list lists in
+  let k = Array.length arrs in
+  let pos = Array.make k 0 in
+  let out = ref [] and n = ref 0 and capped = ref false in
+  (try
+     while true do
+       let best = ref (-1) in
+       for i = 0 to k - 1 do
+         if pos.(i) < Array.length arrs.(i) then
+           if
+             !best < 0
+             || cmp_pair arrs.(i).(pos.(i)) arrs.(!best).(pos.(!best)) < 0
+           then best := i
+       done;
+       if !best < 0 then raise Exit;
+       (match max_results with
+       | Some m when !n >= m ->
+           capped := true;
+           raise Exit
+       | _ -> ());
+       out := arrs.(!best).(pos.(!best)) :: !out;
+       incr n;
+       pos.(!best) <- pos.(!best) + 1
+     done
+   with Exit -> ());
+  (List.rev !out, !capped)
+
+let remap_shard ~prefix i l2g matches =
+  let row_len = Array.length l2g in
+  List.map
+    (fun (local, node) ->
+      if local < 0 || local >= row_len then
+        Si_error.raise_corrupt
+          ~path:(Shardmap.shard_prefix prefix i ^ ".idx")
+          ~offset:0
+          (Printf.sprintf
+             "shard %d matched local tid %d outside its %d-tree assignment"
+             i local row_len)
+      else (l2g.(local), node))
+    matches
+
+(* Fan one parsed query out over every shard on its affinity worker and
+   merge.  One [Limits.share] gauge spans all legs: bytes and steps pool
+   atomically, the deadline runs from the fan-out start, and
+   [max_results] is enforced per leg *and* on the merged stream, so
+   truncation anywhere still yields a verified subset.
+
+   [degrade = false] (the CLI default): any failed leg fails the query
+   with that shard's error.  [degrade = true] (the serving path): failed
+   legs are dropped, the healthy ones answer with [truncated = true] and
+   the failures reported in [so_failed] — a brownout, not a 503; only
+   when every leg fails does the query fail. *)
+let query_outcome_sharded ?(limits = Limits.none) ?(degrade = false) sh s =
+  match Si_query.Parser.parse s with
+  | Error e -> Error (Si_error.Bad_query e)
+  | Ok q ->
+      let shared = Limits.share limits in
+      let tasks =
+        Array.mapi
+          (fun i t ->
+            Pool.submit sh.sh_pool ~worker:i (fun () ->
+                try
+                  Failpoint.hit (Printf.sprintf "si.shard.eval.%d" i);
+                  Eval.run_outcome ~index:t.index ~corpus:t.corpus
+                    ~label_id:t.label_id ~cache:t.cache ?delta:(delta_arg t)
+                    ~limits ?shared q
+                with Sys_error what ->
+                  Error
+                    (Si_error.Io
+                       { path = Shardmap.shard_prefix sh.sh_prefix i; what })))
+          sh.sh_shards
+      in
+      let legs =
+        Array.map
+          (fun task ->
+            match Pool.await task with
+            | Ok r -> r
+            | Error (Si_error.Error e) -> Error e
+            | Error e -> Error (Si_error.Internal (Printexc.to_string e)))
+          tasks
+      in
+      (* snapshot the l2g rows *after* every leg finished: inserts extend
+         the row before publishing the delta, so any local tid a leg can
+         have matched is already mapped *)
+      let l2g = Array.map Atomic.get sh.sh_l2g in
+      Si_error.guard @@ fun () ->
+      let failed = ref [] and truncated = ref false in
+      let lists =
+        Array.mapi
+          (fun i leg ->
+            match leg with
+            | Ok (o : Limits.outcome) ->
+                if o.Limits.truncated then truncated := true;
+                remap_shard ~prefix:sh.sh_prefix i l2g.(i) o.Limits.matches
+            | Error e ->
+                if not degrade then raise (Si_error.Error e);
+                failed := (i, e) :: !failed;
+                [])
+          legs
+      in
+      let failed = List.rev !failed in
+      if List.length failed = Array.length legs then
+        (* every shard refused: nothing to brown out to *)
+        raise (Si_error.Error (snd (List.hd failed)));
+      let matches, capped =
+        merge_matches ?max_results:limits.Limits.max_results
+          lists
+      in
+      {
+        so_outcome =
+          {
+            Limits.matches;
+            truncated = !truncated || capped || failed <> [];
+          };
+        so_failed = failed;
+      }
+
+let query_sharded ?limits ?degrade sh s =
+  Result.map
+    (fun so -> so.so_outcome.Limits.matches)
+    (query_outcome_sharded ?limits ?degrade sh s)
+
+(* ---- sharded writes ------------------------------------------------------ *)
+
+(* Route each tree to the owner of its global tid and append through the
+   owning shard's WAL (shard-local tid numbering — each shard prefix
+   stays a complete stand-alone index).  The l2g row extends *before*
+   the per-shard insert publishes, keeping the query-side remap total;
+   writing [row(local) = g] by position (rather than appending blindly)
+   makes a retry after a failed insert idempotent. *)
+let insert_sharded sh trees =
+  Si_error.guard @@ fun () ->
+  Mutex.protect sh.sh_lock @@ fun () ->
+  List.iter
+    (fun tree ->
+      let g = Atomic.get sh.sh_total in
+      let s = Shardmap.shard_of_tid ~shards:sh.sh_map.Shardmap.shards g in
+      let t = sh.sh_shards.(s) in
+      let local = visible t in
+      let row = Atomic.get sh.sh_l2g.(s) in
+      let row' =
+        Array.init (local + 1) (fun j -> if j < local then row.(j) else g)
+      in
+      Atomic.set sh.sh_l2g.(s) row';
+      (match insert t [ tree ] with
+      | Ok _ -> ()
+      | Error e -> raise (Si_error.Error e));
+      Atomic.set sh.sh_total (g + 1))
+    trees;
+  Atomic.get sh.sh_total
+
+let pending_sharded sh =
+  Array.fold_left (fun acc t -> acc + pending t) 0 sh.sh_shards
+
+let wal_bytes_sharded sh =
+  Array.fold_left (fun acc t -> acc + wal_bytes t) 0 sh.sh_shards
+
+(* Checkpoint one shard (or all): each shard folds its own delta through
+   the §9 staged-rename publish and truncates its own WAL — per-shard
+   checkpoint debt drains independently, which is the point of sharding
+   the WALs in the first place. *)
+let checkpoint_sharded ?shard sh =
+  Si_error.guard @@ fun () ->
+  Mutex.protect sh.sh_lock @@ fun () ->
+  let one i =
+    match checkpoint sh.sh_shards.(i) with
+    | Ok n -> n
+    | Error e -> raise (Si_error.Error e)
+  in
+  match shard with
+  | Some i ->
+      if i < 0 || i >= Array.length sh.sh_shards then
+        invalid_arg (Printf.sprintf "Si.checkpoint_sharded: no shard %d" i);
+      one i
+  | None ->
+      let total = ref 0 in
+      Array.iteri (fun i _ -> total := !total + one i) sh.sh_shards;
+      !total
+
+(* A functional flip of one member shard to a freshly opened handle (the
+   per-shard zero-downtime swap): shares the router, lock, total and l2g
+   state with the old record — inserts keep working through either — and
+   re-checks the count assignment so a swapped-in foreign shard is
+   refused before any query can touch it. *)
+let reopen_shard ?cache_budget sh i =
+  Si_error.guard @@ fun () ->
+  if i < 0 || i >= Array.length sh.sh_shards then
+    invalid_arg (Printf.sprintf "Si.reopen_shard: no shard %d" i);
+  match open_ ?cache_budget (Shardmap.shard_prefix sh.sh_prefix i) with
+  | Error e -> raise (Si_error.Error e)
+  | Ok fresh ->
+      let shards = Array.copy sh.sh_shards in
+      shards.(i) <- fresh;
+      ignore (check_assignment ~prefix:sh.sh_prefix sh.sh_map shards);
+      { sh with sh_shards = shards }
+
+let close_wal_sharded sh = Array.iter close_wal sh.sh_shards
+
+(* ---- sharded oracle / sentence ------------------------------------------ *)
+
+let oracle_sharded sh q =
+  let l2g = Array.map Atomic.get sh.sh_l2g in
+  let per =
+    Array.to_list
+      (Array.mapi
+         (fun i t ->
+           List.map (fun (local, node) -> (l2g.(i).(local), node)) (oracle t q))
+         sh.sh_shards)
+  in
+  List.sort cmp_pair (List.concat per)
+
+let sentence_sharded sh g =
+  let s = Shardmap.shard_of_tid ~shards:sh.sh_map.Shardmap.shards g in
+  let row = Atomic.get sh.sh_l2g.(s) in
+  (* the row is strictly increasing: binary-search g's local position *)
+  let lo = ref 0 and hi = ref (Array.length row - 1) and found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if row.(mid) = g then begin
+      found := mid;
+      lo := !hi + 1
+    end
+    else if row.(mid) < g then lo := mid + 1
+    else hi := mid - 1
+  done;
+  if !found < 0 then
+    invalid_arg (Printf.sprintf "Si.sentence_sharded: no tree %d" g)
+  else sentence sh.sh_shards.(s) !found

@@ -212,3 +212,128 @@ val format : t -> format
 
 val sentence : t -> int -> Si_treebank.Tree.t
 (** The indexed tree with id [tid] — main corpus or delta. *)
+
+(** {1 Sharded handles (DESIGN.md §14)}
+
+    One logical index split across [shards] per-shard prefixes
+    ([prefix.shard0] … [prefix.shardN-1]) plus a [prefix.shards]
+    manifest ({!Shardmap}).  Each member shard is a complete stand-alone
+    index (any container format, its own WAL) with {e shard-local} tree
+    ids; the deterministic router owns globality: global tid [g] lives
+    on shard [Shardmap.shard_of_tid g], and a shard's local order is the
+    global order restricted to it.  Queries fan out over the shards on
+    affinity-pinned pool workers (shard [i] always runs on worker
+    [i mod pool size], so its decode cache stays single-domain), remap
+    local tids to global, and k-way-merge the sorted disjoint streams
+    into one globally tid-ordered result. *)
+
+type sharded
+
+type handle = Single of t | Sharded of sharded
+(** What {!open_any} yields: tools that serve "a prefix" dispatch on
+    this. *)
+
+val build_sharded :
+  ?domains:int ->
+  ?cache_budget:int ->
+  ?format:format ->
+  shards:int ->
+  scheme:Coding.scheme ->
+  mss:int ->
+  trees:Si_treebank.Tree.t list ->
+  string ->
+  (sharded, Si_error.t) result
+(** Partition [trees] by the router, build every shard as its own
+    crash-safe file set (fanned across the affinity pool — on a
+    multi-core builder the per-shard builds overlap), then write the
+    manifest as the commit point: a crash before it leaves only
+    unreferenced [.shardK] files, never a half-published sharded
+    prefix. *)
+
+val open_sharded : ?cache_budget:int -> string -> (sharded, Si_error.t) result
+(** Open every member shard ({!open_}, so each shard's own [.meta] CRC
+    cross-check and WAL replay apply) and validate the set: every shard
+    must match the manifest's scheme/mss, and each shard's visible tree
+    count must equal its router assignment for the summed total —
+    a shard swapped in from another corpus is refused as
+    [Schema_mismatch], never queried. *)
+
+val open_any : ?cache_budget:int -> string -> (handle, Si_error.t) result
+(** {!open_sharded} when [prefix.shards] exists, {!open_} otherwise. *)
+
+type sharded_outcome = {
+  so_outcome : Limits.outcome;
+      (** merged matches, globally tid-ordered; [truncated] if any leg
+          truncated, the merge hit [max_results], or a leg was dropped *)
+  so_failed : (int * Si_error.t) list;
+      (** shards whose leg failed (shard order); non-empty only under
+          [degrade] *)
+}
+
+val query_outcome_sharded :
+  ?limits:Limits.t ->
+  ?degrade:bool ->
+  sharded ->
+  string ->
+  (sharded_outcome, Si_error.t) result
+(** Fan out / merge under a single shared {!Limits} gauge: byte and
+    step budgets pool atomically across the legs, the deadline spans
+    the whole fan-out, and [max_results] caps both each leg and the
+    merged stream — truncation anywhere still returns a verified subset
+    of the exact answer (the §10 contract, now across shards).
+
+    [degrade = false] (default): one failed leg fails the query with
+    that shard's error.  [degrade = true] (the serving path): failed
+    legs are dropped and the healthy remainder answers with
+    [truncated = true] plus the failures in [so_failed] — a brownout,
+    not a refusal; only when {e every} leg fails does the query fail. *)
+
+val query_sharded :
+  ?limits:Limits.t ->
+  ?degrade:bool ->
+  sharded ->
+  string ->
+  ((int * int) list, Si_error.t) result
+(** {!query_outcome_sharded} keeping just the merged matches. *)
+
+val insert_sharded : sharded -> Si_treebank.Tree.t list -> (int, Si_error.t) result
+(** Route each tree to the owner of its global tid and append through
+    the owning shard's WAL (shard-local numbering — each prefix stays
+    self-contained).  [Ok n] = total trees now visible across shards.
+    The local→global map extends before the shard's delta publishes, so
+    a racing fan-out query can always remap what it sees. *)
+
+val checkpoint_sharded : ?shard:int -> sharded -> (int, Si_error.t) result
+(** Fold WAL deltas into the main per-shard indexes: [?shard] picks one
+    (its debt drains independently — the point of per-shard WALs),
+    default all.  [Ok k] = delta trees folded. *)
+
+val reopen_shard : ?cache_budget:int -> sharded -> int -> (sharded, Si_error.t) result
+(** A functional flip of one member shard to a freshly opened handle
+    (the per-shard zero-downtime swap): the returned record shares the
+    router, write lock and tid maps with the old one, and the count
+    assignment is re-checked before any query can touch the new
+    shard. *)
+
+val shard_count : sharded -> int
+val shard_handles : sharded -> t array
+(** The member shards, for stats aggregation; shard [i]'s handle. *)
+
+val sharded_prefix : sharded -> string
+val shard_map : sharded -> Shardmap.t
+val sharded_total : sharded -> int
+(** Trees visible across all shards, main + deltas. *)
+
+val pending_sharded : sharded -> int
+(** Summed {!pending} over the member shards. *)
+
+val wal_bytes_sharded : sharded -> int
+val close_wal_sharded : sharded -> unit
+
+val oracle_sharded : sharded -> Si_query.Ast.t -> (int * int) list
+(** Brute force over every shard's corpus + delta, remapped to global
+    tids — the sharded reference answer. *)
+
+val sentence_sharded : sharded -> int -> Si_treebank.Tree.t
+(** The tree with {e global} id [g] — routed to its shard, binary-
+    searched to its local position. *)

@@ -15,6 +15,7 @@ type t = {
   mutable shed : int;
   mutable quota_rejected : int;
   mutable browned : int;
+  mutable degraded : int;
   mutable swaps : int;
   mutable swap_failures : int;
   mutable inserts : int;
@@ -40,6 +41,7 @@ let create () =
     shed = 0;
     quota_rejected = 0;
     browned = 0;
+    degraded = 0;
     swaps = 0;
     swap_failures = 0;
     inserts = 0;
@@ -59,6 +61,7 @@ type counter =
   | `Shed
   | `Quota
   | `Browned
+  | `Degraded
   | `Swap
   | `Swap_failure
   | `Insert
@@ -75,6 +78,7 @@ let bump t c =
       | `Shed -> t.shed <- t.shed + 1
       | `Quota -> t.quota_rejected <- t.quota_rejected + 1
       | `Browned -> t.browned <- t.browned + 1
+      | `Degraded -> t.degraded <- t.degraded + 1
       | `Swap -> t.swaps <- t.swaps + 1
       | `Swap_failure -> t.swap_failures <- t.swap_failures + 1
       | `Insert -> t.inserts <- t.inserts + 1
@@ -142,6 +146,7 @@ let serving_json t ~gen ~prefix ~draining ~workers =
             ("error", Jsonx.Int c.queries_err);
             ("truncated", Jsonx.Int c.truncated);
             ("browned_out", Jsonx.Int c.browned);
+            ("degraded", Jsonx.Int c.degraded);
           ] );
       ( "rejected",
         Jsonx.Obj
@@ -176,29 +181,76 @@ let serving_json t ~gen ~prefix ~draining ~workers =
       ("workers", Jsonx.Arr workers);
     ]
 
+(* mapped SIDX4 handles report the mapping sizes (.idx + .trees); heap
+   handles report 0 — the distinction the stats CI check pins *)
+let mapped_bytes_of si =
+  (match Builder.mapped_stats (Si.index si) with
+  | Some m -> m.Builder.mapped_bytes
+  | None -> 0)
+  + (match Corpus.store (Si.corpus si) with
+    | Some st -> Treestore.mapped_bytes st
+    | None -> 0)
+
+let backend_str si =
+  match Si.format si with `Sidx4 -> "mapped" | `Sidx3 -> "heap"
+
 let index_json si =
   let s = Si.stats si in
-  (* mapped SIDX4 handles report the mapping sizes (.idx + .trees); heap
-     handles report 0 — the distinction the stats CI check pins *)
-  let mapped_bytes =
-    (match Builder.mapped_stats (Si.index si) with
-    | Some m -> m.Builder.mapped_bytes
-    | None -> 0)
-    + (match Corpus.store (Si.corpus si) with
-      | Some st -> Treestore.mapped_bytes st
-      | None -> 0)
-  in
   Jsonx.Obj
     [
       ("scheme", Jsonx.Str (Coding.scheme_to_string (Si.scheme si)));
       ("mss", Jsonx.Int (Si.mss si));
-      ( "backend",
-        Jsonx.Str (match Si.format si with `Sidx4 -> "mapped" | `Sidx3 -> "heap")
-      );
+      ("backend", Jsonx.Str (backend_str si));
       ("trees", Jsonx.Int s.Builder.trees);
       ("nodes", Jsonx.Int s.Builder.nodes);
       ("keys", Jsonx.Int s.Builder.keys);
       ("postings", Jsonx.Int s.Builder.postings);
       ("idx_bytes", Jsonx.Int s.Builder.bytes);
-      ("mapped_bytes", Jsonx.Int mapped_bytes);
+      ("mapped_bytes", Jsonx.Int (mapped_bytes_of si));
+    ]
+
+let sharded_index_json sh =
+  let hs = Si.shard_handles sh in
+  let stats = Array.map Si.stats hs in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
+  (* scheme/mss are manifest-pinned identical across members — report
+     shard 0's (open_sharded guarantees shards >= 1) *)
+  Jsonx.Obj
+    [
+      ("scheme", Jsonx.Str (Coding.scheme_to_string (Si.scheme hs.(0))));
+      ("mss", Jsonx.Int (Si.mss hs.(0)));
+      ("backend", Jsonx.Str "sharded");
+      ("trees", Jsonx.Int (sum (fun s -> s.Builder.trees)));
+      ("nodes", Jsonx.Int (sum (fun s -> s.Builder.nodes)));
+      ("keys", Jsonx.Int (sum (fun s -> s.Builder.keys)));
+      ("postings", Jsonx.Int (sum (fun s -> s.Builder.postings)));
+      ("idx_bytes", Jsonx.Int (sum (fun s -> s.Builder.bytes)));
+      ( "mapped_bytes",
+        Jsonx.Int (Array.fold_left (fun acc si -> acc + mapped_bytes_of si) 0 hs)
+      );
+    ]
+
+let shards_json sh =
+  let hs = Si.shard_handles sh in
+  Jsonx.Obj
+    [
+      ("count", Jsonx.Int (Array.length hs));
+      ("router", Jsonx.Str Shardmap.router);
+      ("total_trees", Jsonx.Int (Si.sharded_total sh));
+      ("pending", Jsonx.Int (Si.pending_sharded sh));
+      ("wal_bytes", Jsonx.Int (Si.wal_bytes_sharded sh));
+      ( "per_shard",
+        Jsonx.Arr
+          (Array.to_list
+             (Array.mapi
+                (fun i si ->
+                  Jsonx.Obj
+                    [
+                      ("shard", Jsonx.Int i);
+                      ("backend", Jsonx.Str (backend_str si));
+                      ("trees", Jsonx.Int (Si.stats si).Builder.trees);
+                      ("pending", Jsonx.Int (Si.pending si));
+                      ("wal_bytes", Jsonx.Int (Si.wal_bytes si));
+                    ])
+                hs)) );
     ]

@@ -27,6 +27,9 @@ type counter =
   | `Shed  (** QUERY rejected: overloaded *)
   | `Quota  (** QUERY rejected: client over its token bucket *)
   | `Browned  (** QUERY admitted but degraded by brownout *)
+  | `Degraded
+    (** sharded QUERY answered from a partial shard set (one or more
+        shard legs failed — brownout, not a 503) *)
   | `Swap  (** completed generation flip *)
   | `Swap_failure  (** SWAP that aborted, old generation kept *)
   | `Insert  (** INSERT accepted: tree WAL-appended and live in the delta *)
@@ -70,3 +73,12 @@ val serving_json :
 val index_json : Si_core.Si.t -> Jsonx.t
 (** The ["index"] object: scheme, mss, trees, nodes, keys, postings,
     flattened bytes — identical fields from both producers. *)
+
+val sharded_index_json : Si_core.Si.sharded -> Jsonx.t
+(** The ["index"] object of a sharded handle: same fields, counters
+    summed over the member shards, [backend = "sharded"]. *)
+
+val shards_json : Si_core.Si.sharded -> Jsonx.t
+(** The ["shards"] object: shard count, router version, global tree
+    total, aggregate pending/WAL debt, and a [per_shard] array (trees,
+    pending, WAL bytes, backend per member). *)

@@ -12,10 +12,11 @@ type query_opts = {
 type request =
   | Query of string * query_opts
   | Insert of string
-  | Checkpoint
+  | Checkpoint of int option  (* [Some k] = shard k only (sharded serving) *)
   | Stats
   | Health
   | Swap of string
+  | Swap_shard of int  (* per-shard zero-downtime flip *)
   | Quit
   | Shutdown
 
@@ -83,6 +84,19 @@ let insert_payload line =
   | None -> ""
   | Some i -> String.trim (String.sub line (i + 1) (String.length line - i - 1))
 
+(* [shard=K] argument of SWAP / CHECKPOINT: [None] = not that shape
+   (a plain prefix), [Some (Error _)] = shaped like it but malformed *)
+let shard_arg arg =
+  if String.starts_with ~prefix:"shard=" arg then
+    let v = String.sub arg 6 (String.length arg - 6) in
+    match int_of_string_opt v with
+    | Some k when k >= 0 -> Some (Ok k)
+    | _ ->
+        Some
+          (Error
+             (Printf.sprintf "shard= wants a non-negative integer, got %S" v))
+  else None
+
 let parse line =
   match tokens line with
   | [] -> Error "empty request"
@@ -90,8 +104,14 @@ let parse line =
       match (String.uppercase_ascii verb, rest) with
       | "INSERT", _ :: _ -> Ok (Insert (insert_payload line))
       | "INSERT", [] -> Error "INSERT wants a Penn tree"
-      | "CHECKPOINT", [] -> Ok Checkpoint
-      | "CHECKPOINT", _ :: _ -> Error "CHECKPOINT takes no arguments"
+      | "CHECKPOINT", [] -> Ok (Checkpoint None)
+      | "CHECKPOINT", [ arg ] -> (
+          match shard_arg arg with
+          | Some (Ok k) -> Ok (Checkpoint (Some k))
+          | Some (Error _ as e) -> e
+          | None -> Error "CHECKPOINT takes no argument or shard=K")
+      | "CHECKPOINT", _ :: _ ->
+          Error "CHECKPOINT takes no argument or shard=K"
       | "QUERY", pattern :: opts ->
           let rec fold acc = function
             | [] -> Ok (Query (pattern, acc))
@@ -104,8 +124,12 @@ let parse line =
       | "QUERY", [] -> Error "QUERY wants a pattern"
       | "STATS", [] -> Ok Stats
       | "HEALTH", [] -> Ok Health
-      | "SWAP", [ prefix ] -> Ok (Swap prefix)
-      | "SWAP", _ -> Error "SWAP wants exactly one index prefix"
+      | "SWAP", [ arg ] -> (
+          match shard_arg arg with
+          | Some (Ok k) -> Ok (Swap_shard k)
+          | Some (Error _ as e) -> e
+          | None -> Ok (Swap arg))
+      | "SWAP", _ -> Error "SWAP wants one index prefix or shard=K"
       | "QUIT", [] -> Ok Quit
       | "SHUTDOWN", [] -> Ok Shutdown
       | ("STATS" | "HEALTH" | "QUIT" | "SHUTDOWN"), _ :: _ ->
@@ -128,10 +152,10 @@ let limits_of_opts ~default:(d : Si_core.Limits.t) o =
 
 (* ---- responses ---------------------------------------------------------- *)
 
-let ok_query ~n ~truncated ~gen ~us =
-  Printf.sprintf "OK n=%d truncated=%d gen=%d us=%.1f\n" n
+let ok_query ~extra ~n ~truncated ~gen ~us =
+  Printf.sprintf "OK n=%d truncated=%d gen=%d us=%.1f%s\n" n
     (if truncated then 1 else 0)
-    gen us
+    gen us extra
 
 let match_line buf (tid, node) =
   Buffer.add_char buf 'M';

@@ -8,11 +8,13 @@
     QUERY <pattern> [k=v ...]      evaluate; options override the
                                    server's per-class defaults
     INSERT <penn tree>             WAL-append one tree into the live index
-    CHECKPOINT                     fold the WAL delta into a new main
-                                   index and swap to it
+    CHECKPOINT [shard=K]           fold the WAL delta into a new main
+                                   index and swap to it; shard=K folds
+                                   one member shard only (sharded)
     STATS                          one-line JSON (the stats --json schema)
     HEALTH                         one-line key=value liveness summary
     SWAP <prefix>                  hot-swap to the index at <prefix>
+    SWAP shard=K                   reopen member shard K and flip
     QUIT                           close this connection
     SHUTDOWN                       begin graceful server drain
     v}
@@ -51,10 +53,15 @@ type query_opts = {
 type request =
   | Query of string * query_opts  (** pattern, options *)
   | Insert of string  (** raw Penn tree text, untokenized *)
-  | Checkpoint
+  | Checkpoint of int option
+      (** [CHECKPOINT [shard=K]] — [Some k] folds only shard [k]'s slice
+          of the delta (sharded serving); [None] folds everything *)
   | Stats
   | Health
   | Swap of string  (** index prefix to open *)
+  | Swap_shard of int
+      (** [SWAP shard=K] — per-shard zero-downtime flip: reopen member
+          shard [k] from disk and flip the generation pointer *)
   | Quit
   | Shutdown
 
@@ -71,8 +78,10 @@ val limits_of_opts :
     newline itself. *)
 
 val ok_query :
-  n:int -> truncated:bool -> gen:int -> us:float -> string
-(** The [QUERY] status line. *)
+  extra:string -> n:int -> truncated:bool -> gen:int -> us:float -> string
+(** The [QUERY] status line.  [extra] is appended verbatim before the
+    newline — [""] for a single index, [ shards=N degraded=K] on the
+    sharded path. *)
 
 val match_line : Buffer.t -> int * int -> unit
 (** Append one [M <tid> <node>] body line. *)

@@ -78,6 +78,18 @@ let swap t prefix =
 
 let reload t = swap t (Swap.current_prefix t.sw)
 
+(* flip to an already-rebuilt handle (the per-shard swap path: only one
+   member shard was reopened, the rest are shared with the old
+   generation) — accounted under the same swap counters *)
+let flip_handle t h =
+  match Swap.flip t.sw ~prefix:(Swap.current_prefix t.sw) h with
+  | Ok _ as ok ->
+      Metrics.bump t.m `Swap;
+      ok
+  | Error _ as e ->
+      Metrics.bump t.m `Swap_failure;
+      e
+
 (* ---- connection plumbing ------------------------------------------------ *)
 
 (* the peer vanished (reset, broken pipe, runaway line): abandon the
@@ -162,22 +174,45 @@ let handle_query t (ws : wstat) cache_ref fd peer pattern
           Swap.release t.sw g;
           Metrics.inflight_exit t.m)
         (fun () ->
-          (* decoded blocks are keyed per index: a swap invalidates the
-             worker's cache wholesale (generation id carried alongside) *)
-          let cache =
-            match !cache_ref with
-            | Some (gid, c) when gid = Swap.gen_id g -> c
-            | _ ->
-                let c = Cursor.create_cache ?budget:t.cfg.cache_budget () in
-                cache_ref := Some (Swap.gen_id g, c);
-                c
-          in
           let t0 = Monotonic.now_ns () in
-          let r = Si.query_outcome_cached ~cache ~limits (Swap.si g) pattern in
+          let r, extra =
+            match Swap.handle g with
+            | Si.Single si ->
+                (* decoded blocks are keyed per index: a swap invalidates
+                   the worker's cache wholesale (generation id carried
+                   alongside) *)
+                let cache =
+                  match !cache_ref with
+                  | Some (gid, c) when gid = Swap.gen_id g -> c
+                  | _ ->
+                      let c =
+                        Cursor.create_cache ?budget:t.cfg.cache_budget ()
+                      in
+                      cache_ref := Some (Swap.gen_id g, c);
+                      c
+                in
+                (Si.query_outcome_cached ~cache ~limits si pattern, "")
+            | Si.Sharded sh -> (
+                (* fan out on the affinity pool; each shard leg uses its
+                   own handle's cache.  [degrade]: a failed leg browns the
+                   answer out (truncated subset) instead of refusing it *)
+                match
+                  Si.query_outcome_sharded ~limits ~degrade:true sh pattern
+                with
+                | Error e -> (Error e, "")
+                | Ok so ->
+                    let failed = List.length so.Si.so_failed in
+                    if failed > 0 then Metrics.bump t.m `Degraded;
+                    ( Ok so.Si.so_outcome,
+                      Printf.sprintf " shards=%d degraded=%d"
+                        (Si.shard_count sh) failed ))
+          in
           let dt = Monotonic.now_ns () - t0 in
           ws.w_queries <- ws.w_queries + 1;
           ws.w_busy_ns <- ws.w_busy_ns + dt;
-          ws.w_cache <- Cache.stats cache;
+          (match !cache_ref with
+          | Some (_, c) -> ws.w_cache <- Cache.stats c
+          | None -> ());
           match r with
           | Ok o ->
               Metrics.query_done t.m ~ok:true ~truncated:o.Limits.truncated
@@ -185,7 +220,7 @@ let handle_query t (ws : wstat) cache_ref fd peer pattern
               let matches = o.Limits.matches in
               let buf = Buffer.create 256 in
               Buffer.add_string buf
-                (Protocol.ok_query
+                (Protocol.ok_query ~extra
                    ~n:(List.length matches)
                    ~truncated:o.Limits.truncated ~gen:(Swap.gen_id g)
                    ~us:(float_of_int dt /. 1e3));
@@ -206,43 +241,101 @@ let handle_query t (ws : wstat) cache_ref fd peer pattern
 (* caller holds [t.ins_lock].  Fold the delta into a new main set at the
    serving prefix, flip to it, and only then close the retired handle's
    WAL fd — the new generation lazily opens its own on the next insert.
-   An empty delta is a no-op answered with the current generation. *)
-let checkpoint_locked t =
+   An empty delta is a no-op answered with the current generation.
+   [shard = Some k] (sharded only) folds member shard [k]'s slice of the
+   delta and flips via {!flip_handle} — the other members keep serving
+   their deltas untouched. *)
+let checkpoint_locked t shard =
   let g = Swap.acquire t.sw in
   Fun.protect
     ~finally:(fun () -> Swap.release t.sw g)
     (fun () ->
-      let si = Swap.si g in
-      if Si.pending si = 0 then Ok (0, Swap.gen_id g)
-      else
-        match Si.checkpoint si with
-        | Error e ->
-            Metrics.bump t.m `Checkpoint_failure;
-            Error e
-        | Ok merged -> (
-            match swap t (Swap.current_prefix t.sw) with
-            | Error e ->
-                (* new set is published and the WAL truncated, but the
-                   flip failed: the old generation (main + delta) still
-                   answers identically to the new set — keep serving *)
-                Metrics.bump t.m `Checkpoint_failure;
-                Error e
-            | Ok gen ->
-                Metrics.bump t.m `Checkpoint;
-                Si.close_wal si;
-                Ok (merged, gen)))
+      let fail e =
+        Metrics.bump t.m `Checkpoint_failure;
+        Error e
+      in
+      match (Swap.handle g, shard) with
+      | Si.Single _, Some k ->
+          Error
+            (Si_error.Bad_query
+               (Printf.sprintf
+                  "CHECKPOINT shard=%d: the serving index is not sharded" k))
+      | Si.Single si, None -> (
+          if Si.pending si = 0 then Ok (0, Swap.gen_id g)
+          else
+            match Si.checkpoint si with
+            | Error e -> fail e
+            | Ok merged -> (
+                match swap t (Swap.current_prefix t.sw) with
+                | Error e ->
+                    (* new set is published and the WAL truncated, but the
+                       flip failed: the old generation (main + delta) still
+                       answers identically to the new set — keep serving *)
+                    fail e
+                | Ok gen ->
+                    Metrics.bump t.m `Checkpoint;
+                    Si.close_wal si;
+                    Ok (merged, gen)))
+      | Si.Sharded sh, None -> (
+          if Si.pending_sharded sh = 0 then Ok (0, Swap.gen_id g)
+          else
+            match Si.checkpoint_sharded sh with
+            | Error e -> fail e
+            | exception Sys_error what ->
+                fail (Si_error.Io { path = Swap.current_prefix t.sw; what })
+            | Ok merged -> (
+                match swap t (Swap.current_prefix t.sw) with
+                | Error e -> fail e
+                | Ok gen ->
+                    Metrics.bump t.m `Checkpoint;
+                    Si.close_wal_sharded sh;
+                    Ok (merged, gen)))
+      | Si.Sharded sh, Some k -> (
+          if k >= Si.shard_count sh then
+            Error
+              (Si_error.Bad_query
+                 (Printf.sprintf "CHECKPOINT shard=%d: index has %d shards" k
+                    (Si.shard_count sh)))
+          else
+            let old_k = (Si.shard_handles sh).(k) in
+            if Si.pending old_k = 0 then Ok (0, Swap.gen_id g)
+            else
+              match Si.checkpoint_sharded ~shard:k sh with
+              | Error e -> fail e
+              | exception Sys_error what ->
+                  fail (Si_error.Io { path = Swap.current_prefix t.sw; what })
+              | Ok merged -> (
+                  match
+                    Si.reopen_shard ?cache_budget:t.cfg.cache_budget sh k
+                  with
+                  | Error e -> fail e
+                  | exception Sys_error what ->
+                      fail
+                        (Si_error.Io { path = Swap.current_prefix t.sw; what })
+                  | Ok sh' -> (
+                      match flip_handle t (Si.Sharded sh') with
+                      | Error e -> fail e
+                      | Ok gen ->
+                          Metrics.bump t.m `Checkpoint;
+                          Si.close_wal old_k;
+                          Ok (merged, gen)))))
 
 let over_threshold v = function None -> false | Some n -> n > 0 && v >= n
 
-let maybe_auto_checkpoint t si =
+let maybe_auto_checkpoint t h =
+  let pending, wal_bytes =
+    match h with
+    | Si.Single si -> (Si.pending si, Si.wal_bytes si)
+    | Si.Sharded sh -> (Si.pending_sharded sh, Si.wal_bytes_sharded sh)
+  in
   if
-    over_threshold (Si.pending si) t.cfg.checkpoint_records
-    || over_threshold (Si.wal_bytes si) t.cfg.checkpoint_bytes
+    over_threshold pending t.cfg.checkpoint_records
+    || over_threshold wal_bytes t.cfg.checkpoint_bytes
   then
     (* the client's insert is already acknowledged; a failed background
        fold is accounted (`Checkpoint_failure) and retried on a later
        insert — the WAL keeps every acknowledged tree either way *)
-    ignore (checkpoint_locked t)
+    ignore (checkpoint_locked t None)
 
 let handle_insert t fd text =
   match Si_treebank.Penn.parse_one_exn text with
@@ -255,23 +348,89 @@ let handle_insert t fd text =
           Fun.protect
             ~finally:(fun () -> Swap.release t.sw g)
             (fun () ->
-              let si = Swap.si g in
-              match Si.insert si [ tree ] with
-              | Error e ->
-                  write_all fd
-                    (Protocol.err ~code:(Protocol.err_code e)
-                       (Si_error.to_string e))
-              | Ok n ->
-                  Metrics.bump t.m `Insert;
-                  write_all fd
-                    (Printf.sprintf "OK n=%d pending=%d gen=%d\n" n
-                       (Si.pending si) (Swap.gen_id g));
-                  maybe_auto_checkpoint t si))
+              match Swap.handle g with
+              | Si.Single si -> (
+                  match Si.insert si [ tree ] with
+                  | Error e ->
+                      write_all fd
+                        (Protocol.err ~code:(Protocol.err_code e)
+                           (Si_error.to_string e))
+                  | Ok n ->
+                      Metrics.bump t.m `Insert;
+                      write_all fd
+                        (Printf.sprintf "OK n=%d pending=%d gen=%d\n" n
+                           (Si.pending si) (Swap.gen_id g));
+                      maybe_auto_checkpoint t (Swap.handle g))
+              | Si.Sharded sh -> (
+                  (* the router decides ownership from the tree's global
+                     id — the next id is the current total (inserts are
+                     serialized under [ins_lock]) *)
+                  let owner =
+                    Shardmap.shard_of_tid
+                      ~shards:(Si.shard_count sh)
+                      (Si.sharded_total sh)
+                  in
+                  match Si.insert_sharded sh [ tree ] with
+                  | Error e ->
+                      write_all fd
+                        (Protocol.err ~code:(Protocol.err_code e)
+                           (Si_error.to_string e))
+                  | exception Sys_error what ->
+                      write_all fd (Protocol.err ~code:"io" what)
+                  | Ok n ->
+                      Metrics.bump t.m `Insert;
+                      write_all fd
+                        (Printf.sprintf "OK n=%d pending=%d gen=%d shard=%d\n"
+                           n (Si.pending_sharded sh) (Swap.gen_id g) owner);
+                      maybe_auto_checkpoint t (Swap.handle g))))
 
-let handle_checkpoint t fd =
-  match Mutex.protect t.ins_lock (fun () -> checkpoint_locked t) with
+let handle_checkpoint t fd shard =
+  match Mutex.protect t.ins_lock (fun () -> checkpoint_locked t shard) with
   | Ok (merged, gen) ->
       write_all fd (Printf.sprintf "OK merged=%d gen=%d\n" merged gen)
+  | Error e ->
+      write_all fd
+        (Protocol.err ~code:(Protocol.err_code e) (Si_error.to_string e))
+
+(* SWAP shard=K: reopen member shard [k] from its on-disk prefix and
+   flip.  Under [ins_lock] so a racing INSERT can't append to the old
+   member's delta between the reopen (which replays the WAL) and the
+   flip — that tree would be acknowledged yet missing from the new
+   generation's delta. *)
+let handle_swap_shard t fd k =
+  let r =
+    Mutex.protect t.ins_lock (fun () ->
+        let g = Swap.acquire t.sw in
+        Fun.protect
+          ~finally:(fun () -> Swap.release t.sw g)
+          (fun () ->
+            match Swap.handle g with
+            | Si.Single _ ->
+                Error
+                  (Si_error.Bad_query
+                     (Printf.sprintf
+                        "SWAP shard=%d: the serving index is not sharded" k))
+            | Si.Sharded sh -> (
+                if k >= Si.shard_count sh then
+                  Error
+                    (Si_error.Bad_query
+                       (Printf.sprintf "SWAP shard=%d: index has %d shards" k
+                          (Si.shard_count sh)))
+                else
+                  match
+                    Si.reopen_shard ?cache_budget:t.cfg.cache_budget sh k
+                  with
+                  | Error e ->
+                      Metrics.bump t.m `Swap_failure;
+                      Error e
+                  | exception Sys_error what ->
+                      Metrics.bump t.m `Swap_failure;
+                      Error
+                        (Si_error.Io { path = Swap.current_prefix t.sw; what })
+                  | Ok sh' -> flip_handle t (Si.Sharded sh'))))
+  in
+  match r with
+  | Ok gen -> write_all fd (Printf.sprintf "OK gen=%d shard=%d\n" gen k)
   | Error e ->
       write_all fd
         (Protocol.err ~code:(Protocol.err_code e) (Si_error.to_string e))
@@ -304,14 +463,21 @@ let stats_json t =
   Fun.protect
     ~finally:(fun () -> Swap.release t.sw g)
     (fun () ->
-      Jsonx.Obj
-        [
-          ("index", Metrics.index_json (Swap.si g));
-          ( "serving",
-            Metrics.serving_json t.m ~gen:(Swap.gen_id g)
-              ~prefix:(Swap.current_prefix t.sw) ~draining:(stopping t)
-              ~workers:(worker_json t) );
-        ])
+      let serving =
+        Metrics.serving_json t.m ~gen:(Swap.gen_id g)
+          ~prefix:(Swap.current_prefix t.sw) ~draining:(stopping t)
+          ~workers:(worker_json t)
+      in
+      match Swap.handle g with
+      | Si.Single si ->
+          Jsonx.Obj [ ("index", Metrics.index_json si); ("serving", serving) ]
+      | Si.Sharded sh ->
+          Jsonx.Obj
+            [
+              ("index", Metrics.sharded_index_json sh);
+              ("shards", Metrics.shards_json sh);
+              ("serving", serving);
+            ])
 
 let handle_request t ws cache_ref fd peer line =
   Metrics.bump t.m `Request;
@@ -342,11 +508,11 @@ let handle_request t ws cache_ref fd peer line =
               (Protocol.err ~code:"shutting_down" "server is draining")
           else handle_insert t fd text;
           `Continue
-      | Ok Checkpoint ->
+      | Ok (Checkpoint shard) ->
           if stopping t then
             write_all fd
               (Protocol.err ~code:"shutting_down" "server is draining")
-          else handle_checkpoint t fd;
+          else handle_checkpoint t fd shard;
           `Continue
       | Ok Stats ->
           write_all fd ("OK " ^ Jsonx.to_string (stats_json t) ^ "\n");
@@ -365,6 +531,12 @@ let handle_request t ws cache_ref fd peer line =
           | Error e ->
               write_all fd
                 (Protocol.err ~code:(Protocol.err_code e) (Si_error.to_string e)));
+          `Continue
+      | Ok (Swap_shard k) ->
+          if stopping t then
+            write_all fd
+              (Protocol.err ~code:"shutting_down" "server is draining")
+          else handle_swap_shard t fd k;
           `Continue
       | Ok Quit ->
           write_all fd "OK bye\n";

@@ -3,14 +3,14 @@ open Si_core
 type generation = {
   id : int;
   prefix : string;
-  g_si : Si.t;
+  g_handle : Si.handle;
   mutable refs : int;
   mutable retiring : bool;
 }
 
 type gen = generation
 
-let si g = g.g_si
+let handle g = g.g_handle
 let gen_id g = g.id
 
 type t = {
@@ -21,19 +21,20 @@ type t = {
 }
 
 let open_set ?cache_budget prefix =
-  (* [Si.open_] guards Si_error.Error; a raw Sys_error (e.g. an injected
-     [sys] failpoint) maps to the Io variant here *)
-  match Si.open_ ?cache_budget prefix with
+  (* [Si.open_any] guards Si_error.Error; a raw Sys_error (e.g. an
+     injected [sys] failpoint) maps to the Io variant here.  Sharded
+     prefixes (a [.shards] manifest) open as [Si.Sharded]. *)
+  match Si.open_any ?cache_budget prefix with
   | (Ok _ | Error _) as r -> r
   | exception Sys_error what -> Error (Si_error.Io { path = prefix; what })
 
 let create ?cache_budget prefix =
   Result.map
-    (fun s ->
+    (fun h ->
       {
         lock = Mutex.create ();
         swap_lock = Mutex.create ();
-        current = { id = 1; prefix; g_si = s; refs = 0; retiring = false };
+        current = { id = 1; prefix; g_handle = h; refs = 0; retiring = false };
         old = [];
       })
     (open_set ?cache_budget prefix)
@@ -60,38 +61,45 @@ let release t g =
            simply forgotten — the GC frees the index *)
         t.old <- List.filter (fun o -> o != g) t.old)
 
+let flip_locked t ~prefix h =
+  Mutex.protect t.lock (fun () ->
+      let prev = t.current in
+      let next =
+        { id = prev.id + 1; prefix; g_handle = h; refs = 0; retiring = false }
+      in
+      prev.retiring <- true;
+      if prev.refs > 0 then t.old <- prev :: t.old;
+      t.current <- next;
+      Ok next.id)
+
+(* Flip to an already-opened handle (the per-shard swap path: the caller
+   built the next handle with [Si.reopen_shard], which re-validated the
+   set).  Rides the same [serve.swap.flip] failpoint as a full swap, so
+   the abort-mid-swap harness covers both. *)
+let flip t ~prefix h =
+  Mutex.protect t.swap_lock (fun () ->
+      match Si_error.guard (fun () -> Failpoint.hit "serve.swap.flip") with
+      | Error _ as e -> e
+      | exception Sys_error what -> Error (Si_error.Io { path = prefix; what })
+      | Ok () -> flip_locked t ~prefix h)
+
 let swap t ?cache_budget prefix =
   Mutex.protect t.swap_lock (fun () ->
       match
         Si_error.guard (fun () ->
             Failpoint.hit "serve.swap.open";
             match open_set ?cache_budget prefix with
-            | Ok s -> s
+            | Ok h -> h
             | Error e -> raise (Si_error.Error e))
       with
       | Error _ as e -> e
       | exception Sys_error what -> Error (Si_error.Io { path = prefix; what })
-      | Ok s -> (
+      | Ok h -> (
           match Si_error.guard (fun () -> Failpoint.hit "serve.swap.flip") with
           | Error _ as e -> e
           | exception Sys_error what ->
               Error (Si_error.Io { path = prefix; what })
-          | Ok () ->
-              Mutex.protect t.lock (fun () ->
-                  let prev = t.current in
-                  let next =
-                    {
-                      id = prev.id + 1;
-                      prefix;
-                      g_si = s;
-                      refs = 0;
-                      retiring = false;
-                    }
-                  in
-                  prev.retiring <- true;
-                  if prev.refs > 0 then t.old <- prev :: t.old;
-                  t.current <- next;
-                  Ok next.id)))
+          | Ok () -> flip_locked t ~prefix h))
 
 let current_id t = Mutex.protect t.lock (fun () -> t.current.id)
 let current_prefix t = Mutex.protect t.lock (fun () -> t.current.prefix)

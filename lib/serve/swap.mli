@@ -25,7 +25,10 @@
 type gen
 (** One acquired reference to a loaded index generation. *)
 
-val si : gen -> Si_core.Si.t
+val handle : gen -> Si_core.Si.handle
+(** The generation's index — [Single] or [Sharded] ({!Si_core.Si.open_any}
+    decides from the [.shards] manifest); request handlers dispatch. *)
+
 val gen_id : gen -> int
 (** Generations count from 1 (the set the server started on). *)
 
@@ -50,6 +53,14 @@ val swap : t -> ?cache_budget:int -> string -> (int, Si_core.Si_error.t) result
     the error) and flip; returns the new generation number.  The
     previous generation starts draining.  Serialized: concurrent swaps
     run one at a time. *)
+
+val flip :
+  t -> prefix:string -> Si_core.Si.handle -> (int, Si_core.Si_error.t) result
+(** Flip to an {e already-opened} handle — the per-shard swap path: the
+    caller rebuilt the next handle with [Si.reopen_shard] (one member
+    shard fresh, the rest shared), and only the pointer flip remains.
+    Rides the same [serve.swap.flip] failpoint and swap serialization
+    as {!swap}. *)
 
 val current_id : t -> int
 val current_prefix : t -> string

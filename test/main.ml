@@ -12,4 +12,5 @@ let () =
       ("mmap", Test_mmap.suite);
       ("serve-net", Test_serve_net.suite);
       ("wal", Test_wal.suite);
+      ("sharded", Test_sharded.suite);
     ]

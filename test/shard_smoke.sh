@@ -1,0 +1,166 @@
+#!/usr/bin/env bash
+# Sharded serving acceptance test (ISSUE 9): a 3-shard corpus behind a
+# real `si_tool serve --listen` process.  Covers: sharded ≡ unsharded
+# query answers via the CLI, the "shards" stats section on both
+# producers, fan-out QUERY answers over the wire (shards= / degraded=
+# markers), INSERT routed to the owning shard's WAL, per-shard
+# CHECKPOINT and SWAP shard=K riding the generation state machine with
+# zero dropped queries under concurrent load, and a failpoint-killed
+# shard mid-session degrading to a brownout (truncated subset answers,
+# server up) instead of a refusal.
+set -euo pipefail
+
+TOOL="$1"
+DIR="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+  [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null
+  wait 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() { echo "shard_smoke FAIL: $*" >&2; exit 1; }
+
+# ---- fixtures: the same corpus as one index and as three shards ----------
+"$TOOL" gen -n 300 --seed 2012 -o "$DIR/c.penn" 2>/dev/null
+"$TOOL" build --corpus "$DIR/c.penn" --prefix "$DIR/flat" --scheme root-split --mss 3 >/dev/null
+"$TOOL" build --corpus "$DIR/c.penn" --prefix "$DIR/ix" --scheme root-split --mss 3 --shards 3 >/dev/null
+[ -f "$DIR/ix.shards" ] || fail "no .shards manifest published"
+
+# ---- differential: sharded answers = unsharded answers -------------------
+for Q in 'S(NP)(VP)' 'S(NP(DT)(NN))(VP)' 'NP(DT)(NN)' 'S(//NN)'; do
+  a=$("$TOOL" query --prefix "$DIR/flat" "$Q" | head -1)
+  b=$("$TOOL" query --prefix "$DIR/ix" "$Q" | head -1)
+  [ "$a" = "$b" ] || fail "sharded/unsharded diverge on $Q: '$a' vs '$b'"
+done
+"$TOOL" query --prefix "$DIR/ix" 'S(NP)(VP)' --check-oracle | grep -q 'oracle: OK' \
+  || fail "sharded oracle cross-check"
+
+Q='S(NP(DT)(NN))(VP)'
+CN=$("$TOOL" query --prefix "$DIR/ix" "$Q" | head -1 | awk '{print $1}')
+
+# ---- offline stats carry the sharded view --------------------------------
+"$TOOL" stats --prefix "$DIR/ix" | grep -q 'backend=sharded shards=3' \
+  || fail "text stats missing sharded backend"
+json=$("$TOOL" stats --prefix "$DIR/ix" --json)
+grep -qF '"shards":{"count":3' <<<"$json" || fail "stats --json shards section: $json"
+grep -qF '"wal":{"pending":0' <<<"$json" || fail "stats --json wal section: $json"
+
+# ---- server lifecycle helpers (same shape as serve_net_test.sh) ----------
+start_server() { # start_server [extra flags...]
+  "$TOOL" serve --prefix "$DIR/ix" --listen 0 "$@" >"$DIR/server.log" 2>&1 &
+  SRV_PID=$!
+  PORT=""
+  for _ in $(seq 100); do
+    PORT=$(sed -n 's/.*listening on [^:]*:\([0-9][0-9]*\).*/\1/p' "$DIR/server.log" | head -1)
+    [ -n "$PORT" ] && break
+    kill -0 "$SRV_PID" 2>/dev/null || fail "server died on startup: $(cat "$DIR/server.log")"
+    sleep 0.05
+  done
+  [ -n "$PORT" ] || fail "server never reported its port: $(cat "$DIR/server.log")"
+}
+
+stop_server() {
+  if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
+    kill "$SRV_PID" 2>/dev/null || true
+    wait "$SRV_PID" 2>/dev/null || true
+  fi
+  SRV_PID=""
+}
+
+req() { # req "REQUEST LINE"
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT" || fail "connect to port $PORT"
+  printf '%s\nQUIT\n' "$1" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+
+start_server
+
+# ---- fan-out answers carry the shard markers -----------------------------
+out=$(req "QUERY $Q count_only=1")
+grep -q "OK n=$CN truncated=0 gen=1 us=[0-9.]* shards=3 degraded=0" <<<"$out" \
+  || fail "fan-out answer: $out"
+
+out=$(req "STATS")
+grep -qF '"backend":"sharded"' <<<"$out" || fail "STATS sharded backend: $out"
+grep -qF '"shards":{"count":3' <<<"$out" || fail "STATS shards section: $out"
+grep -qF '"degraded":0' <<<"$out" || fail "STATS degraded counter: $out"
+
+# shard arguments are validated, never crash the server
+out=$(req "SWAP shard=9")
+grep -q '^ERR bad_query' <<<"$out" || fail "SWAP shard out of range: $out"
+out=$(req "CHECKPOINT shard=9")
+grep -q '^ERR bad_query' <<<"$out" || fail "CHECKPOINT shard out of range: $out"
+out=$(req "SWAP shard=x")
+grep -q '^ERR bad_request' <<<"$out" || fail "SWAP shard=x: $out"
+
+# ---- concurrent queries racing a per-shard SWAP: zero drops --------------
+client_loop() { # client_loop OUTFILE
+  local i
+  for i in $(seq 30); do
+    req "QUERY $Q count_only=1 client=loop$$" >>"$1" || true
+  done
+}
+: >"$DIR/c1.out"; : >"$DIR/c2.out"
+client_loop "$DIR/c1.out" & C1=$!
+client_loop "$DIR/c2.out" & C2=$!
+sleep 0.1
+out=$(req "SWAP shard=0")
+grep -q 'OK gen=2 shard=0' <<<"$out" || fail "SWAP shard=0: $out"
+wait "$C1" "$C2"
+answers=$(grep -h '^OK n=' "$DIR/c1.out" "$DIR/c2.out" | wc -l)
+[ "$answers" = 60 ] || fail "dropped queries during per-shard swap: $answers/60"
+# every answer is the full count from exactly one generation, never torn
+bad=$(grep -h '^OK n=' "$DIR/c1.out" "$DIR/c2.out" \
+  | grep -v -e "n=$CN truncated=0 gen=1 .* degraded=0" \
+            -e "n=$CN truncated=0 gen=2 .* degraded=0" || true)
+[ -z "$bad" ] || fail "torn answer(s) during per-shard swap: $bad"
+
+# ---- INSERT routes to the owning shard's WAL -----------------------------
+out=$(req "INSERT (S (NP (DT zzthe) (NN zzcat)) (VP (VB zzsat)))")
+grep -q '^OK n=301 pending=1 gen=2 shard=[0-2]$' <<<"$out" || fail "routed INSERT: $out"
+K=$(sed -n 's/.*shard=\([0-2]\)$/\1/p' <<<"$out")
+
+# the inserted tree is queryable immediately (from the delta)...
+out=$(req "QUERY NP(DT(zzthe))(NN(zzcat)) count_only=1")
+grep -q 'OK n=1 truncated=0' <<<"$out" || fail "delta not served: $out"
+
+# ...and a per-shard checkpoint folds exactly that shard's slice
+out=$(req "CHECKPOINT shard=$K")
+grep -q 'OK merged=1 gen=3' <<<"$out" || fail "per-shard CHECKPOINT: $out"
+out=$(req "QUERY NP(DT(zzthe))(NN(zzcat)) count_only=1")
+grep -q 'OK n=1 truncated=0 gen=3' <<<"$out" || fail "post-checkpoint answer: $out"
+out=$(req "CHECKPOINT")
+grep -q 'OK merged=0 gen=3' <<<"$out" || fail "second CHECKPOINT not idempotent: $out"
+stop_server
+
+# the fold is durable: a fresh offline open agrees
+"$TOOL" query --prefix "$DIR/ix" 'NP(DT(zzthe))(NN(zzcat))' --check-oracle \
+  | grep -q '1 matches' || fail "checkpointed tree lost after reopen"
+
+# ---- a shard killed mid-session: brownout, not 503 -----------------------
+# si.shard.eval.1=fail@3+ lets the first two fan-outs through then kills
+# shard 1's leg on every later query: answers degrade to a truncated
+# subset (degraded=1) and the server keeps serving.  The inserted tree
+# also matches Q, so the healthy count is now CN + 1.
+CN1=$((CN + 1))
+SI_FAILPOINTS='si.shard.eval.1=fail@3+' start_server
+out=$(req "QUERY $Q count_only=1")
+grep -q "OK n=$CN1 truncated=0 gen=1 us=[0-9.]* shards=3 degraded=0" <<<"$out" \
+  || fail "pre-onset query: $out"
+out=$(req "QUERY $Q count_only=1")
+grep -q "degraded=0" <<<"$out" || fail "second pre-onset query: $out"
+out=$(req "QUERY $Q count_only=1")
+grep -q "OK n=[0-9]* truncated=1 gen=1 us=[0-9.]* shards=3 degraded=1" <<<"$out" \
+  || fail "brownout answer: $out"
+n_degraded=$(sed -n 's/^OK n=\([0-9]*\) .*/\1/p' <<<"$out")
+[ "$n_degraded" -lt "$CN1" ] || fail "degraded answer not a strict subset: $n_degraded vs $CN1"
+out=$(req "HEALTH")
+grep -q '^OK gen=1' <<<"$out" || fail "server down after shard loss: $out"
+out=$(req "STATS")
+grep -qF '"degraded":1' <<<"$out" || fail "degraded not counted: $out"
+stop_server
+
+echo "shard_smoke: OK"

@@ -336,7 +336,9 @@ let test_swap_refcount () =
       let g2 = Swap.acquire sw in
       Alcotest.(check int) "new acquire sees 2" 2 (Swap.gen_id g2);
       (* the in-flight reference still answers from its own generation *)
-      ignore (ok_exn "old gen query" (Si.query (Swap.si g1) "S(NP)(VP)"));
+      (match Swap.handle g1 with
+      | Si.Single si -> ignore (ok_exn "old gen query" (Si.query si "S(NP)(VP)"))
+      | Si.Sharded _ -> Alcotest.fail "expected a single-index generation");
       Swap.release sw g1;
       Alcotest.(check int) "drain complete" 0 (Swap.draining sw);
       Swap.release sw g2;
@@ -363,7 +365,9 @@ let test_swap_failpoints () =
       | Error e -> Alcotest.failf "wrong error: %s" (Si_error.to_string e)
       | Ok _ -> Alcotest.fail "armed swap.open must abort");
       Alcotest.(check int) "old generation intact" 1 (Swap.current_id sw);
-      ignore (ok_exn "still serving" (Si.query (Swap.si (Swap.acquire sw)) "S(NP)(VP)"));
+      (match Swap.handle (Swap.acquire sw) with
+      | Si.Single si -> ignore (ok_exn "still serving" (Si.query si "S(NP)(VP)"))
+      | Si.Sharded _ -> Alcotest.fail "expected a single-index generation");
       Failpoint.clear ();
       Failpoint.arm_exn "serve.swap.flip=sys@1";
       (match Swap.swap sw pb with
