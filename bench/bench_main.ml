@@ -611,6 +611,126 @@ let () =
       ]
   in
 
+  (* self-healing integrity (DESIGN.md §15): scrub throughput over the
+     mapped SIDX4 regions, the query-throughput cost of a concurrent
+     background scrub on the same handle, the latency of the corpus
+     fallback a quarantined handle answers from, and the wall time of a
+     full repair (rebuild from the corpus store + staged republish) *)
+  let scrub_entry =
+    let full4 = Filename.concat tmp "interval-full4" in
+    let copy src dst =
+      let ic = open_in_bin src in
+      let b = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let oc = open_out_bin dst in
+      output_string oc b;
+      close_out oc
+    in
+    (* full-cycle throughput on a fresh handle, lazy-verify flags unset *)
+    let report, cycle_s =
+      time_best ~repeat:3 (fun () ->
+          let si = ok_exn (Si_core.Si.open_ full4) in
+          Si_core.Si.scrub si)
+    in
+    if not (report.Si_core.Scrub.complete && report.Si_core.Scrub.clean) then
+      failwith "scrub bench: pristine index did not scrub clean";
+    let bytes = report.Si_core.Scrub.bytes_verified in
+    (* query throughput with and without a concurrent scrubber domain *)
+    let si = ok_exn (Si_core.Si.open_ full4) in
+    let run_queries () =
+      let t0 = Unix.gettimeofday () in
+      Array.iter (fun q -> ignore (ok_exn (Si_core.Si.query si q))) stream;
+      Unix.gettimeofday () -. t0
+    in
+    ignore (run_queries ());
+    (* warm *)
+    let qps_idle = float_of_int (Array.length stream) /. run_queries () in
+    let multicore = Domain.recommended_domain_count () >= 2 in
+    let qps_during =
+      if not multicore then None
+      else begin
+        let stop = Atomic.make false in
+        let scrubber =
+          Domain.spawn (fun () ->
+              let b = Si_core.Scrub.budget ~max_bytes:(256 * 1024) () in
+              while not (Atomic.get stop) do
+                ignore (Si_core.Si.scrub ~budget:b si)
+              done)
+        in
+        let busy_s = run_queries () in
+        Atomic.set stop true;
+        Domain.join scrubber;
+        Some (float_of_int (Array.length stream) /. busy_s)
+      end
+    in
+    (* quarantined-handle fallback latency vs the native streaming path *)
+    let bad = Filename.concat tmp "scrub-bad" in
+    List.iter
+      (fun ext -> copy (full4 ^ ext) (bad ^ ext))
+      [ ".idx"; ".labels"; ".meta"; ".trees" ];
+    (let fd = Unix.openfile (bad ^ ".idx") [ Unix.O_RDWR ] 0 in
+     let size = (Unix.fstat fd).Unix.st_size in
+     let b = Bytes.create 1 in
+     ignore (Unix.lseek fd (size / 2) Unix.SEEK_SET);
+     ignore (Unix.read fd b 0 1);
+     Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x5a));
+     ignore (Unix.lseek fd (size / 2) Unix.SEEK_SET);
+     ignore (Unix.write fd b 0 1);
+     Unix.close fd);
+    let bsi = ok_exn (Si_core.Si.open_ bad) in
+    ignore (Si_core.Si.scrub bsi);
+    if not (Si_core.Si.quarantined bsi) then
+      failwith "scrub bench: bitflip did not quarantine";
+    let battery h () =
+      List.iter (fun q -> ignore (ok_exn (Si_core.Si.query h q))) bench_queries
+    in
+    battery bsi ();
+    let _, fb_p50, _, _ =
+      latency_quantiles ~quota ~name:"scrub/fallback" (battery bsi)
+    in
+    battery si ();
+    let _, nat_p50, _, _ =
+      latency_quantiles ~quota ~name:"scrub/native" (battery si)
+    in
+    let repaired, repair_s =
+      time_best ~repeat:1 (fun () -> ok_exn (Si_core.Si.repair bsi))
+    in
+    Printf.eprintf
+      "scrub interval: %d bytes in %.2fms (%.0f MB/s); qps idle=%.0f \
+       during-scrub=%s; fallback p50=%.1fus vs native %.1fus (%.1fx); \
+       repair %d trees in %.1fms\n%!"
+      bytes (1000. *. cycle_s)
+      (float_of_int bytes /. 1e6 /. cycle_s)
+      qps_idle
+      (match qps_during with
+      | Some q -> Printf.sprintf "%.0f" q
+      | None -> "skipped")
+      (fb_p50 /. 1e3) (nat_p50 /. 1e3)
+      (fb_p50 /. nat_p50)
+      repaired (1000. *. repair_s);
+    J.Obj
+      [
+        ("scheme", J.Str "interval");
+        ("bytes", J.Int bytes);
+        ("full_cycle_ms", J.Float (1000. *. cycle_s));
+        ("mb_per_s", J.Float (float_of_int bytes /. 1e6 /. cycle_s));
+        ("qps_idle", J.Float qps_idle);
+        ( "qps_during_scrub",
+          match qps_during with
+          | Some q -> J.Float q
+          | None -> J.Str "skipped_single_core" );
+        ( "scrub_overhead_pct",
+          match qps_during with
+          | Some q -> J.Float (100. *. (1. -. (q /. qps_idle)))
+          | None -> J.Str "skipped_single_core" );
+        ("fallback_p50_ns", J.Float fb_p50);
+        ("native_p50_ns", J.Float nat_p50);
+        ("fallback_slowdown", J.Float (fb_p50 /. nat_p50));
+        ("repaired_trees", J.Int repaired);
+        ("repair_ms", J.Float (1000. *. repair_s));
+      ]
+  in
+
   (* stable headline numbers: one object per coding, fixed keys, so CI and
      future PRs can diff trajectories without walking the detail arrays *)
   let summary =
@@ -661,6 +781,7 @@ let () =
         ("serve", J.Arr (List.rev !serve_entries));
         ("serve_net", serve_net_entry);
         ("sharded", sharded_entry);
+        ("scrub", scrub_entry);
       ]
   in
   let oc = open_out !out in

@@ -616,7 +616,7 @@ let serve_batch prefix batch_file domains cache_budget limits =
    path (same as the SWAP verb). *)
 let serve_net prefix host port workers accept_queue cache_budget limits
     batch_deadline_ms quota_rps quota_burst brownout shed checkpoint_records
-    checkpoint_bytes =
+    checkpoint_bytes scrub_interval_s scrub_budget_bytes auto_repair_threshold =
   if workers < 1 then begin
     Printf.eprintf "si_tool: --workers must be >= 1 (got %d)\n" workers;
     exit 2
@@ -650,6 +650,9 @@ let serve_net prefix host port workers accept_queue cache_budget limits
       admission;
       checkpoint_records;
       checkpoint_bytes;
+      scrub_interval_s;
+      scrub_budget_bytes;
+      auto_repair_threshold;
     }
   in
   match Si_serve.Server.start cfg with
@@ -695,7 +698,8 @@ let serve_net prefix host port workers accept_queue cache_budget limits
 
 let serve prefix batch_file listen host workers accept_queue domains
     cache_budget limits batch_deadline_ms quota_rps quota_burst brownout shed
-    checkpoint_records checkpoint_bytes =
+    checkpoint_records checkpoint_bytes scrub_interval_s scrub_budget_bytes
+    auto_repair_threshold =
   if domains < 1 then begin
     Printf.eprintf "si_tool: --domains must be >= 1 (got %d)\n" domains;
     exit 2
@@ -705,7 +709,8 @@ let serve prefix batch_file listen host workers accept_queue domains
   | None, Some port ->
       serve_net prefix host port workers accept_queue cache_budget limits
         batch_deadline_ms quota_rps quota_burst brownout shed
-        checkpoint_records checkpoint_bytes
+        checkpoint_records checkpoint_bytes scrub_interval_s scrub_budget_bytes
+        auto_repair_threshold
   | Some _, Some _ ->
       Printf.eprintf "si_tool: pass either --batch or --listen, not both\n";
       exit 2
@@ -786,6 +791,25 @@ let serve_cmd =
            ~doc:"--listen mode: auto-checkpoint once the WAL file reaches \
                  BYTES.")
   in
+  let scrub_interval_s =
+    Arg.(value & opt (some float) None & info [ "scrub-interval" ] ~docv:"S"
+           ~doc:"--listen mode: run a background integrity scrub pass every \
+                 S seconds over the serving index's lazily-verified regions; \
+                 damage quarantines the handle and queries answer exactly \
+                 from the corpus fallback.")
+  in
+  let scrub_budget_bytes =
+    Arg.(value & opt (some int) None & info [ "scrub-budget" ] ~docv:"BYTES"
+           ~doc:"Byte budget per background scrub pass (the cursor resumes \
+                 next pass); unbudgeted by default.")
+  in
+  let auto_repair_threshold =
+    Arg.(value & opt (some int) None & info [ "auto-repair" ] ~docv:"N"
+           ~doc:"Rebuild a quarantined index from the corpus store and swap \
+                 to it once its damage pressure (scrub-localized bad keys + \
+                 fallback-answered queries) reaches N; 1 repairs on the \
+                 first scrub tick after any quarantine.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve queries: --listen runs the long-lived network server \
@@ -796,7 +820,8 @@ let serve_cmd =
     Term.(const serve $ prefix_arg $ batch_file $ listen $ host $ workers
           $ accept_queue $ domains $ cache_budget $ limits_term
           $ batch_deadline_ms $ quota_rps $ quota_burst $ brownout $ shed
-          $ checkpoint_records $ checkpoint_bytes)
+          $ checkpoint_records $ checkpoint_bytes $ scrub_interval_s
+          $ scrub_budget_bytes $ auto_repair_threshold)
 
 (* ---- stats ------------------------------------------------------------- *)
 
@@ -1110,6 +1135,102 @@ let openbench_cmd =
        ~doc:"Measure index open latency (the mmap-smoke CI gate).")
     Term.(const openbench $ prefix_arg $ repeat $ query)
 
+(* ---- scrub -------------------------------------------------------------- *)
+
+(* Offline integrity scrub (DESIGN.md §15): drive the cursor through one
+   full cycle — budgeted passes just bound how much each pass hashes, the
+   loop resumes until the cycle completes — then report, and optionally
+   repair from the corpus store. *)
+let scrub prefix repair max_bytes deadline_ms =
+  let h = open_any_or_fail prefix in
+  let budget = Si_core.Scrub.budget ?max_bytes ?deadline_ms () in
+  let pass_once () =
+    match h with
+    | Si_core.Si.Single si -> [| Si_core.Si.scrub ~budget si |]
+    | Si_core.Si.Sharded sh -> Si_core.Si.scrub_sharded ~budget sh
+  in
+  let bytes = ref 0 and passes = ref 0 in
+  let rec drive () =
+    let rs = pass_once () in
+    incr passes;
+    Array.iter
+      (fun (r : Si_core.Scrub.report) -> bytes := !bytes + r.bytes_verified)
+      rs;
+    if Array.for_all (fun (r : Si_core.Scrub.report) -> r.complete) rs then rs
+    else drive ()
+  in
+  let rs = drive () in
+  let sharded = Array.length rs > 1 in
+  let clean = Array.for_all (fun (r : Si_core.Scrub.report) -> r.clean) rs in
+  Printf.printf "scrub bytes=%d passes=%d clean=%d\n" !bytes !passes
+    (if clean then 1 else 0);
+  Array.iteri
+    (fun i (r : Si_core.Scrub.report) ->
+      let tag = if sharded then Printf.sprintf "shard %d: " i else "" in
+      if r.bad_regions <> [] then
+        Printf.printf "%sbad regions: %s\n" tag
+          (String.concat " " r.bad_regions);
+      if r.bad_keys <> [] then
+        Printf.printf "%sbad keys (%d): %s\n" tag
+          (List.length r.bad_keys)
+          (String.concat " " (List.map String.escaped r.bad_keys));
+      if r.bad_trees <> [] then
+        Printf.printf "%sbad trees (%d): %s\n" tag
+          (List.length r.bad_trees)
+          (String.concat " " (List.map string_of_int r.bad_trees)))
+    rs;
+  if not clean then
+    if repair then begin
+      let repaired =
+        match h with
+        | Si_core.Si.Single si -> ok_or_fail (Si_core.Si.repair si)
+        | Si_core.Si.Sharded sh -> ok_or_fail (Si_core.Si.repair_sharded sh)
+      in
+      Printf.printf "repaired trees=%d prefix=%s\n" repaired prefix
+    end
+    else
+      let bad =
+        Array.fold_left
+          (fun acc (r : Si_core.Scrub.report) ->
+            acc + List.length r.bad_regions + List.length r.bad_keys
+            + List.length r.bad_trees)
+          0 rs
+      in
+      fail_si
+        (Si_core.Si_error.Corrupt
+           {
+             path = prefix;
+             offset = 0;
+             what =
+               Printf.sprintf
+                 "scrub found %d damaged regions/keys/trees (rerun with \
+                  --repair to rebuild from the corpus store)"
+                 bad;
+           })
+
+let scrub_cmd =
+  let repair =
+    Arg.(value & flag & info [ "repair" ]
+           ~doc:"If the scrub finds index damage, rebuild the prefix from \
+                 the corpus store + WAL delta and republish it through the \
+                 staged-rename protocol (the prefix then reopens clean).")
+  in
+  let max_bytes =
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"BYTES"
+           ~doc:"Hash at most BYTES per pass (the cursor resumes across \
+                 passes until the cycle completes).")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some float) None & info [ "pass-deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-pass deadline on the monotonic clock.")
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:"Verify every lazily-verified region of a built index (CRC walk \
+             + per-key/per-tree localization); exit 3 on damage, or repair \
+             it in place with $(b,--repair).")
+    Term.(const scrub $ prefix_arg $ repair $ max_bytes $ deadline_ms)
+
 (* ---- failpoints --------------------------------------------------------- *)
 
 let failpoints () =
@@ -1144,4 +1265,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; build_cmd; query_cmd; insert_cmd; checkpoint_cmd;
-            serve_cmd; stats_cmd; openbench_cmd; failpoints_cmd ]))
+            serve_cmd; stats_cmd; scrub_cmd; openbench_cmd; failpoints_cmd ]))

@@ -466,8 +466,12 @@ let find_slot (t : t) key =
   | None -> Hashtbl.find_opt t.table key
   | Some m -> mapped_find_slot t m key
 
-let decode_slot (t : t) key (slot : slot) =
-  ensure_postings_readable t slot;
+(* Decode a slot's bytes without the lazy whole-region CRC gate: the
+   normal read path runs it behind {!ensure_postings_readable}; the scrub
+   runs it bare to localize damage inside a region whose CRC already
+   failed (every decode is fully defensive, so hostile bytes surface as
+   [Corrupt], never a crash). *)
+let decode_slot_unchecked (t : t) key (slot : slot) =
   let finish = slot.off + slot.len in
   let p, consumed =
     guard_decode t ~offset:slot.off (fun () ->
@@ -483,6 +487,10 @@ let decode_slot (t : t) key (slot : slot) =
     Si_error.raise_corrupt ~path:t.origin ~offset:consumed
       "posting shorter than its recorded length";
   p
+
+let decode_slot (t : t) key (slot : slot) =
+  ensure_postings_readable t slot;
+  decode_slot_unchecked t key slot
 
 let find_exn (t : t) key =
   match find_slot t key with
@@ -1235,11 +1243,48 @@ let mapped_stats (t : t) =
         }
 
 let verify_mapped (t : t) =
+  Si_error.guard @@ fun () ->
   match t.mapped with
   | None -> ()
   | Some m ->
       ensure_dir_verified t m;
       ensure_post_verified t m
+
+(* ---- incremental scrub support (DESIGN.md §15) --------------------------- *)
+
+let scrub_regions (t : t) =
+  match t.mapped with
+  | None -> []
+  | Some m ->
+      [
+        ("kindex", m.kindex_off, m.kindex_len, m.crc_kindex);
+        ("keydir", m.keydir_off, m.keydir_len, m.crc_keydir);
+        ("postings", m.post_off, m.post_len, m.crc_postings);
+      ]
+
+let scrub_feed (t : t) crc ~off ~len =
+  match t.mapped with
+  | None -> crc
+  | Some m -> Crc32.feed_bigsub crc m.map off len
+
+let scrub_commit (t : t) which =
+  match t.mapped with
+  | None -> ()
+  | Some m -> (
+      match which with
+      | `Dir -> m.dir_verified <- true
+      | `Postings -> m.post_verified <- true)
+
+let scrub_slots (t : t) =
+  match t.mapped with
+  | None -> []
+  | Some m ->
+      let bad = ref [] in
+      mapped_iter_slots t m (fun key slot ->
+          match decode_slot_unchecked t key slot with
+          | (_ : Coding.posting) -> ()
+          | exception Si_error.Error _ -> bad := key :: !bad);
+      List.rev !bad
 
 let set_resolve (t : t) resolve =
   match t.mapped with None -> () | Some m -> m.resolve <- Some resolve

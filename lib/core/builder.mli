@@ -222,9 +222,35 @@ type mapped_stats = {
 val is_mapped : t -> bool
 val mapped_stats : t -> mapped_stats option
 
-val verify_mapped : t -> unit
+val verify_mapped : t -> (unit, Si_error.t) result
 (** Force the lazy region CRC verification now (all three regions).
-    Raises [Si_error.Error] [Corrupt].  No-op on heap indexes. *)
+    [Error (Corrupt _)] on a checksum mismatch.  [Ok ()] on heap indexes
+    (fully verified at load). *)
+
+(** {2 Incremental scrub support (DESIGN.md §15)} *)
+
+val scrub_regions : t -> (string * int * int * int) list
+(** The lazily-verified mapped regions as [(name, offset, length, crc)]
+    in file order — ["kindex"], ["keydir"], ["postings"] for an SIDX4
+    index; [[]] for heap indexes, which were fully verified at load. *)
+
+val scrub_feed : t -> Crc32.t -> off:int -> len:int -> Crc32.t
+(** Fold [len] mapped bytes at [off] into a running checksum — the scrub
+    verifies a region in budget-sized increments across passes.  Returns
+    [crc] unchanged on heap indexes. *)
+
+val scrub_commit : t -> [ `Dir | `Postings ] -> unit
+(** Mark a region group's lazy verification as done (the scrub proved the
+    CRCs out of band): [`Dir] covers the key index {e and} key directory
+    (one flag — commit only after both passed), [`Postings] the postings
+    region.  No-op on heap indexes. *)
+
+val scrub_slots : t -> string list
+(** Defensively decode every mapped posting (without the whole-region CRC
+    gate) and return the keys whose bytes fail to decode — the scrub's
+    damage localizer for a postings region whose CRC failed.  Requires an
+    intact key directory: raises [Si_error.Error] [Corrupt] if the
+    directory itself cannot be walked.  [[]] on heap indexes. *)
 
 val set_resolve : t -> (int -> int -> Coding.interval) -> unit
 (** Attach the [(tid, pre) -> interval] resolver backing V4 posting

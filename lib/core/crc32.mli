@@ -25,6 +25,18 @@ val string : string -> int
 val substring : string -> int -> int -> int
 (** One-shot checksum of a slice. *)
 
+val feed_bigsub :
+  t ->
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  int ->
+  int ->
+  t
+(** [feed_bigsub c m pos len] folds the mapped slice
+    [m.[pos .. pos+len-1]] into [c] (no bounds check — callers slice
+    against region tables they already validated).  Lets the scrub verify
+    a large mapped region incrementally, one budget-sized chunk per
+    pass. *)
+
 val bigsub :
   (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t ->
   int ->

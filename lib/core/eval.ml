@@ -683,16 +683,20 @@ let run_outcome_exn ~index ~corpus ?(label_id = Fun.id) ?cache ?delta
         main @ dispatch ?ctx ~tid_base:base ~index:dindex ~corpus:dcorpus
                  ~label_id ~cache:None q
   with
-  | matches -> { Limits.matches; truncated = false }
+  | matches -> { Limits.matches; truncated = false; degraded = false }
   | exception Limits.Truncated ->
       (* only ctx code raises Truncated, so the holder is necessarily full *)
-      { Limits.matches = Limits.collected (Option.get !holder); truncated = true }
+      {
+        Limits.matches = Limits.collected (Option.get !holder);
+        truncated = true;
+        degraded = false;
+      }
   | exception Si_error.Error (Si_error.Timeout _ | Si_error.Resource_exhausted _)
     when limits.Limits.partial ->
       let matches =
         match !holder with Some c -> Limits.collected c | None -> []
       in
-      { Limits.matches; truncated = true }
+      { Limits.matches; truncated = true; degraded = false }
 
 let run_outcome ~index ~corpus ?label_id ?cache ?delta ?limits ?shared q =
   Si_error.guard (fun () ->

@@ -190,4 +190,9 @@ let known =
     ("wal.truncate", "checkpoint published, before the WAL ftruncate");
     ("si.checkpoint.merge", "before merging the delta into the main postings");
     ("si.shard.eval.<k>", "shard k's leg of a sharded fan-out, before it runs");
+    ("scrub.pass", "a scrub pass starting, before any region is hashed");
+    ("scrub.region", "one scrubbed region fully hashed, before its verdict");
+    ("si.repair.rebuild", "a repair about to rebuild the index from the corpus");
+    ("si.repair.publish", "the repaired index built, before the staged publish");
+    ("si.repair.wal-truncate", "repair published, before the WAL truncate");
   ]

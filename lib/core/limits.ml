@@ -21,7 +21,11 @@ let v ?deadline_ns ?max_decoded_bytes ?max_join_steps ?max_results
 
 let is_none l = l = none
 
-type outcome = { matches : (int * int) list; truncated : bool }
+type outcome = {
+  matches : (int * int) list;
+  truncated : bool;
+  degraded : bool;
+}
 
 (* One gauge shared by the per-shard evaluations of a fan-out query:
    byte and step spend pool atomically across shards, and every shard

@@ -44,10 +44,19 @@ val v :
 
 val is_none : t -> bool
 
-type outcome = { matches : (int * int) list; truncated : bool }
+type outcome = {
+  matches : (int * int) list;
+  truncated : bool;
+  degraded : bool;
+}
 (** What a governed evaluation returns: the match list (sorted,
     duplicate-free — identical to the ungoverned answer when [truncated]
-    is [false]) and whether any limit cut it short. *)
+    is [false]), whether any limit cut it short, and whether any part of
+    the answer was produced by the integrity-quarantine fallback path
+    (exact but slower — or truncated under budget pressure) rather than
+    the index proper.  [degraded] extends the truncated-⊂-exact
+    contract: a degraded answer is still a subset of the exact answer,
+    and is exact whenever [truncated] is [false]. *)
 
 type ctx
 (** Accounting state of one query evaluation: start time, spent budgets,

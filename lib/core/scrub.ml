@@ -1,0 +1,189 @@
+(* Incremental integrity scrub over the lazily-verified mapped regions of
+   an SIDX4 prefix (DESIGN.md §15).
+
+   The SIDX4 open is O(1) because region CRCs verify lazily — which moves
+   corruption discovery to query time.  The scrub closes that window: it
+   walks every lazily-verified region (the .idx key index, key directory
+   and postings, and the .trees offsets and trees regions) under a
+   byte/deadline budget, resuming across passes through a cursor, so a
+   server can amortize a full integrity cycle over idle ticks without
+   ever stalling a query.
+
+   When a region's CRC fails, the scrub localizes the damage where the
+   format allows it: a bad postings region is re-walked with defensive
+   per-slot decodes (the directory says where every posting lives), a bad
+   trees region with defensive per-tid decodes.  Directory or offset
+   damage cannot be localized — the region *is* the map — and reports as
+   a bad region only.  The scrub never mutates the handle beyond the lazy
+   verification flags: committing a region it proved clean (so later
+   queries skip the first-use CRC pass), never marking anything bad —
+   quarantine policy lives in {!Si}, which folds the report. *)
+
+type budget = { max_bytes : int option; deadline_ns : int option }
+
+let unbudgeted = { max_bytes = None; deadline_ns = None }
+
+let budget ?max_bytes ?deadline_ms () =
+  {
+    max_bytes;
+    deadline_ns =
+      Option.map (fun ms -> int_of_float (ms *. 1e6)) deadline_ms;
+  }
+
+type report = {
+  bytes_verified : int;
+  regions_ok : string list;
+  bad_regions : string list;
+  bad_keys : string list;
+  bad_trees : int list;
+  complete : bool;
+  clean : bool;
+}
+
+(* One region still being hashed: [pos] bytes of it are already folded
+   into [acc] by earlier passes. *)
+type region = {
+  r_src : [ `Idx | `Ts ];
+  r_name : string;
+  r_off : int;
+  r_len : int;
+  r_crc : int;
+  mutable r_pos : int;
+  mutable r_acc : Crc32.t;
+}
+
+type stage =
+  | Region of region
+  | Slots  (* localize a CRC-failed postings region to keys *)
+  | Trees of int ref  (* localize a CRC-failed trees region to tids *)
+
+type cursor = {
+  mutable stages : stage list;  (* [] = the next pass starts a new cycle *)
+  mutable c_ok : string list;  (* regions proved clean this cycle *)
+  mutable c_bad : string list;  (* regions whose CRC failed this cycle *)
+  mutable c_bad_keys : string list;
+  mutable c_bad_trees : int list;
+}
+
+let cursor () =
+  { stages = []; c_ok = []; c_bad = []; c_bad_keys = []; c_bad_trees = [] }
+
+(* Hash at most this much per budget probe: the deadline is only observed
+   between chunks, so the chunk bounds how far a pass can overrun it. *)
+let chunk = 1 lsl 20
+
+let region_of (src, (name, off, len, crc)) =
+  Region
+    { r_src = src; r_name = name; r_off = off; r_len = len; r_crc = crc;
+      r_pos = 0; r_acc = Crc32.empty }
+
+let start_cycle cur ~index ~store =
+  let idx = List.map (fun r -> (`Idx, r)) (Builder.scrub_regions index) in
+  let ts =
+    match store with
+    | None -> []
+    | Some s -> List.map (fun r -> (`Ts, r)) (Treestore.scrub_regions s)
+  in
+  cur.stages <- List.map region_of (idx @ ts);
+  cur.c_ok <- [];
+  cur.c_bad <- [];
+  cur.c_bad_keys <- [];
+  cur.c_bad_trees <- []
+
+(* Commit the lazy-verification flags a completed cycle earned: a region
+   group is committed only when every region of the group passed, because
+   the underlying handles keep one flag per group. *)
+let commit_clean cur ~index ~store =
+  let ok name = List.mem name cur.c_ok in
+  if ok "kindex" && ok "keydir" then Builder.scrub_commit index `Dir;
+  if ok "postings" then Builder.scrub_commit index `Postings;
+  match store with
+  | None -> ()
+  | Some s -> if ok "ts_offsets" && ok "ts_trees" then Treestore.scrub_commit s
+
+let pass ?(budget = unbudgeted) cur ~index ~store =
+  Failpoint.hit "scrub.pass";
+  let t0 = Monotonic.now_ns () in
+  let stop_at = Option.map (fun d -> t0 + d) budget.deadline_ns in
+  let spent = ref 0 in
+  let exhausted () =
+    (match budget.max_bytes with Some b -> !spent >= b | None -> false)
+    || match stop_at with Some s -> Monotonic.now_ns () >= s | None -> false
+  in
+  if cur.stages = [] then start_cycle cur ~index ~store;
+  let continue = ref true in
+  while !continue && cur.stages <> [] do
+    (match List.hd cur.stages with
+    | Region r ->
+        let n = min chunk (r.r_len - r.r_pos) in
+        if n > 0 then begin
+          let off = r.r_off + r.r_pos in
+          r.r_acc <-
+            (match r.r_src with
+            | `Idx -> Builder.scrub_feed index r.r_acc ~off ~len:n
+            | `Ts ->
+                Treestore.scrub_feed (Option.get store) r.r_acc ~off ~len:n);
+          r.r_pos <- r.r_pos + n;
+          spent := !spent + n
+        end;
+        if r.r_pos >= r.r_len then begin
+          Failpoint.hit "scrub.region";
+          cur.stages <- List.tl cur.stages;
+          if Crc32.value r.r_acc = r.r_crc then
+            cur.c_ok <- r.r_name :: cur.c_ok
+          else begin
+            cur.c_bad <- r.r_name :: cur.c_bad;
+            (* localize where the format allows it; directory / offset
+               damage has no finer grain than the region *)
+            match r.r_name with
+            | "postings" -> cur.stages <- cur.stages @ [ Slots ]
+            | "ts_trees" ->
+                cur.stages <- cur.stages @ [ Trees (ref 0) ]
+            | _ -> ()
+          end
+        end
+    | Slots ->
+        (* one burst (the walk decodes key-by-key but shares the scan
+           state); charged as the whole postings region *)
+        cur.stages <- List.tl cur.stages;
+        (match Builder.scrub_slots index with
+        | bad -> cur.c_bad_keys <- cur.c_bad_keys @ bad
+        | exception Si_error.Error _ ->
+            (* the directory itself cannot be walked — already reported
+               as a bad region when its CRC failed; if it passed CRC but
+               is structurally hostile, report it now *)
+            if not (List.mem "keydir" cur.c_bad) then
+              cur.c_bad <- "keydir" :: cur.c_bad);
+        List.iter
+          (fun (name, _, len, _) ->
+            if name = "postings" then spent := !spent + len)
+          (Builder.scrub_regions index)
+    | Trees next ->
+        let s = Option.get store in
+        let n = Treestore.length s in
+        let _, _, tlen, _ = List.nth (Treestore.scrub_regions s) 1 in
+        let per_tree = (tlen / max 1 n) + 1 in
+        while !next < n && not (exhausted ()) do
+          (match Treestore.scrub_decode s !next with
+          | Ok () -> ()
+          | Error _ -> cur.c_bad_trees <- cur.c_bad_trees @ [ !next ]);
+          spent := !spent + per_tree;
+          incr next
+        done;
+        if !next >= n then cur.stages <- List.tl cur.stages);
+    if exhausted () then continue := false
+  done;
+  let complete = cur.stages = [] in
+  let report =
+    {
+      bytes_verified = !spent;
+      regions_ok = List.rev cur.c_ok;
+      bad_regions = List.rev cur.c_bad;
+      bad_keys = cur.c_bad_keys;
+      bad_trees = cur.c_bad_trees;
+      complete;
+      clean = complete && cur.c_bad = [] && cur.c_bad_keys = [] && cur.c_bad_trees = [];
+    }
+  in
+  if complete then commit_clean cur ~index ~store;
+  report

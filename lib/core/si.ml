@@ -27,6 +27,47 @@ type delta = {
 let empty_delta space =
   { d_docs = [||]; d_index = None; d_corpus = Corpus.of_array [||]; d_space = space }
 
+(* Self-healing integrity state (DESIGN.md §15).  One record per handle,
+   shared by functional copies ([{ t with ... }]): the quarantine flag is
+   read lock-free on every query, everything else mutates under [i_lock].
+
+   Quarantine is whole-index: the SIDX4 postings region carries one CRC,
+   so once any posting bytes are untrusted the only per-key information
+   is which keys {e fail to decode} — not which decode to silently wrong
+   answers.  Falling back to the corpus store for every key is the only
+   answer that stays exact, and it is what makes the fallback ≡ oracle
+   differential hold.  [bad_keys]/[bad_trees] are the scrub's localized
+   damage — counters and repair-threshold inputs, not trust boundaries. *)
+type integrity = {
+  quarantined : bool Atomic.t;
+      (* the index's own bytes are untrusted: answer from the corpus *)
+  repairing : bool Atomic.t;
+  i_lock : Mutex.t;
+  mutable bad_keys : string list;
+  mutable bad_trees : int list;
+  mutable fallbacks : int;  (* queries answered by the fallback path *)
+  mutable scrub_passes : int;
+  mutable scrub_bytes : int;
+  mutable repairs : int;
+  mutable repair_failures : int;
+  i_cursor : Scrub.cursor;
+}
+
+let fresh_integrity () =
+  {
+    quarantined = Atomic.make false;
+    repairing = Atomic.make false;
+    i_lock = Mutex.create ();
+    bad_keys = [];
+    bad_trees = [];
+    fallbacks = 0;
+    scrub_passes = 0;
+    scrub_bytes = 0;
+    repairs = 0;
+    repair_failures = 0;
+    i_cursor = Scrub.cursor ();
+  }
+
 type t = {
   index : Builder.t;
   corpus : Corpus.t;
@@ -46,6 +87,7 @@ type t = {
   delta : delta Atomic.t;
   wal : Wal.t option ref;  (* append handle, opened by the first [insert] *)
   ilock : Mutex.t;  (* serializes insert / checkpoint / WAL access *)
+  integ : integrity;  (* quarantine / scrub / repair state, shared by copies *)
 }
 
 type format = [ `Sidx3 | `Sidx4 ]
@@ -200,6 +242,7 @@ let make_handle ~index ~corpus ~cache ~prefix space =
     delta;
     wal = ref None;
     ilock = Mutex.create ();
+    integ = fresh_integrity ();
   }
 
 let build ?(domains = 1) ?cache_budget ?format ~scheme ~mss ~trees ?prefix () =
@@ -535,6 +578,132 @@ let close_wal t =
           t.wal := None
       | None -> ())
 
+(* ---- scrub / repair (DESIGN.md §15) ------------------------------------- *)
+
+(* One budgeted scrub pass over the handle's lazily-verified regions.
+   Folding the report into the quarantine is the policy half the engine
+   deliberately lacks: index-region or per-key damage quarantines the
+   handle (its bytes are untrusted, queries switch to the corpus
+   fallback); corpus-store damage is reported but cannot quarantine —
+   the store is the source of truth and the fallback needs it too. *)
+let scrub ?budget t =
+  let r =
+    Scrub.pass ?budget t.integ.i_cursor ~index:t.index
+      ~store:(Corpus.store t.corpus)
+  in
+  Mutex.protect t.integ.i_lock (fun () ->
+      t.integ.scrub_passes <- t.integ.scrub_passes + 1;
+      t.integ.scrub_bytes <- t.integ.scrub_bytes + r.Scrub.bytes_verified;
+      if r.Scrub.complete then begin
+        t.integ.bad_keys <- r.Scrub.bad_keys;
+        t.integ.bad_trees <- r.Scrub.bad_trees
+      end);
+  let index_bad =
+    r.Scrub.bad_keys <> []
+    || List.exists
+         (fun n -> n = "kindex" || n = "keydir" || n = "postings")
+         r.Scrub.bad_regions
+  in
+  if index_bad then Atomic.set t.integ.quarantined true;
+  r
+
+(* Rebuild the index from the source of truth — the corpus store plus the
+   delta (which holds every WAL record, replayed at open or inserted
+   live) — and publish it through the §9 staged-rename protocol.  Unlike
+   {!checkpoint}, nothing is merged from the old postings: the damaged
+   index contributes no bytes to the new one.  Crash windows mirror the
+   checkpoint's: before the publish renames the old set + WAL answer as
+   before; mid-rename the [.meta] idx_crc refuses the mixed set; after
+   the publish a leftover WAL replays records the new index already
+   covers (skipped by tid).  The in-memory handle still maps the old
+   bytes afterwards (and keeps its quarantine): reopen the prefix — the
+   server rides this through the refcounted generation swap — to serve
+   the repaired index. *)
+let repair t =
+  let prefix = require_prefix t "repair" in
+  Atomic.set t.integ.repairing true;
+  let r =
+    Si_error.guard @@ fun () ->
+    Fun.protect
+      ~finally:(fun () -> Atomic.set t.integ.repairing false)
+    @@ fun () ->
+    Mutex.protect t.ilock @@ fun () ->
+    Failpoint.hit "si.repair.rebuild";
+    let d = Atomic.get t.delta in
+    let main_docs = Corpus.to_array t.corpus in
+    let all_docs = Array.append main_docs d.d_docs in
+    let label_id l =
+      match Hashtbl.find_opt d.d_space.ids (Label.name l) with
+      | Some id -> id
+      | None -> raise Not_found
+    in
+    let index =
+      Builder.build ~scheme:t.index.Builder.scheme ~mss:t.index.Builder.mss
+        ~label_id all_docs
+    in
+    let all_trees =
+      Array.to_list (Array.map (fun doc -> doc.Annotated.tree) all_docs)
+    in
+    let staged = { t with index; corpus = Corpus.of_array all_docs } in
+    Failpoint.hit "si.repair.publish";
+    (try
+       save ~format:(format t)
+         ~labels:(Array.to_list d.d_space.names)
+         staged prefix all_trees
+     with Sys_error what ->
+       raise (Si_error.Error (Si_error.Io { path = prefix; what })));
+    Failpoint.hit "si.repair.wal-truncate";
+    (* the delta is folded into the published index: drop the WAL (same
+       crash window as the checkpoint's — published-but-untruncated
+       records replay as no-ops, skipped by tid) *)
+    (if
+       Sys.file_exists (Wal.path prefix)
+       && (try (Unix.stat (Wal.path prefix)).Unix.st_size > 8
+           with Unix.Unix_error _ -> false)
+     then
+       let w = wal_handle t prefix in
+       Wal.truncate w);
+    Array.length all_docs
+  in
+  Mutex.protect t.integ.i_lock (fun () ->
+      match r with
+      | Ok _ -> t.integ.repairs <- t.integ.repairs + 1
+      | Error _ -> t.integ.repair_failures <- t.integ.repair_failures + 1);
+  r
+
+(* ---- integrity introspection -------------------------------------------- *)
+
+type integrity_state = [ `Ok | `Degraded | `Repairing ]
+
+type integrity_stats = {
+  state : integrity_state;
+  quarantined_keys : int;
+  quarantined_trees : int;
+  fallback_answers : int;
+  scrub_passes : int;
+  scrub_bytes : int;
+  repairs : int;
+  repair_failures : int;
+}
+
+let quarantined t = Atomic.get t.integ.quarantined
+
+let integrity t =
+  Mutex.protect t.integ.i_lock @@ fun () ->
+  {
+    state =
+      (if Atomic.get t.integ.repairing then `Repairing
+       else if Atomic.get t.integ.quarantined then `Degraded
+       else `Ok);
+    quarantined_keys = List.length t.integ.bad_keys;
+    quarantined_trees = List.length t.integ.bad_trees;
+    fallback_answers = t.integ.fallbacks;
+    scrub_passes = t.integ.scrub_passes;
+    scrub_bytes = t.integ.scrub_bytes;
+    repairs = t.integ.repairs;
+    repair_failures = t.integ.repair_failures;
+  }
+
 (* ---- query paths -------------------------------------------------------- *)
 
 let delta_arg t =
@@ -543,15 +712,111 @@ let delta_arg t =
   | None -> None
   | Some di -> Some (di, d.d_corpus, Corpus.length t.corpus)
 
+(* ---- integrity quarantine + corpus fallback (DESIGN.md §15) ------------- *)
+
+(* Only damage to the index's {e own} bytes is containable: the index is
+   derived data, reconstructible from the corpus.  Corpus-store damage
+   ([.trees]) is damage to the source of truth — it propagates as the
+   error it is, because the fallback below could not answer exactly
+   either. *)
+let is_index_error t e =
+  match Si_error.corrupt_path e with
+  | Some path -> path = t.index.Builder.origin && path <> "<memory>"
+  | None -> false
+
+(* A query just decoded corrupt index bytes: quarantine the handle so
+   this is the last query the damage ever touches (the discovering query
+   itself re-answers through the fallback). *)
+let note_corrupt t e =
+  if is_index_error t e then begin
+    Atomic.set t.integ.quarantined true;
+    true
+  end
+  else false
+
+(* The quarantine answer path: match every corpus tree directly (the
+   oracle's evaluation, governed by the query's {!Limits} gauge).  Exact
+   — identical to the index answer — just slower; under budget pressure
+   it degrades to a truncated subset exactly like the index path.  Every
+   outcome carries [degraded = true] (the wire's [degraded=integrity]).
+
+   Trees decode through {!Corpus.get}: for a mapped corpus that is the
+   [.trees] store's defensive, memoized decode — damage there surfaces
+   as the [Corrupt] it is. *)
+let fallback_eval ?(limits = Limits.none) ?shared t q =
+  let limits =
+    match shared with Some sh -> Limits.shared_limits sh | None -> limits
+  in
+  let ctx =
+    match shared with
+    | Some sh -> Limits.start_shared sh
+    | None -> Limits.start limits
+  in
+  let d = Atomic.get t.delta in
+  let n = Corpus.length t.corpus in
+  let total = n + Array.length d.d_docs in
+  let acc = ref [] in
+  let finish truncated =
+    let matches =
+      match ctx with Some c -> Limits.collected c | None -> List.rev !acc
+    in
+    { Limits.matches; truncated; degraded = true }
+  in
+  match
+    for tid = 0 to total - 1 do
+      let doc = if tid < n then Corpus.get t.corpus tid else d.d_docs.(tid - n) in
+      (match ctx with
+      | Some c ->
+          Limits.step c;
+          Limits.charge_decode c (Annotated.size doc)
+      | None -> ());
+      List.iter
+        (fun node ->
+          match ctx with
+          | Some c -> Limits.emit c (tid, node)
+          | None -> acc := (tid, node) :: !acc)
+        (Si_query.Matcher.roots doc q)
+    done
+  with
+  | () -> finish false
+  | exception Limits.Truncated -> finish true
+  | exception
+      Si_error.Error (Si_error.Timeout _ | Si_error.Resource_exhausted _)
+    when limits.Limits.partial ->
+      finish true
+
+let fallback_outcome ?limits ?shared t q =
+  let r = Si_error.guard (fun () -> fallback_eval ?limits ?shared t q) in
+  (match r with
+  | Ok _ ->
+      Mutex.protect t.integ.i_lock (fun () ->
+          t.integ.fallbacks <- t.integ.fallbacks + 1)
+  | Error _ -> ());
+  r
+
+(* Every AST-level query of a single handle funnels through here — the
+   string paths, {!query_batch} slots and sharded legs included — so a
+   quarantined handle answers from the corpus on all of them. *)
+let outcome_ast ~cache ?limits ?shared t q =
+  if Atomic.get t.integ.quarantined then fallback_outcome ?limits ?shared t q
+  else
+    match
+      Eval.run_outcome ~index:t.index ~corpus:t.corpus ~label_id:t.label_id
+        ~cache ?delta:(delta_arg t) ?limits ?shared q
+    with
+    | Error e when note_corrupt t e ->
+        (* the discovering query is contained too: answer it *)
+        fallback_outcome ?limits ?shared t q
+    | r -> r
+
 let query_ast ?limits t q =
-  Eval.run ~index:t.index ~corpus:t.corpus ~label_id:t.label_id ~cache:t.cache
-    ?delta:(delta_arg t) ?limits q
+  Result.map
+    (fun (o : Limits.outcome) -> o.Limits.matches)
+    (outcome_ast ~cache:t.cache ?limits t q)
 
 let outcome_with ~cache ?limits t s =
   match Si_query.Parser.parse s with
-  | Ok q ->
-      Eval.run_outcome ~index:t.index ~corpus:t.corpus ~label_id:t.label_id
-        ~cache ?delta:(delta_arg t) ?limits q
+  | Ok q -> outcome_ast ~cache ?limits t q
   | Error e -> Error (Si_error.Bad_query e)
 
 let query_outcome ?limits t s = outcome_with ~cache:t.cache ?limits t s
@@ -906,13 +1171,13 @@ let query_outcome_sharded ?(limits = Limits.none) ?(degrade = false) sh s =
       let shared = Limits.share limits in
       let tasks =
         Array.mapi
-          (fun i t ->
+          (fun i (t : t) ->
             Pool.submit sh.sh_pool ~worker:i (fun () ->
                 try
                   Failpoint.hit (Printf.sprintf "si.shard.eval.%d" i);
-                  Eval.run_outcome ~index:t.index ~corpus:t.corpus
-                    ~label_id:t.label_id ~cache:t.cache ?delta:(delta_arg t)
-                    ~limits ?shared q
+                  (* the shared funnel: a quarantined member answers its
+                     leg from the corpus (degraded), not with an error *)
+                  outcome_ast ~cache:t.cache ~limits ?shared t q
                 with Sys_error what ->
                   Error
                     (Si_error.Io
@@ -933,13 +1198,14 @@ let query_outcome_sharded ?(limits = Limits.none) ?(degrade = false) sh s =
          have matched is already mapped *)
       let l2g = Array.map Atomic.get sh.sh_l2g in
       Si_error.guard @@ fun () ->
-      let failed = ref [] and truncated = ref false in
+      let failed = ref [] and truncated = ref false and degraded = ref false in
       let lists =
         Array.mapi
           (fun i leg ->
             match leg with
             | Ok (o : Limits.outcome) ->
                 if o.Limits.truncated then truncated := true;
+                if o.Limits.degraded then degraded := true;
                 remap_shard ~prefix:sh.sh_prefix i l2g.(i) o.Limits.matches
             | Error e ->
                 if not degrade then raise (Si_error.Error e);
@@ -960,6 +1226,7 @@ let query_outcome_sharded ?(limits = Limits.none) ?(degrade = false) sh s =
           {
             Limits.matches;
             truncated = !truncated || capped || failed <> [];
+            degraded = !degraded;
           };
         so_failed = failed;
       }
@@ -1075,3 +1342,55 @@ let sentence_sharded sh g =
   if !found < 0 then
     invalid_arg (Printf.sprintf "Si.sentence_sharded: no tree %d" g)
   else sentence sh.sh_shards.(s) !found
+
+(* ---- sharded scrub / repair / integrity --------------------------------- *)
+
+let scrub_sharded ?budget sh = Array.map (scrub ?budget) sh.sh_shards
+
+let repair_sharded ?shard sh =
+  Si_error.guard @@ fun () ->
+  Mutex.protect sh.sh_lock @@ fun () ->
+  let one i =
+    match repair sh.sh_shards.(i) with
+    | Ok n -> n
+    | Error e -> raise (Si_error.Error e)
+  in
+  match shard with
+  | Some i ->
+      if i < 0 || i >= Array.length sh.sh_shards then
+        invalid_arg (Printf.sprintf "Si.repair_sharded: no shard %d" i);
+      one i
+  | None ->
+      let total = ref 0 in
+      Array.iteri (fun i _ -> total := !total + one i) sh.sh_shards;
+      !total
+
+let quarantined_shards sh =
+  let out = ref [] in
+  Array.iteri
+    (fun i t -> if quarantined t then out := i :: !out)
+    sh.sh_shards;
+  List.rev !out
+
+let integrity_sharded sh =
+  let per = Array.map integrity sh.sh_shards in
+  let worst =
+    Array.fold_left
+      (fun acc s ->
+        match (acc, s.state) with
+        | `Repairing, _ | _, `Repairing -> `Repairing
+        | `Degraded, _ | _, `Degraded -> `Degraded
+        | `Ok, `Ok -> `Ok)
+      `Ok per
+  in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 per in
+  {
+    state = worst;
+    quarantined_keys = sum (fun s -> s.quarantined_keys);
+    quarantined_trees = sum (fun s -> s.quarantined_trees);
+    fallback_answers = sum (fun s -> s.fallback_answers);
+    scrub_passes = sum (fun s -> s.scrub_passes);
+    scrub_bytes = sum (fun s -> s.scrub_bytes);
+    repairs = sum (fun s -> s.repairs);
+    repair_failures = sum (fun s -> s.repair_failures);
+  }

@@ -213,6 +213,65 @@ val format : t -> format
 val sentence : t -> int -> Si_treebank.Tree.t
 (** The indexed tree with id [tid] — main corpus or delta. *)
 
+(** {1 Self-healing integrity (DESIGN.md §15)}
+
+    The SIDX4 open defers region CRC verification to first use, moving
+    corruption discovery to query time.  Three mechanisms close the
+    loop:
+
+    {b Quarantine.}  A query that decodes corrupt bytes belonging to the
+    index's {e own} file quarantines the handle instead of erroring:
+    this and every subsequent query answers from the corpus store (the
+    source of truth) through the brute-force matcher — exact, slower —
+    with [outcome.degraded = true]; under budget pressure the fallback
+    degrades to a truncated subset exactly like the index path (the §10
+    contract, extended).  Corpus-store ([.trees]) damage is {e not}
+    quarantinable — the fallback needs those bytes too — and propagates
+    as [Corrupt].
+
+    {b Scrub.}  {!scrub} proactively verifies the lazily-checked regions
+    under a budget, resuming across calls, localizing postings damage to
+    keys and trees damage to tids, and quarantining on index damage —
+    so corruption is found between queries, not by one.
+
+    {b Repair.}  {!repair} rebuilds the index purely from corpus + delta
+    (never the damaged postings) and publishes through the §9
+    staged-rename protocol; the prefix then reopens clean.  Servers ride
+    the reopen through the generation swap — zero dropped queries. *)
+
+val quarantined : t -> bool
+(** Lock-free: is the handle answering from the corpus fallback? *)
+
+val scrub : ?budget:Scrub.budget -> t -> Scrub.report
+(** One budgeted scrub pass ({!Scrub.pass}) over the handle's index and
+    corpus store, folding the verdict into the quarantine and the
+    {!integrity} counters.  Never raises on corrupt bytes. *)
+
+val repair : t -> (int, Si_error.t) result
+(** Rebuild and republish the prefix from the corpus store + delta.
+    [Ok n] = trees in the repaired index.  The in-memory handle still
+    maps the {e old} bytes afterwards (and keeps its quarantine): reopen
+    the prefix to serve the repaired index.  Raises [Invalid_argument]
+    on a handle with no on-disk prefix.  Failpoints:
+    [si.repair.rebuild], [si.repair.publish], [si.repair.wal-truncate];
+    every kill window leaves a loadable prefix (the recovery harness
+    asserts this). *)
+
+type integrity_state = [ `Ok | `Degraded | `Repairing ]
+
+type integrity_stats = {
+  state : integrity_state;
+  quarantined_keys : int;  (** scrub-localized undecodable postings *)
+  quarantined_trees : int;  (** scrub-localized undecodable tree records *)
+  fallback_answers : int;  (** queries answered by the corpus fallback *)
+  scrub_passes : int;
+  scrub_bytes : int;  (** bytes verified across all scrub passes *)
+  repairs : int;
+  repair_failures : int;
+}
+
+val integrity : t -> integrity_stats
+
 (** {1 Sharded handles (DESIGN.md §14)}
 
     One logical index split across [shards] per-shard prefixes
@@ -333,6 +392,22 @@ val close_wal_sharded : sharded -> unit
 val oracle_sharded : sharded -> Si_query.Ast.t -> (int * int) list
 (** Brute force over every shard's corpus + delta, remapped to global
     tids — the sharded reference answer. *)
+
+val scrub_sharded : ?budget:Scrub.budget -> sharded -> Scrub.report array
+(** One budgeted {!scrub} pass per member shard (each gets the full
+    budget), in shard order. *)
+
+val repair_sharded : ?shard:int -> sharded -> (int, Si_error.t) result
+(** {!repair} one member shard (or all, default), serialized with the
+    sharded write lock.  A repaired member is served after
+    {!reopen_shard} flips it in. *)
+
+val quarantined_shards : sharded -> int list
+(** Indexes of member shards currently answering from the fallback —
+    what [HEALTH] reports as integrity degradation. *)
+
+val integrity_sharded : sharded -> integrity_stats
+(** Fold of the members' {!integrity}: worst state, summed counters. *)
 
 val sentence_sharded : sharded -> int -> Si_treebank.Tree.t
 (** The tree with {e global} id [g] — routed to its shard, binary-

@@ -35,6 +35,9 @@ let exit_code = function
   | Resource_exhausted _ -> 7
   | Internal _ -> 8
 
+let is_corrupt = function Corrupt _ -> true | _ -> false
+let corrupt_path = function Corrupt { path; _ } -> Some path | _ -> None
+
 let raise_corrupt ~path ~offset what = raise (Error (Corrupt { path; offset; what }))
 let raise_io ~path what = raise (Error (Io { path; what }))
 let raise_schema ~path what = raise (Error (Schema_mismatch { path; what }))

@@ -51,6 +51,17 @@ val exit_code : t -> int
     [Schema_mismatch] → 5, [Timeout] → 6, [Resource_exhausted] → 7,
     [Internal] → 8.  (0 = success, 1 = oracle mismatch.) *)
 
+val is_corrupt : t -> bool
+(** [true] exactly for [Corrupt _] — the one variant the integrity
+    quarantine ({!Si}) may contain and self-heal; every other variant
+    propagates unchanged. *)
+
+val corrupt_path : t -> string option
+(** The damaged file's path when {!is_corrupt}, [None] otherwise — the
+    quarantine keys on it to distinguish index damage (repairable from
+    the corpus store) from corpus-store damage (the source of truth,
+    not repairable in place). *)
+
 val raise_corrupt : path:string -> offset:int -> string -> 'a
 val raise_io : path:string -> string -> 'a
 val raise_schema : path:string -> string -> 'a

@@ -173,6 +173,17 @@ let crc_state t =
     ("trees", t.trees_len, t.body_verified);
   ]
 
+(* ---- incremental scrub support (DESIGN.md §15) --------------------------- *)
+
+let scrub_regions t =
+  [
+    ("ts_offsets", t.offsets_off, t.offsets_len, t.crc_offsets);
+    ("ts_trees", t.trees_off, t.trees_len, t.crc_trees);
+  ]
+
+let scrub_feed t crc ~off ~len = Crc32.feed_bigsub crc t.map off len
+let scrub_commit t = t.body_verified <- true
+
 (* Rebuild one tree from its DFS record.  The CRC has vouched for the bytes
    by the time we are here, but decoding stays fully defensive anyway: the
    store may have been *written* by a corrupt process, and the fuzzer feeds
@@ -232,6 +243,27 @@ let decode t tid =
     }
   in
   Annotated.of_tree (subtree 0)
+
+(* The scrub's per-tree probe: a bare defensive decode, skipping memo and
+   the whole-region CRC gate, so damage inside a CRC-failing trees region
+   localizes to tids instead of poisoning the whole store. *)
+let scrub_decode t tid =
+  if tid < 0 || tid >= t.ntrees then
+    Error
+      (Si_error.Corrupt
+         {
+           path = t.path;
+           offset = 0;
+           what =
+             Printf.sprintf "tree id %d outside the corpus store of %d trees"
+               tid t.ntrees;
+         })
+  else
+    match decode t tid with
+    | (_ : Annotated.t) -> Ok ()
+    | exception Si_error.Error e -> Error e
+    | exception Coding.Malformed { offset; what } ->
+        Error (Si_error.Corrupt { path = t.path; offset; what })
 
 let get t tid =
   if tid < 0 || tid >= t.ntrees then

@@ -50,3 +50,22 @@ val verify : t -> unit
 
 val crc_state : t -> (string * int * bool) list
 (** Per-region [(name, bytes, verified)] for [stats]. *)
+
+(** {2 Incremental scrub support (DESIGN.md §15)} *)
+
+val scrub_regions : t -> (string * int * int * int) list
+(** The two lazily-verified regions as [(name, offset, length, crc)] in
+    file order: ["ts_offsets"], ["ts_trees"]. *)
+
+val scrub_feed : t -> Crc32.t -> off:int -> len:int -> Crc32.t
+(** Fold [len] mapped bytes at [off] into a running checksum. *)
+
+val scrub_commit : t -> unit
+(** Mark the lazy body verification done (the scrub proved {e both}
+    region CRCs out of band — call only after ts_offsets and ts_trees
+    both passed). *)
+
+val scrub_decode : t -> int -> (unit, Si_error.t) result
+(** Defensively decode tree [tid] without the whole-region CRC gate or
+    the memo — the scrub's damage localizer for a CRC-failing trees
+    region. *)

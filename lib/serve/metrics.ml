@@ -21,6 +21,11 @@ type t = {
   mutable inserts : int;
   mutable checkpoints : int;
   mutable checkpoint_failures : int;
+  mutable integrity_fallbacks : int;
+  mutable scrub_passes : int;
+  mutable scrub_bytes : int;
+  mutable repairs : int;
+  mutable repair_failures : int;
   mutable inflight : int;
   ring : float array;  (* last [ring_size] query latencies, ns *)
   mutable ring_len : int;
@@ -47,6 +52,11 @@ let create () =
     inserts = 0;
     checkpoints = 0;
     checkpoint_failures = 0;
+    integrity_fallbacks = 0;
+    scrub_passes = 0;
+    scrub_bytes = 0;
+    repairs = 0;
+    repair_failures = 0;
     inflight = 0;
     ring = Array.make ring_size 0.;
     ring_len = 0;
@@ -66,7 +76,10 @@ type counter =
   | `Swap_failure
   | `Insert
   | `Checkpoint
-  | `Checkpoint_failure ]
+  | `Checkpoint_failure
+  | `Integrity_fallback
+  | `Repair
+  | `Repair_failure ]
 
 let bump t c =
   Mutex.protect t.lock (fun () ->
@@ -84,7 +97,16 @@ let bump t c =
       | `Insert -> t.inserts <- t.inserts + 1
       | `Checkpoint -> t.checkpoints <- t.checkpoints + 1
       | `Checkpoint_failure ->
-          t.checkpoint_failures <- t.checkpoint_failures + 1)
+          t.checkpoint_failures <- t.checkpoint_failures + 1
+      | `Integrity_fallback ->
+          t.integrity_fallbacks <- t.integrity_fallbacks + 1
+      | `Repair -> t.repairs <- t.repairs + 1
+      | `Repair_failure -> t.repair_failures <- t.repair_failures + 1)
+
+let scrub_done t ~bytes =
+  Mutex.protect t.lock (fun () ->
+      t.scrub_passes <- t.scrub_passes + 1;
+      t.scrub_bytes <- t.scrub_bytes + bytes)
 
 let query_done t ~ok ~truncated ~latency_ns =
   Mutex.protect t.lock (fun () ->
@@ -117,7 +139,8 @@ let quantile sorted p =
   if n = 0 then 0.
   else sorted.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
 
-let serving_json t ~gen ~prefix ~draining ~workers =
+let serving_json t ~gen ~prefix ~draining ~integrity_state ~quarantined
+    ~workers =
   let snap =
     Mutex.protect t.lock (fun () ->
         (Array.sub t.ring 0 t.ring_len, { t with lock = t.lock }))
@@ -169,6 +192,17 @@ let serving_json t ~gen ~prefix ~draining ~workers =
             ("inserts", Jsonx.Int c.inserts);
             ("checkpoints", Jsonx.Int c.checkpoints);
             ("checkpoint_failures", Jsonx.Int c.checkpoint_failures);
+          ] );
+      ( "integrity",
+        Jsonx.Obj
+          [
+            ("state", Jsonx.Str integrity_state);
+            ("quarantined", Jsonx.Int quarantined);
+            ("fallback_answers", Jsonx.Int c.integrity_fallbacks);
+            ("scrub_passes", Jsonx.Int c.scrub_passes);
+            ("scrub_bytes", Jsonx.Int c.scrub_bytes);
+            ("repairs", Jsonx.Int c.repairs);
+            ("repair_failures", Jsonx.Int c.repair_failures);
           ] );
       ( "latency_ns",
         Jsonx.Obj

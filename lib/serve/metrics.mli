@@ -35,9 +35,20 @@ type counter =
   | `Insert  (** INSERT accepted: tree WAL-appended and live in the delta *)
   | `Checkpoint  (** delta folded into a new main set and swapped in *)
   | `Checkpoint_failure
-    (** checkpoint merge/publish/swap aborted; WAL + delta still serve *) ]
+    (** checkpoint merge/publish/swap aborted; WAL + delta still serve *)
+  | `Integrity_fallback
+    (** QUERY answered by the oracle fallback over the corpus store
+        because the index is quarantined (exact, slower) *)
+  | `Repair  (** completed integrity repair: rebuilt, published, swapped *)
+  | `Repair_failure
+    (** repair aborted; the quarantined generation keeps serving via
+        the fallback *) ]
 
 val bump : t -> counter -> unit
+
+val scrub_done : t -> bytes:int -> unit
+(** Account one completed scrub pass (background or [SCRUB] verb) and
+    the bytes it verified. *)
 
 val query_done : t -> ok:bool -> truncated:bool -> latency_ns:float -> unit
 (** Account one evaluated QUERY (admitted ones only — rejections are
@@ -61,14 +72,18 @@ val serving_json :
   gen:int ->
   prefix:string ->
   draining:bool ->
+  integrity_state:string ->
+  quarantined:int ->
   workers:Jsonx.t list ->
   Jsonx.t
 (** The ["serving"] object: uptime, qps (evaluated queries / uptime),
     in-flight gauge, connection/request/rejection counters, swap
     counters and current generation, WAL counters (inserts,
-    checkpoints, checkpoint failures), latency percentiles over the
-    reservoir snapshot, and the per-worker objects supplied by the
-    server (queries, errors, busy time, per-domain cache counters). *)
+    checkpoints, checkpoint failures), an ["integrity"] object
+    ([state]/[quarantined] as supplied by the server plus the fallback,
+    scrub and repair counters), latency percentiles over the reservoir
+    snapshot, and the per-worker objects supplied by the server
+    (queries, errors, busy time, per-domain cache counters). *)
 
 val index_json : Si_core.Si.t -> Jsonx.t
 (** The ["index"] object: scheme, mss, trees, nodes, keys, postings,

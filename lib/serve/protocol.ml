@@ -17,6 +17,8 @@ type request =
   | Health
   | Swap of string
   | Swap_shard of int  (* per-shard zero-downtime flip *)
+  | Scrub of bool  (* [SCRUB [repair=1]] — one budgeted integrity pass *)
+  | Repair of int option  (* [REPAIR [shard=K]] — rebuild from the corpus *)
   | Quit
   | Shutdown
 
@@ -130,6 +132,16 @@ let parse line =
           | Some (Error _ as e) -> e
           | None -> Ok (Swap arg))
       | "SWAP", _ -> Error "SWAP wants one index prefix or shard=K"
+      | "SCRUB", [] -> Ok (Scrub false)
+      | "SCRUB", [ "repair=1" ] -> Ok (Scrub true)
+      | "SCRUB", _ -> Error "SCRUB takes no argument or repair=1"
+      | "REPAIR", [] -> Ok (Repair None)
+      | "REPAIR", [ arg ] -> (
+          match shard_arg arg with
+          | Some (Ok k) -> Ok (Repair (Some k))
+          | Some (Error _ as e) -> e
+          | None -> Error "REPAIR takes no argument or shard=K")
+      | "REPAIR", _ :: _ -> Error "REPAIR takes no argument or shard=K"
       | "QUIT", [] -> Ok Quit
       | "SHUTDOWN", [] -> Ok Shutdown
       | ("STATS" | "HEALTH" | "QUIT" | "SHUTDOWN"), _ :: _ ->

@@ -15,6 +15,12 @@
     HEALTH                         one-line key=value liveness summary
     SWAP <prefix>                  hot-swap to the index at <prefix>
     SWAP shard=K                   reopen member shard K and flip
+    SCRUB [repair=1]               one budgeted integrity pass over the
+                                   lazily-verified regions; with
+                                   repair=1, repair + swap if it (or a
+                                   query before it) found index damage
+    REPAIR [shard=K]               rebuild the index (or member shard K)
+                                   from the corpus store and swap to it
     QUIT                           close this connection
     SHUTDOWN                       begin graceful server drain
     v}
@@ -62,6 +68,15 @@ type request =
   | Swap_shard of int
       (** [SWAP shard=K] — per-shard zero-downtime flip: reopen member
           shard [k] from disk and flip the generation pointer *)
+  | Scrub of bool
+      (** [SCRUB [repair=1]] — run one budgeted scrub pass now (the same
+          pass the background scrubber runs); answers
+          [OK state=<ok|degraded|repairing> ...].  With [repair=1], a
+          quarantined index is repaired and swapped in the same request. *)
+  | Repair of int option
+      (** [REPAIR [shard=K]] — rebuild the index (or one member shard)
+          from the corpus store + WAL delta, publish, and ride the
+          generation swap; answers [OK repaired=<trees> gen=<g>]. *)
   | Quit
   | Shutdown
 
@@ -81,7 +96,9 @@ val ok_query :
   extra:string -> n:int -> truncated:bool -> gen:int -> us:float -> string
 (** The [QUERY] status line.  [extra] is appended verbatim before the
     newline — [""] for a single index, [ shards=N degraded=K] on the
-    sharded path. *)
+    sharded path, plus [ degraded=integrity] when any part of the answer
+    came from the quarantine fallback instead of the index proper (the
+    answer is still exact unless [truncated=1]). *)
 
 val match_line : Buffer.t -> int * int -> unit
 (** Append one [M <tid> <node>] body line. *)

@@ -11,6 +11,9 @@ type config = {
   idle_tick_s : float;
   checkpoint_records : int option;
   checkpoint_bytes : int option;
+  scrub_interval_s : float option;
+  scrub_budget_bytes : int option;
+  auto_repair_threshold : int option;
 }
 
 let default_config ~prefix =
@@ -25,6 +28,9 @@ let default_config ~prefix =
     idle_tick_s = 0.2;
     checkpoint_records = None;
     checkpoint_bytes = None;
+    scrub_interval_s = None;
+    scrub_budget_bytes = None;
+    auto_repair_threshold = None;
   }
 
 (* per-worker counters, written by the owning worker only; STATS reads
@@ -89,6 +95,29 @@ let flip_handle t h =
   | Error _ as e ->
       Metrics.bump t.m `Swap_failure;
       e
+
+(* ---- integrity ---------------------------------------------------------- *)
+
+let state_str = function
+  | `Ok -> "ok"
+  | `Degraded -> "degraded"
+  | `Repairing -> "repairing"
+
+(* (state, quarantined units) of a pinned generation — a unit is the one
+   single handle, or one member shard *)
+let integrity_of h =
+  match h with
+  | Si.Single si ->
+      ((Si.integrity si).Si.state, if Si.quarantined si then 1 else 0)
+  | Si.Sharded sh ->
+      ( (Si.integrity_sharded sh).Si.state,
+        List.length (Si.quarantined_shards sh) )
+
+let integrity_now t =
+  let g = Swap.acquire t.sw in
+  Fun.protect
+    ~finally:(fun () -> Swap.release t.sw g)
+    (fun () -> integrity_of (Swap.handle g))
 
 (* ---- connection plumbing ------------------------------------------------ *)
 
@@ -215,6 +244,16 @@ let handle_query t (ws : wstat) cache_ref fd peer pattern
           | None -> ());
           match r with
           | Ok o ->
+              (* part of the answer came from the quarantine fallback —
+                 still exact unless truncated, but the caller should know
+                 the index proper did not serve it *)
+              let extra =
+                if o.Limits.degraded then begin
+                  Metrics.bump t.m `Integrity_fallback;
+                  extra ^ " degraded=integrity"
+                end
+                else extra
+              in
               Metrics.query_done t.m ~ok:true ~truncated:o.Limits.truncated
                 ~latency_ns:(float_of_int dt);
               let matches = o.Limits.matches in
@@ -319,6 +358,159 @@ let checkpoint_locked t shard =
                           Metrics.bump t.m `Checkpoint;
                           Si.close_wal old_k;
                           Ok (merged, gen)))))
+
+(* ---- integrity repair (SCRUB / REPAIR / background scrub) --------------- *)
+
+(* caller holds [t.ins_lock].  Rebuild from the corpus store + WAL delta,
+   publish through the staged-rename protocol, and ride the generation
+   swap — the shape of {!checkpoint_locked}, with {!Si.repair} in place
+   of the WAL fold.  [shard = Some k] repairs one member shard and flips
+   via {!flip_handle}; the other members keep serving untouched. *)
+let repair_locked t shard =
+  let g = Swap.acquire t.sw in
+  Fun.protect
+    ~finally:(fun () -> Swap.release t.sw g)
+    (fun () ->
+      let fail e =
+        Metrics.bump t.m `Repair_failure;
+        Error e
+      in
+      match (Swap.handle g, shard) with
+      | Si.Single _, Some k ->
+          Error
+            (Si_error.Bad_query
+               (Printf.sprintf
+                  "REPAIR shard=%d: the serving index is not sharded" k))
+      | Si.Single si, None -> (
+          match Si.repair si with
+          | Error e -> fail e
+          | Ok trees -> (
+              match swap t (Swap.current_prefix t.sw) with
+              | Error e ->
+                  (* repaired set is published but the flip failed: the
+                     old quarantined generation keeps answering (exactly,
+                     via the fallback) until a later swap succeeds *)
+                  fail e
+              | Ok gen ->
+                  Metrics.bump t.m `Repair;
+                  Si.close_wal si;
+                  Ok (trees, gen)))
+      | Si.Sharded sh, None -> (
+          match Si.repair_sharded sh with
+          | Error e -> fail e
+          | exception Sys_error what ->
+              fail (Si_error.Io { path = Swap.current_prefix t.sw; what })
+          | Ok trees -> (
+              match swap t (Swap.current_prefix t.sw) with
+              | Error e -> fail e
+              | Ok gen ->
+                  Metrics.bump t.m `Repair;
+                  Si.close_wal_sharded sh;
+                  Ok (trees, gen)))
+      | Si.Sharded sh, Some k -> (
+          if k >= Si.shard_count sh then
+            Error
+              (Si_error.Bad_query
+                 (Printf.sprintf "REPAIR shard=%d: index has %d shards" k
+                    (Si.shard_count sh)))
+          else
+            let old_k = (Si.shard_handles sh).(k) in
+            match Si.repair_sharded ~shard:k sh with
+            | Error e -> fail e
+            | exception Sys_error what ->
+                fail (Si_error.Io { path = Swap.current_prefix t.sw; what })
+            | Ok trees -> (
+                match
+                  Si.reopen_shard ?cache_budget:t.cfg.cache_budget sh k
+                with
+                | Error e -> fail e
+                | exception Sys_error what ->
+                    fail
+                      (Si_error.Io { path = Swap.current_prefix t.sw; what })
+                | Ok sh' -> (
+                    match flip_handle t (Si.Sharded sh') with
+                    | Error e -> fail e
+                    | Ok gen ->
+                        Metrics.bump t.m `Repair;
+                        Si.close_wal old_k;
+                        Ok (trees, gen)))))
+
+let handle_repair t fd shard =
+  match Mutex.protect t.ins_lock (fun () -> repair_locked t shard) with
+  | Ok (trees, gen) ->
+      write_all fd (Printf.sprintf "OK repaired=%d gen=%d\n" trees gen)
+  | Error e ->
+      write_all fd
+        (Protocol.err ~code:(Protocol.err_code e) (Si_error.to_string e))
+
+(* one budgeted scrub pass over the serving generation; returns the
+   bytes verified plus whether every member's cycle completed clean *)
+let scrub_once t =
+  let budget = Scrub.budget ?max_bytes:t.cfg.scrub_budget_bytes () in
+  let reports =
+    let g = Swap.acquire t.sw in
+    Fun.protect
+      ~finally:(fun () -> Swap.release t.sw g)
+      (fun () ->
+        match Swap.handle g with
+        | Si.Single si -> [| Si.scrub ~budget si |]
+        | Si.Sharded sh -> Si.scrub_sharded ~budget sh)
+  in
+  let bytes =
+    Array.fold_left (fun a r -> a + r.Scrub.bytes_verified) 0 reports
+  in
+  Metrics.scrub_done t.m ~bytes;
+  ( bytes,
+    Array.for_all (fun r -> r.Scrub.complete) reports,
+    Array.for_all (fun r -> r.Scrub.clean) reports )
+
+let handle_scrub t fd repair =
+  let bytes, complete, clean = scrub_once t in
+  let state, quar = integrity_now t in
+  if repair && quar > 0 then
+    match Mutex.protect t.ins_lock (fun () -> repair_locked t None) with
+    | Ok (trees, gen) ->
+        write_all fd
+          (Printf.sprintf "OK state=repaired quarantined=0 bytes=%d repaired=%d gen=%d\n"
+             bytes trees gen)
+    | Error e ->
+        write_all fd
+          (Protocol.err ~code:(Protocol.err_code e) (Si_error.to_string e))
+  else
+    write_all fd
+      (Printf.sprintf "OK state=%s quarantined=%d bytes=%d complete=%d clean=%d\n"
+         (state_str state) quar bytes
+         (if complete then 1 else 0)
+         (if clean then 1 else 0))
+
+(* the background scrubber's auto-repair trigger: the generation is
+   quarantined and the damage pressure (scrub-localized bad keys plus
+   queries already paying the fallback cost) reached the threshold *)
+let maybe_auto_repair t =
+  match t.cfg.auto_repair_threshold with
+  | None -> ()
+  | Some n when n <= 0 -> ()
+  | Some n ->
+      let pressure =
+        let g = Swap.acquire t.sw in
+        Fun.protect
+          ~finally:(fun () -> Swap.release t.sw g)
+          (fun () ->
+            let _, quar = integrity_of (Swap.handle g) in
+            if quar = 0 then 0
+            else
+              let st =
+                match Swap.handle g with
+                | Si.Single si -> Si.integrity si
+                | Si.Sharded sh -> Si.integrity_sharded sh
+              in
+              max 1 (st.Si.quarantined_keys + st.Si.fallback_answers))
+      in
+      if pressure >= n then
+        (* a failed repair is accounted (`Repair_failure) and retried on
+           a later tick — the quarantined generation keeps serving
+           exactly via the fallback either way *)
+        ignore (Mutex.protect t.ins_lock (fun () -> repair_locked t None))
 
 let over_threshold v = function None -> false | Some n -> n > 0 && v >= n
 
@@ -463,9 +655,11 @@ let stats_json t =
   Fun.protect
     ~finally:(fun () -> Swap.release t.sw g)
     (fun () ->
+      let state, quar = integrity_of (Swap.handle g) in
       let serving =
         Metrics.serving_json t.m ~gen:(Swap.gen_id g)
           ~prefix:(Swap.current_prefix t.sw) ~draining:(stopping t)
+          ~integrity_state:(state_str state) ~quarantined:quar
           ~workers:(worker_json t)
       in
       match Swap.handle g with
@@ -518,11 +712,19 @@ let handle_request t ws cache_ref fd peer line =
           write_all fd ("OK " ^ Jsonx.to_string (stats_json t) ^ "\n");
           `Continue
       | Ok Health ->
+          (* a shard-leg brownout never quarantines, so transient
+             degradation keeps the OK token — only persistent integrity
+             quarantine flips it to DEGRADED *)
+          let state, quar = integrity_now t in
           write_all fd
-            (Printf.sprintf "OK gen=%d uptime_s=%.1f inflight=%d draining=%d\n"
+            (Printf.sprintf
+               "%s gen=%d uptime_s=%.1f inflight=%d draining=%d \
+                integrity=%s quarantined=%d\n"
+               (if state = `Ok then "OK" else "DEGRADED")
                (Swap.current_id t.sw) (Metrics.uptime_s t.m)
                (Metrics.inflight t.m)
-               (if stopping t then 1 else 0));
+               (if stopping t then 1 else 0)
+               (state_str state) quar);
           `Continue
       | Ok (Swap prefix) ->
           (match swap t prefix with
@@ -537,6 +739,18 @@ let handle_request t ws cache_ref fd peer line =
             write_all fd
               (Protocol.err ~code:"shutting_down" "server is draining")
           else handle_swap_shard t fd k;
+          `Continue
+      | Ok (Scrub repair) ->
+          if stopping t then
+            write_all fd
+              (Protocol.err ~code:"shutting_down" "server is draining")
+          else handle_scrub t fd repair;
+          `Continue
+      | Ok (Repair shard) ->
+          if stopping t then
+            write_all fd
+              (Protocol.err ~code:"shutting_down" "server is draining")
+          else handle_repair t fd shard;
           `Continue
       | Ok Quit ->
           write_all fd "OK bye\n";
@@ -585,6 +799,31 @@ let worker_loop t i =
     | Some (fd, peer) ->
         handle_conn t ws fd peer;
         go ()
+  in
+  go ()
+
+(* the background scrubber: one budgeted pass every [scrub_interval_s],
+   sleeping in [idle_tick_s] slices so a drain stops it promptly.  A
+   crashed pass never kills the domain — scrub is advisory; the query
+   path discovers damage on its own either way. *)
+let scrubber_loop t interval =
+  let rec go () =
+    if stopping t then ()
+    else begin
+      let slept = ref 0. in
+      while (not (stopping t)) && !slept < interval do
+        let tick = Float.min t.cfg.idle_tick_s (interval -. !slept) in
+        Unix.sleepf tick;
+        slept := !slept +. tick
+      done;
+      if not (stopping t) then begin
+        (try
+           ignore (scrub_once t);
+           maybe_auto_repair t
+         with _ -> ());
+        go ()
+      end
+    end
   in
   go ()
 
@@ -707,7 +946,13 @@ let start cfg =
                 Domain.spawn (fun () -> worker_loop t i))
           in
           let acceptor = Domain.spawn (fun () -> acceptor_loop t) in
-          t.domains <- acceptor :: workers;
+          let scrubber =
+            match cfg.scrub_interval_s with
+            | Some iv when iv > 0. ->
+                [ Domain.spawn (fun () -> scrubber_loop t iv) ]
+            | _ -> []
+          in
+          t.domains <- acceptor :: (scrubber @ workers);
           Ok t)
 
 let join t = List.iter Domain.join t.domains

@@ -33,6 +33,20 @@
     close their connections; {!join} returns once every domain exited.
     In-flight requests are never cut off mid-response.
 
+    Self-healing integrity (DESIGN.md §15): an optional background
+    scrubber domain ([scrub_interval_s]) runs one budgeted
+    {!Si_core.Si.scrub} pass per tick over the serving generation's
+    lazily-verified regions.  A query (or scrub) that finds index
+    corruption quarantines the handle — subsequent queries answer
+    exactly from the corpus-store fallback, marked
+    [degraded=integrity] on the wire — and [HEALTH] flips its first
+    token to [DEGRADED] with [integrity=degraded quarantined=N].  The
+    [SCRUB] and [REPAIR] verbs (and the [auto_repair_threshold]
+    trigger) rebuild the damaged set from the corpus store + WAL delta
+    and ride the repaired index in through the normal generation swap —
+    zero dropped in-flight queries.  Shard-leg brownouts do {e not}
+    quarantine: [HEALTH] stays [OK] through transient failures.
+
     Failpoints on the serving paths: [serve.accept] (connection
     accepted, before enqueue), [serve.parse] (request line read, before
     parsing), and the two swap points documented in {!Swap} — a fired
@@ -53,11 +67,21 @@ type config = {
       (** auto-checkpoint once this many WAL records are pending *)
   checkpoint_bytes : int option;
       (** auto-checkpoint once the WAL file reaches this many bytes *)
+  scrub_interval_s : float option;
+      (** background integrity scrub cadence; [None] = no scrubber *)
+  scrub_budget_bytes : int option;
+      (** per-pass scrub byte budget; [None] = a full cycle per pass *)
+  auto_repair_threshold : int option;
+      (** auto-repair once a quarantined generation's damage pressure
+          (scrub-localized bad keys + fallback-answered queries)
+          reaches this count; [Some 1] = repair on the next scrub tick
+          after any quarantine; [None] = repair only on request *)
 }
 
 val default_config : prefix:string -> config
 (** Port 0, 2 workers, queue of 64, default admission (admit all), no
-    auto-checkpoint thresholds. *)
+    auto-checkpoint thresholds, no background scrubber, no
+    auto-repair. *)
 
 type t
 

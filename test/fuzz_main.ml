@@ -209,6 +209,9 @@ type stats = {
   mutable codec_runs : int;
   mutable sibling_runs : int;
   mutable failpoint_runs : int;
+  mutable scrub_runs : int;
+  mutable scrub_rejected : int;  (** mutated prefix -> clean open error *)
+  mutable scrub_repairs : int;  (** successful repair + oracle-exact reopen *)
 }
 
 (* every query on a surviving index must come back as a result; on a
@@ -414,6 +417,74 @@ let fuzz_failpoint g bases st iter =
     | Ok si -> check_queries iter base si ~oracle_checked:true
   end
 
+(* [scrub] phase (DESIGN.md §15): open a pristine or mutated prefix and
+   drive the integrity scrub through a full cycle under random budgets —
+   it must never raise, a pristine prefix must scrub clean, and a
+   quarantined handle must keep answering oracle-exact via the corpus
+   fallback.  Half the damaged runs then repair: a successful repair must
+   reopen to an oracle-correct index (the rebuild sources the corpus, so
+   even an unchecksummed V1 mutation repairs to the truth). *)
+
+let fuzz_scrub g bases st iter =
+  let base = Prng.pick g bases in
+  restore base;
+  st.scrub_runs <- st.scrub_runs + 1;
+  let mutated_ext =
+    match Prng.int g 3 with
+    | 0 -> None
+    | _ ->
+        Some
+          (if base.version = V4 && Prng.int g 3 = 0 then ".trees" else ".idx")
+  in
+  let changed =
+    match mutated_ext with
+    | None -> false
+    | Some ext ->
+        let pristine = List.assoc ext base.files in
+        let mutated = mutate g pristine in
+        write_file (base.scratch ^ ext) mutated;
+        not (String.equal mutated pristine)
+  in
+  match Si.open_ base.scratch with
+  | Error _ -> st.scrub_rejected <- st.scrub_rejected + 1
+  | Ok si -> (
+      let budget =
+        if Prng.int g 2 = 0 then None
+        else Some (Scrub.budget ~max_bytes:(1 + Prng.int g 20_000) ())
+      in
+      let rec drive k last =
+        if k = 0 then last
+        else
+          let r = Si.scrub ?budget si in
+          if r.Scrub.complete then r else drive (k - 1) r
+      in
+      match drive 64 (Si.scrub ?budget si) with
+      | exception e ->
+          fail_iter iter "scrub raised %s on %s" (Printexc.to_string e)
+            base.name
+      | r ->
+          if (not changed) && r.Scrub.complete && not r.Scrub.clean then
+            fail_iter iter "pristine %s scrubbed dirty (bad: %s)" base.name
+              (String.concat " " r.Scrub.bad_regions);
+          (* quarantined or not, every answer is clean — and exact on a
+             checksummed base (the fallback is the oracle) *)
+          check_queries iter base si ~oracle_checked:(checksummed base);
+          if changed && Prng.int g 2 = 0 then (
+            match Si.repair si with
+            | Error _ -> ()  (* e.g. the corpus store itself is damaged *)
+            | exception Si_error.Error _ | (exception Sys_error _) -> ()
+            | Ok _ -> (
+                match Si.open_ base.scratch with
+                | Error e ->
+                    fail_iter iter
+                      "repaired prefix unloadable (%s): %s" base.name
+                      (Si_error.to_string e)
+                | Ok si' ->
+                    st.scrub_repairs <- st.scrub_repairs + 1;
+                    (* the rebuild sourced the (verified) corpus, so the
+                       repaired answers are the truth even on V1 bases *)
+                    check_queries iter base si' ~oracle_checked:true)))
+
 (* ---- driver ------------------------------------------------------------- *)
 
 let () =
@@ -452,6 +523,9 @@ let () =
       codec_runs = 0;
       sibling_runs = 0;
       failpoint_runs = 0;
+      scrub_runs = 0;
+      scrub_rejected = 0;
+      scrub_repairs = 0;
     }
   in
   for iter = 1 to !iters do
@@ -460,18 +534,19 @@ let () =
       fail_iter iter "uncaught exception %s\n%s" (Printexc.to_string e)
         (Printexc.get_backtrace ())
     in
-    let phase = Prng.int g 14 in
+    let phase = Prng.int g 16 in
     if phase < 6 then run (fun () -> fuzz_idx g bases st iter)
     else if phase < 9 then run (fun () -> fuzz_skip g v3_bases st iter)
     else if phase < 11 then run (fun () -> fuzz_codec g st iter)
     else if phase < 12 then run (fun () -> fuzz_sibling g bases st iter)
-    else run (fun () -> fuzz_failpoint g bases st iter)
+    else if phase < 14 then run (fun () -> fuzz_failpoint g bases st iter)
+    else run (fun () -> fuzz_scrub g bases st iter)
   done;
   Printf.printf
     "fuzz: %d iterations, %d failures (idx: %d runs, %d rejected, %d survived; \
      skip: %d runs, %d rejected, %d survived; codec: %d; sibling: %d; \
-     failpoint: %d)\n"
+     failpoint: %d; scrub: %d runs, %d rejected, %d repaired)\n"
     !iters !failures st.idx_runs st.idx_rejected st.idx_opened st.skip_runs
     st.skip_rejected st.skip_opened st.codec_runs st.sibling_runs
-    st.failpoint_runs;
+    st.failpoint_runs st.scrub_runs st.scrub_rejected st.scrub_repairs;
   if !failures > 0 then exit 1

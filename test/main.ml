@@ -13,4 +13,5 @@ let () =
       ("serve-net", Test_serve_net.suite);
       ("wal", Test_wal.suite);
       ("sharded", Test_sharded.suite);
+      ("scrub", Test_scrub.suite);
     ]
